@@ -1,0 +1,151 @@
+// Ablation: what the Core/Support split buys (paper Sec. IV / Fig. 8
+// discussion: the decoder's advantage "can be further enhanced if the Core
+// part ... is configured to be larger").
+//
+// Three axes, at distance 13, pauli 7%, erasure 15%:
+//   1. Physical split: Core rates halved vs uniform rates (does the
+//      dual-channel noise profile itself help?).
+//   2. Decoder awareness: SurfNet Decoder with true per-qubit priors vs
+//      the same decoder fed flat priors (does *knowing* the split help?).
+//   3. Larger Core: rates halved on a 3-wide cross instead of 1-wide.
+
+#include <iostream>
+
+#include "bench_common.h"
+#include "decoder/code_trial.h"
+#include "decoder/surfnet_decoder.h"
+#include "decoder/union_find.h"
+#include "qec/core_support.h"
+#include "qec/syndrome.h"
+#include "util/table.h"
+
+namespace {
+
+using namespace surfnet;
+
+/// A widened cross: every site data qubit within `halfwidth` columns/rows
+/// of the central cross.
+qec::CoreSupportPartition wide_core(const qec::SurfaceCodeLattice& lattice,
+                                    int halfwidth) {
+  const int d = lattice.distance();
+  const int center = (d % 2 == 1) ? d - 1 : d;
+  qec::CoreSupportPartition part;
+  part.is_core.assign(static_cast<std::size_t>(lattice.num_data_qubits()), 0);
+  for (int q = 0; q < lattice.num_data_qubits(); ++q) {
+    const auto rc = lattice.data_coord(q);
+    if (rc.r % 2 != 0) continue;  // site qubits only
+    if (std::abs(rc.c - center) <= 2 * halfwidth ||
+        std::abs(rc.r - center) <= 2 * halfwidth) {
+      part.is_core[static_cast<std::size_t>(q)] = 1;
+      ++part.num_core;
+    }
+  }
+  part.num_support = lattice.num_data_qubits() - part.num_core;
+  return part;
+}
+
+/// Decode with priors replaced by their average (split-blind decoder).
+double blind_error_rate(const qec::SurfaceCodeLattice& lattice,
+                        const qec::NoiseProfile& profile,
+                        const decoder::Decoder& decoder, int trials,
+                        util::Rng& rng) {
+  const auto prior =
+      profile.component_error_prob(qec::PauliChannel::IndependentXZ);
+  double mean = 0.0;
+  for (double p : prior) mean += p;
+  mean /= static_cast<double>(prior.size());
+  const std::vector<double> flat(prior.size(), mean);
+  int failures = 0;
+  for (int t = 0; t < trials; ++t) {
+    const auto sample =
+        qec::sample_errors(profile, qec::PauliChannel::IndependentXZ, rng);
+    const auto outcome =
+        decoder::decode_sample(lattice, sample, flat, decoder);
+    if (!outcome.success()) ++failures;
+  }
+  return static_cast<double>(failures) / trials;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const auto args = bench::parse_args(argc, argv);
+  const int trials = bench::resolve_trials(args, 6000, 40000);
+  const int distance = 13;
+  const double pauli = 0.07, erasure = 0.15;
+  std::printf("Ablation: the Core/Support split — distance %d, pauli %.0f%%, "
+              "erasure %.0f%%, %d trials, seed %llu\n\n",
+              distance, pauli * 100, erasure * 100, trials,
+              static_cast<unsigned long long>(args.seed));
+
+  const qec::SurfaceCodeLattice lattice(distance);
+  const auto cross = qec::make_core_support(lattice);
+  const auto wide = wide_core(lattice, 1);
+  const decoder::SurfNetDecoder surfnet;
+  const decoder::UnionFindDecoder union_find;
+
+  const auto uniform =
+      qec::NoiseProfile::uniform(lattice.num_data_qubits(), pauli, erasure);
+  const auto split = qec::NoiseProfile::core_support(cross, pauli, erasure);
+  const auto wide_split =
+      qec::NoiseProfile::core_support(wide, pauli, erasure);
+
+  util::Table table({"configuration", "core", "logical error rate"});
+  {
+    util::Rng rng(args.seed);
+    table.add_row({"uniform noise, SurfNet decoder", "0",
+                   util::Table::fmt(
+                       decoder::logical_error_rate(
+                           lattice, uniform,
+                           qec::PauliChannel::IndependentXZ, surfnet, trials,
+                           rng),
+                       4)});
+  }
+  {
+    util::Rng rng(args.seed);
+    table.add_row({"cross Core (paper), SurfNet decoder",
+                   std::to_string(cross.num_core),
+                   util::Table::fmt(
+                       decoder::logical_error_rate(
+                           lattice, split, qec::PauliChannel::IndependentXZ,
+                           surfnet, trials, rng),
+                       4)});
+  }
+  {
+    util::Rng rng(args.seed);
+    table.add_row({"cross Core, decoder BLIND to split",
+                   std::to_string(cross.num_core),
+                   util::Table::fmt(
+                       blind_error_rate(lattice, split, surfnet, trials,
+                                        rng),
+                       4)});
+  }
+  {
+    util::Rng rng(args.seed);
+    table.add_row({"cross Core, Union-Find decoder",
+                   std::to_string(cross.num_core),
+                   util::Table::fmt(
+                       decoder::logical_error_rate(
+                           lattice, split, qec::PauliChannel::IndependentXZ,
+                           union_find, trials, rng),
+                       4)});
+  }
+  {
+    util::Rng rng(args.seed);
+    table.add_row({"3-wide cross Core, SurfNet decoder",
+                   std::to_string(wide.num_core),
+                   util::Table::fmt(
+                       decoder::logical_error_rate(
+                           lattice, wide_split,
+                           qec::PauliChannel::IndependentXZ, surfnet, trials,
+                           rng),
+                       4)});
+  }
+
+  table.print(std::cout);
+  std::printf("\nExpected shape: the physical split beats uniform noise; "
+              "the prior-aware SurfNet Decoder beats both the split-blind "
+              "variant and Union-Find; widening the Core lowers the error "
+              "rate further (the paper's suggested future direction).\n");
+  return 0;
+}

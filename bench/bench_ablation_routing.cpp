@@ -1,0 +1,69 @@
+// Ablation: centralized LP scheduling vs the hierarchical greedy scheduler
+// (paper Sec. V-B discusses operating without the centralized protocol).
+// Swept over the offered load (number of requests).
+//
+// Expected shape: both deliver essentially the same fidelity at every
+// load. The LP schedules more codes throughout because Eq. (6) bounds the
+// *aggregate* per-request noise — it may admit a noisier route by
+// averaging it against clean ones — while the hierarchical scheduler
+// enforces the thresholds per code, trading throughput for slightly
+// higher fidelity.
+
+#include <iostream>
+
+#include "bench_common.h"
+#include "core/surfnet.h"
+#include "decoder/surfnet_decoder.h"
+#include "netsim/simulator.h"
+#include "routing/greedy.h"
+#include "routing/lp_router.h"
+#include "util/table.h"
+
+int main(int argc, char** argv) {
+  using namespace surfnet;
+
+  const auto args = bench::parse_args(argc, argv);
+  const int trials = bench::resolve_trials(args, 150, 1080);
+  std::printf("Ablation: centralized LP vs hierarchical greedy routing — "
+              "%d trials per point, seed %llu\n\n",
+              trials, static_cast<unsigned long long>(args.seed));
+
+  const auto base = core::make_scenario(core::FacilityLevel::Sufficient,
+                                        core::ConnectionQuality::Good);
+  util::Table table({"requests", "router", "throughput", "fidelity"});
+
+  for (const int num_requests : {2, 4, 8, 12, 16}) {
+    for (const bool centralized : {true, false}) {
+      util::RunningStat throughput, fidelity;
+      util::Rng seeder(args.seed);
+      for (int t = 0; t < trials; ++t) {
+        util::Rng rng(seeder());
+        const auto topology =
+            netsim::make_random_topology(base.topology, rng);
+        const auto requests = netsim::random_requests(
+            topology, num_requests, base.max_codes_per_request, rng);
+        const auto schedule =
+            centralized
+                ? routing::route_lp(topology, requests, base.routing, rng)
+                      .schedule
+                : routing::route_greedy(topology, requests, base.routing,
+                                        rng);
+        const decoder::SurfNetDecoder dec;
+        const auto sim = netsim::simulate_surfnet(
+            topology, schedule, base.simulation, dec, rng);
+        throughput.add(schedule.throughput());
+        if (sim.codes_delivered > 0) fidelity.add(sim.fidelity());
+      }
+      table.add_row({std::to_string(num_requests),
+                     centralized ? "LP (centralized)" : "greedy (hier.)",
+                     util::Table::fmt(throughput.mean(), 3),
+                     util::Table::fmt(fidelity.mean(), 3)});
+    }
+  }
+  table.print(std::cout);
+  std::printf("\nExpected shape: matched fidelity at every load; the LP's "
+              "aggregate noise accounting and global view schedule more "
+              "codes, the per-code hierarchical scheduler is more "
+              "selective (slightly higher fidelity, lower throughput).\n");
+  return 0;
+}

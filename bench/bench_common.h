@@ -1,0 +1,51 @@
+#pragma once
+
+// Shared helpers for the reproduction benches. Every bench binary prints
+// the rows/series of one paper table or figure; pass --trials N to change
+// the Monte-Carlo budget and --seed S to change the base seed. Paper-scale
+// budgets (e.g. the 1080 trials of Fig. 6/7) are available via --full.
+
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+namespace surfnet::bench {
+
+struct BenchArgs {
+  int trials = 0;  ///< 0 = use the bench's default
+  std::uint64_t seed = 20240607;
+  bool full = false;
+  bool csv = false;
+  int threads = 1;  ///< worker threads for trial fan-out
+};
+
+inline BenchArgs parse_args(int argc, char** argv) {
+  BenchArgs args;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--trials") == 0 && i + 1 < argc) {
+      args.trials = std::atoi(argv[++i]);
+    } else if (std::strcmp(argv[i], "--seed") == 0 && i + 1 < argc) {
+      args.seed = std::strtoull(argv[++i], nullptr, 10);
+    } else if (std::strcmp(argv[i], "--threads") == 0 && i + 1 < argc) {
+      args.threads = std::atoi(argv[++i]);
+    } else if (std::strcmp(argv[i], "--full") == 0) {
+      args.full = true;
+    } else if (std::strcmp(argv[i], "--csv") == 0) {
+      args.csv = true;
+    } else if (std::strcmp(argv[i], "--help") == 0) {
+      std::printf("usage: %s [--trials N] [--seed S] [--threads T] [--full] [--csv]\n",
+                  argv[0]);
+      std::exit(0);
+    }
+  }
+  return args;
+}
+
+inline int resolve_trials(const BenchArgs& args, int default_trials,
+                          int full_trials) {
+  if (args.trials > 0) return args.trials;
+  return args.full ? full_trials : default_trials;
+}
+
+}  // namespace surfnet::bench

@@ -1,0 +1,94 @@
+// Decoder runtime scaling (paper Sec. IV-C, Theorem 2 / Corollary 1.1):
+// google-benchmark microbenchmarks of the three decoders across code
+// distances. Expected shape: near-linear scaling for Union-Find and the
+// SurfNet Decoder (O(n alpha(n)) growth plus peeling), polynomially
+// steeper growth for MWPM (Dijkstra all-pairs + O(n^3) blossom).
+
+#include <benchmark/benchmark.h>
+
+#include <map>
+
+#include "decoder/code_trial.h"
+#include "decoder/mwpm.h"
+#include "decoder/surfnet_decoder.h"
+#include "decoder/union_find.h"
+#include "qec/core_support.h"
+#include "qec/syndrome.h"
+#include "util/rng.h"
+
+namespace {
+
+using namespace surfnet;
+
+// The lattice must outlive the inputs (they hold graph pointers), so keep
+// one per distance alive for the whole run.
+const qec::SurfaceCodeLattice& lattice_for(int distance) {
+  static std::map<int, qec::SurfaceCodeLattice> cache;
+  auto it = cache.find(distance);
+  if (it == cache.end())
+    it = cache.emplace(distance, qec::SurfaceCodeLattice(distance)).first;
+  return it->second;
+}
+
+std::vector<decoder::DecodeInput> make_inputs_cached(int distance,
+                                                     int count,
+                                                     std::uint64_t seed) {
+  const auto& lattice = lattice_for(distance);
+  const auto partition = qec::make_core_support(lattice);
+  const auto profile =
+      qec::NoiseProfile::core_support(partition, 0.06, 0.15);
+  const auto prior =
+      profile.component_error_prob(qec::PauliChannel::IndependentXZ);
+  util::Rng rng(seed);
+  std::vector<decoder::DecodeInput> inputs;
+  inputs.reserve(static_cast<std::size_t>(count));
+  for (int i = 0; i < count; ++i) {
+    const auto sample =
+        qec::sample_errors(profile, qec::PauliChannel::IndependentXZ, rng);
+    inputs.push_back(decoder::make_decode_input(lattice, qec::GraphKind::Z,
+                                                sample, prior));
+  }
+  return inputs;
+}
+
+template <typename DecoderT>
+void bench_decoder(benchmark::State& state) {
+  const int distance = static_cast<int>(state.range(0));
+  const DecoderT decoder;
+  const auto inputs = make_inputs_cached(distance, 64, 42);
+  std::size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(decoder.decode(inputs[i]));
+    i = (i + 1) % inputs.size();
+  }
+  state.counters["qubits"] = static_cast<double>(
+      lattice_for(distance).num_data_qubits());
+}
+
+}  // namespace
+
+BENCHMARK_TEMPLATE(bench_decoder, decoder::UnionFindDecoder)
+    ->Name("UnionFind")
+    ->Arg(5)
+    ->Arg(9)
+    ->Arg(13)
+    ->Arg(17)
+    ->Arg(21)
+    ->Arg(25);
+BENCHMARK_TEMPLATE(bench_decoder, decoder::SurfNetDecoder)
+    ->Name("SurfNetDecoder")
+    ->Arg(5)
+    ->Arg(9)
+    ->Arg(13)
+    ->Arg(17)
+    ->Arg(21)
+    ->Arg(25);
+BENCHMARK_TEMPLATE(bench_decoder, decoder::MwpmDecoder)
+    ->Name("MWPM")
+    ->Arg(5)
+    ->Arg(9)
+    ->Arg(13)
+    ->Arg(17)
+    ->Arg(21);
+
+BENCHMARK_MAIN();

@@ -1,0 +1,55 @@
+// Reproduces paper Fig. 6(a): Raw vs SurfNet in the three facility
+// scenarios (abundant / sufficient / insufficient), over the paper's three
+// metrics. The (a.1) tables report throughput and latency (similar for
+// both designs); the (a.2) plots report communication fidelity (SurfNet
+// clearly higher). Both fiber-quality settings are shown.
+//
+// Expected shape: throughput and latency comparable between the two
+// designs in each scenario, fidelity consistently higher for SurfNet.
+
+#include <iostream>
+
+#include "bench_common.h"
+#include "core/surfnet.h"
+#include "util/table.h"
+
+int main(int argc, char** argv) {
+  using namespace surfnet;
+  using core::ConnectionQuality;
+  using core::FacilityLevel;
+  using core::NetworkDesign;
+
+  const auto args = bench::parse_args(argc, argv);
+  const int trials = bench::resolve_trials(args, 120, 1080);
+  std::printf("Fig. 6(a): Raw vs SurfNet — %d trials per cell, seed %llu\n\n",
+              trials, static_cast<unsigned long long>(args.seed));
+
+  util::Table table({"scenario", "fibers", "design", "throughput", "latency",
+                     "fidelity", "fid_ci95"});
+  for (const auto level :
+       {FacilityLevel::Abundant, FacilityLevel::Sufficient,
+        FacilityLevel::Insufficient}) {
+    for (const auto quality :
+         {ConnectionQuality::Good, ConnectionQuality::Poor}) {
+      const auto params = core::make_scenario(level, quality);
+      for (const auto design :
+           {NetworkDesign::SurfNet, NetworkDesign::Raw}) {
+        const auto agg = core::run_trials_parallel(params, design, trials, args.seed, args.threads);
+        table.add_row({std::string(core::to_string(level)),
+                       std::string(core::to_string(quality)),
+                       std::string(core::to_string(design)),
+                       util::Table::fmt(agg.throughput.mean(), 3),
+                       util::Table::fmt(agg.latency.mean(), 1),
+                       util::Table::fmt(agg.fidelity.mean(), 3),
+                       util::Table::fmt(agg.fidelity.ci95(), 3)});
+      }
+    }
+  }
+  if (args.csv) table.print_csv(std::cout);
+  else table.print(std::cout);
+
+  std::printf("\nPaper shape check: within each scenario, SurfNet and Raw "
+              "should have similar throughput and latency, with SurfNet's "
+              "fidelity clearly higher (Fig. 6(a.1)/(a.2)).\n");
+  return 0;
+}

@@ -1,0 +1,123 @@
+// Reproduces paper Fig. 8: Pauli error threshold of surface codes under
+// the Union-Find decoder (left) and the SurfNet Decoder (right).
+//
+// Setup (paper Sec. VI-B): distances 9, 11, 13, 15; erasure rate fixed at
+// 15%; Pauli rate swept over 5.0-8.5%; both rates halved on the Core part.
+// The threshold is where the logical-error-rate curves of different
+// distances cross. The paper reports ~7.1% for Union-Find and ~7.25% for
+// the SurfNet Decoder; the reproduction should place the SurfNet Decoder's
+// crossing at or above Union-Find's, with uniformly lower error rates.
+
+#include <cmath>
+#include <iostream>
+#include <vector>
+
+#include "bench_common.h"
+#include "decoder/code_trial.h"
+#include "decoder/surfnet_decoder.h"
+#include "decoder/union_find.h"
+#include "qec/core_support.h"
+#include "util/stats.h"
+#include "util/table.h"
+
+int main(int argc, char** argv) {
+  using namespace surfnet;
+
+  const auto args = bench::parse_args(argc, argv);
+  const int trials = bench::resolve_trials(args, 4000, 40000);
+  std::printf("Fig. 8: decoder thresholds — %d trials per point, seed "
+              "%llu\n\n",
+              trials, static_cast<unsigned long long>(args.seed));
+
+  const std::vector<int> distances{9, 11, 13, 15};
+  const std::vector<double> pauli_rates{0.050, 0.055, 0.060, 0.065,
+                                        0.070, 0.0725, 0.075, 0.080, 0.085};
+  const double erasure = 0.15;
+
+  const decoder::UnionFindDecoder union_find;
+  const decoder::SurfNetDecoder surfnet;
+  const decoder::Decoder* decoders[] = {&union_find, &surfnet};
+
+  // rates[decoder][distance][point]
+  std::vector<std::vector<std::vector<double>>> rates(
+      2, std::vector<std::vector<double>>(
+             distances.size(), std::vector<double>(pauli_rates.size(), 0)));
+
+  for (std::size_t di = 0; di < distances.size(); ++di) {
+    const qec::SurfaceCodeLattice lattice(distances[di]);
+    const auto partition = qec::make_core_support(lattice);
+    for (std::size_t pi = 0; pi < pauli_rates.size(); ++pi) {
+      const auto profile = qec::NoiseProfile::core_support(
+          partition, pauli_rates[pi], erasure);
+      for (int dec = 0; dec < 2; ++dec) {
+        util::Rng rng(args.seed + 1000 * di + pi);
+        rates[static_cast<std::size_t>(dec)][di][pi] =
+            decoder::logical_error_rate(lattice, profile,
+                                        qec::PauliChannel::IndependentXZ,
+                                        *decoders[dec], trials, rng);
+      }
+    }
+  }
+
+  for (int dec = 0; dec < 2; ++dec) {
+    std::printf("--- %s ---\n", decoders[dec]->name().data());
+    std::vector<std::string> header{"pauli"};
+    for (int d : distances) header.push_back("d=" + std::to_string(d));
+    util::Table table(header);
+    for (std::size_t pi = 0; pi < pauli_rates.size(); ++pi) {
+      std::vector<std::string> row{util::Table::pct(pauli_rates[pi], 2)};
+      for (std::size_t di = 0; di < distances.size(); ++di)
+        row.push_back(util::Table::fmt(
+            rates[static_cast<std::size_t>(dec)][di][pi], 4));
+      table.add_row(std::move(row));
+    }
+    if (args.csv) table.print_csv(std::cout);
+    else table.print(std::cout);
+    std::printf("\n");
+  }
+
+  // Threshold estimate: crossing point of every small-d/large-d curve
+  // pair, averaged. The curves are nearly parallel around the crossing,
+  // so individual pair estimates carry substantial Monte-Carlo spread —
+  // the min/max across pairs is reported as the uncertainty.
+  std::printf("threshold estimates (mean over distance-pair crossings, "
+              "[min, max]):\n");
+  double thresholds[2] = {0.0, 0.0};
+  for (int dec = 0; dec < 2; ++dec) {
+    const auto& r = rates[static_cast<std::size_t>(dec)];
+    double sum = 0.0, lo_est = 1.0, hi_est = 0.0;
+    int count = 0;
+    for (std::size_t a = 0; a < distances.size(); ++a)
+      for (std::size_t b = a + 1; b < distances.size(); ++b) {
+        const double x = util::crossing_point(
+            pauli_rates.data(), r[b].data(), r[a].data(),
+            pauli_rates.size());
+        if (std::isnan(x)) continue;
+        sum += x;
+        lo_est = std::min(lo_est, x);
+        hi_est = std::max(hi_est, x);
+        ++count;
+      }
+    thresholds[dec] = count > 0 ? sum / count
+                                : std::numeric_limits<double>::quiet_NaN();
+    if (count > 0) {
+      std::printf("  %-16s %s  [%s, %s]  (paper: %s)\n",
+                  decoders[dec]->name().data(),
+                  util::Table::pct(thresholds[dec], 2).c_str(),
+                  util::Table::pct(lo_est, 2).c_str(),
+                  util::Table::pct(hi_est, 2).c_str(),
+                  dec == 0 ? "7.10%" : "7.25%");
+    } else {
+      std::printf("  %-16s no crossing in range (paper: %s)\n",
+                  decoders[dec]->name().data(),
+                  dec == 0 ? "7.10%" : "7.25%");
+    }
+  }
+  std::printf(
+      "\nPaper shape check: the SurfNet Decoder's logical error rate is "
+      "uniformly below Union-Find's at every (d, p) point, and its "
+      "threshold estimate should sit at or slightly above Union-Find's "
+      "(the two are ~0.15pp apart in the paper; at this trial budget the "
+      "crossing estimates overlap within Monte-Carlo spread).\n");
+  return 0;
+}

@@ -1,0 +1,55 @@
+// Compare the three decoders in this library — Union-Find (baseline),
+// SurfNet Decoder (weighted growth), and exact MWPM (blossom) — on the
+// paper's network noise setup: Pauli + erasure errors, rates halved on the
+// Core cross.
+//
+//   ./decoder_comparison [distance] [trials]
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "decoder/code_trial.h"
+#include "decoder/mwpm.h"
+#include "decoder/surfnet_decoder.h"
+#include "decoder/union_find.h"
+#include "qec/core_support.h"
+#include "util/rng.h"
+
+int main(int argc, char** argv) {
+  using namespace surfnet;
+
+  const int distance = argc > 1 ? std::atoi(argv[1]) : 9;
+  const int trials = argc > 2 ? std::atoi(argv[2]) : 4000;
+
+  const qec::SurfaceCodeLattice lattice(distance);
+  const auto partition = qec::make_core_support(lattice);
+
+  const decoder::UnionFindDecoder union_find;
+  const decoder::SurfNetDecoder surfnet;
+  const decoder::MwpmDecoder mwpm;
+  const decoder::Decoder* decoders[] = {&union_find, &surfnet, &mwpm};
+
+  std::printf("distance-%d surface code, erasure 15%% (7.5%% on Core), "
+              "%d trials per point\n\n", distance, trials);
+  std::printf("%-8s", "pauli");
+  for (const auto* d : decoders) std::printf("%-16s", d->name().data());
+  std::printf("\n");
+
+  for (const double pauli : {0.03, 0.05, 0.06, 0.07, 0.08}) {
+    const auto profile =
+        qec::NoiseProfile::core_support(partition, pauli, 0.15);
+    std::printf("%-8.3f", pauli);
+    for (const auto* d : decoders) {
+      util::Rng rng(7777);  // same error stream for every decoder
+      const double ler = decoder::logical_error_rate(
+          lattice, profile, qec::PauliChannel::IndependentXZ, *d, trials,
+          rng);
+      std::printf("%-16.4f", ler);
+    }
+    std::printf("\n");
+  }
+  std::printf("\nLower is better. MWPM is the most accurate and slowest; "
+              "the SurfNet Decoder exploits the Core/Support fidelity gap "
+              "that the Union-Find baseline ignores.\n");
+  return 0;
+}

@@ -1,0 +1,88 @@
+// A narrated walk through the paper's Fig. 4: one-way communication of a
+// surface code from user A to user B over a hand-built line network,
+// comparing the dual-channel SurfNet transfer against sending everything
+// through the plain channel (Raw).
+//
+//   user A --- switch --- SERVER --- switch --- user B
+//
+// The Core part rides the entanglement-based channel (teleported in
+// opportunistic two-fiber jumps over purified pairs); the Support part
+// rides the plain channel as photons. The server reassembles the complete
+// code and runs the SurfNet Decoder; missing photons are erasures.
+
+#include <cstdio>
+
+#include "decoder/surfnet_decoder.h"
+#include "netsim/simulator.h"
+#include "qec/core_support.h"
+#include "qec/lattice.h"
+#include "util/rng.h"
+
+int main() {
+  using namespace surfnet;
+
+  // Build the Fig. 4-style line: A(0) - switch(1) - server(2) - switch(3)
+  // - B(4), with mediocre fibers.
+  std::vector<netsim::Node> nodes(5);
+  nodes[1] = {netsim::NodeRole::Switch, 200};
+  nodes[2] = {netsim::NodeRole::Server, 200};
+  nodes[3] = {netsim::NodeRole::Switch, 200};
+  std::vector<netsim::Fiber> fibers;
+  const double gamma[4] = {0.92, 0.88, 0.90, 0.86};
+  for (int i = 0; i < 4; ++i) fibers.push_back({i, i + 1, gamma[i], 60});
+  const netsim::Topology topology(std::move(nodes), std::move(fibers));
+
+  const qec::SurfaceCodeLattice lattice(4);
+  const auto partition = qec::make_core_support(lattice);
+  std::printf("transferring distance-4 surface codes: %d qubits, "
+              "%d in the Core cross\n\n",
+              lattice.num_data_qubits(), partition.num_core);
+
+  netsim::Schedule schedule;
+  schedule.requested_codes = 500;
+  netsim::ScheduledRequest s;
+  s.request_index = 0;
+  s.codes = 500;
+  s.support_path = {0, 1, 2, 3, 4};
+  s.core_path = {0, 1, 2, 3, 4};
+  s.ec_servers = {2};  // error correction at the server, as in Fig. 4
+  schedule.scheduled.push_back(s);
+
+  netsim::SimulationParams params;
+  params.noise_scale = 0.35;  // deliberately harsh to make the gap visible
+  params.loss_per_hop = 0.06;
+  params.teleport_op_noise = 0.01;
+
+  const decoder::SurfNetDecoder decoder;
+
+  util::Rng rng_dual(11);
+  const auto dual =
+      netsim::simulate_surfnet(topology, schedule, params, decoder,
+                               rng_dual);
+  std::printf("dual-channel SurfNet : fidelity %.3f, latency %.1f slots\n",
+              dual.fidelity(), dual.avg_latency());
+
+  // Raw: the same codes, every qubit through the plain channel.
+  netsim::Schedule raw_schedule = schedule;
+  raw_schedule.scheduled[0].core_path.clear();
+  util::Rng rng_raw(11);
+  const auto raw = netsim::simulate_surfnet(topology, raw_schedule, params,
+                                            decoder, rng_raw);
+  std::printf("Raw (plain channel)  : fidelity %.3f, latency %.1f slots\n",
+              raw.fidelity(), raw.avg_latency());
+
+  // And without the mid-path correction, to show what the server buys.
+  netsim::Schedule no_ec = schedule;
+  no_ec.scheduled[0].ec_servers.clear();
+  util::Rng rng_noec(11);
+  const auto noec =
+      netsim::simulate_surfnet(topology, no_ec, params, decoder, rng_noec);
+  std::printf("SurfNet, no server EC: fidelity %.3f, latency %.1f slots\n",
+              noec.fidelity(), noec.avg_latency());
+
+  std::printf("\nThe dual channel keeps the Core cross clean (purified "
+              "teleportation, no photon loss), so the decoder survives "
+              "noise that corrupts the Raw transfer; the server's "
+              "correction halves the noise each segment accumulates.\n");
+  return 0;
+}

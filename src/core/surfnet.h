@@ -1,0 +1,86 @@
+#pragma once
+
+// SurfNet public facade: one-call end-to-end experiments.
+//
+// A trial generates a random Barabasi-Albert network and a batch of
+// communication requests, schedules them with the selected network
+// design's routing protocol (paper Sec. V-A / VI-B), executes the schedule
+// on the round-based simulator (Sec. V-B), and reports the paper's three
+// metrics (Sec. VI-C): fidelity (success rate of executed communications),
+// latency (average slots per communication), and throughput (executed /
+// requested communications).
+
+#include <cstdint>
+#include <string_view>
+
+#include "netsim/simulator.h"
+#include "netsim/topology.h"
+#include "routing/formulation.h"
+#include "util/stats.h"
+
+namespace surfnet::core {
+
+/// The three facility scenarios of Fig. 6(a) / Fig. 7.
+enum class FacilityLevel { Abundant, Sufficient, Insufficient };
+
+/// Fiber-quality scenarios: good = gamma in [0.75, 1], poor = [0.5, 1].
+enum class ConnectionQuality { Good, Poor };
+
+/// The five network designs compared in Fig. 7.
+enum class NetworkDesign {
+  SurfNet,
+  Raw,
+  Purification1,
+  Purification2,
+  Purification9,
+};
+
+std::string_view to_string(FacilityLevel level);
+std::string_view to_string(ConnectionQuality quality);
+std::string_view to_string(NetworkDesign design);
+
+/// Everything one trial needs. Produced by make_scenario and then freely
+/// overridden for the Fig. 6(b) parameter sweeps.
+struct ScenarioParams {
+  netsim::TopologySpec topology;
+  int num_requests = 6;
+  int max_codes_per_request = 3;
+  routing::RoutingParams routing;
+  netsim::SimulationParams simulation;
+};
+
+/// Default parameters for a (facility, connection) scenario. The surface
+/// code is the paper's distance-4 example (25 qubits, 7 Core).
+ScenarioParams make_scenario(FacilityLevel level, ConnectionQuality quality);
+
+struct TrialMetrics {
+  double fidelity = 0.0;
+  double latency = 0.0;
+  double throughput = 0.0;
+  int codes_scheduled = 0;
+  int codes_delivered = 0;
+};
+
+/// Run one seeded trial of a design.
+TrialMetrics run_trial(const ScenarioParams& params, NetworkDesign design,
+                       std::uint64_t seed);
+
+struct AggregateMetrics {
+  util::RunningStat fidelity;
+  util::RunningStat latency;
+  util::RunningStat throughput;
+};
+
+/// Run `trials` independent seeded trials and aggregate.
+AggregateMetrics run_trials(const ScenarioParams& params,
+                            NetworkDesign design, int trials,
+                            std::uint64_t seed);
+
+/// Same trials, fanned out over `threads` worker threads. Per-trial seeds
+/// are identical to the sequential version and results are merged in
+/// trial order, so the aggregate matches run_trials exactly.
+AggregateMetrics run_trials_parallel(const ScenarioParams& params,
+                                     NetworkDesign design, int trials,
+                                     std::uint64_t seed, int threads);
+
+}  // namespace surfnet::core

@@ -1,0 +1,413 @@
+#include "decoder/blossom.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <deque>
+#include <stdexcept>
+
+namespace surfnet::decoder {
+
+namespace {
+
+using ll = std::int64_t;
+constexpr ll kInf = std::numeric_limits<ll>::max() / 4;
+constexpr double kScale = 1e6;
+
+/// O(n^3) maximum-weight general matching (primal-dual with blossoms).
+/// Vertices are 1-indexed internally; ids (n, 2n] are blossoms.
+class MaxWeightMatcher {
+ public:
+  explicit MaxWeightMatcher(int n)
+      : n_(n),
+        cap_(2 * n + 1),
+        g_(static_cast<std::size_t>(cap_),
+           std::vector<Edge>(static_cast<std::size_t>(cap_))),
+        lab_(static_cast<std::size_t>(cap_), 0),
+        match_(static_cast<std::size_t>(cap_), 0),
+        slack_(static_cast<std::size_t>(cap_), 0),
+        st_(static_cast<std::size_t>(cap_), 0),
+        pa_(static_cast<std::size_t>(cap_), 0),
+        s_(static_cast<std::size_t>(cap_), -1),
+        vis_(static_cast<std::size_t>(cap_), 0),
+        flo_(static_cast<std::size_t>(cap_)),
+        flo_from_(static_cast<std::size_t>(cap_),
+                  std::vector<int>(static_cast<std::size_t>(n_ + 1), 0)) {
+    for (int u = 0; u < cap_; ++u)
+      for (int v = 0; v < cap_; ++v)
+        g_[static_cast<std::size_t>(u)][static_cast<std::size_t>(v)] =
+            Edge{u, v, 0};
+  }
+
+  /// w > 0; zero weight means no edge.
+  void add_edge(int u, int v, ll w) {
+    edge(u, v).w = w;
+    edge(v, u).w = w;
+  }
+
+  /// Runs the matching; returns pairs matched. match(v)==0 means unmatched.
+  int solve() {
+    std::fill(match_.begin() + 1, match_.begin() + n_ + 1, 0);
+    n_x_ = n_;
+    int n_matches = 0;
+    for (int u = 0; u <= n_; ++u) {
+      st_[static_cast<std::size_t>(u)] = u;
+      flo_[static_cast<std::size_t>(u)].clear();
+    }
+    ll w_max = 0;
+    for (int u = 1; u <= n_; ++u)
+      for (int v = 1; v <= n_; ++v) {
+        flo_from_[static_cast<std::size_t>(u)][static_cast<std::size_t>(v)] =
+            (u == v ? u : 0);
+        w_max = std::max(w_max, edge(u, v).w);
+      }
+    for (int u = 1; u <= n_; ++u) lab_[static_cast<std::size_t>(u)] = w_max;
+    while (matching()) ++n_matches;
+    return n_matches;
+  }
+
+  int match(int v) const { return match_[static_cast<std::size_t>(v)]; }
+
+ private:
+  struct Edge {
+    int u = 0, v = 0;
+    ll w = 0;
+  };
+
+  Edge& edge(int u, int v) {
+    return g_[static_cast<std::size_t>(u)][static_cast<std::size_t>(v)];
+  }
+
+  ll e_delta(const Edge& e) const {
+    return lab_[static_cast<std::size_t>(e.u)] +
+           lab_[static_cast<std::size_t>(e.v)] -
+           g_[static_cast<std::size_t>(e.u)][static_cast<std::size_t>(e.v)].w *
+               2;
+  }
+
+  void update_slack(int u, int x) {
+    auto& sx = slack_[static_cast<std::size_t>(x)];
+    if (!sx || e_delta(edge(u, x)) < e_delta(edge(sx, x))) sx = u;
+  }
+
+  void set_slack(int x) {
+    slack_[static_cast<std::size_t>(x)] = 0;
+    for (int u = 1; u <= n_; ++u)
+      if (edge(u, x).w > 0 && st_[static_cast<std::size_t>(u)] != x &&
+          s_[static_cast<std::size_t>(st_[static_cast<std::size_t>(u)])] == 0)
+        update_slack(u, x);
+  }
+
+  void q_push(int x) {
+    if (x <= n_) {
+      q_.push_back(x);
+    } else {
+      for (int t : flo_[static_cast<std::size_t>(x)]) q_push(t);
+    }
+  }
+
+  void set_st(int x, int b) {
+    st_[static_cast<std::size_t>(x)] = b;
+    if (x > n_)
+      for (int t : flo_[static_cast<std::size_t>(x)]) set_st(t, b);
+  }
+
+  int get_pr(int b, int xr) {
+    auto& f = flo_[static_cast<std::size_t>(b)];
+    const int pr =
+        static_cast<int>(std::find(f.begin(), f.end(), xr) - f.begin());
+    if (pr % 2 == 1) {
+      std::reverse(f.begin() + 1, f.end());
+      return static_cast<int>(f.size()) - pr;
+    }
+    return pr;
+  }
+
+  void set_match(int u, int v) {
+    match_[static_cast<std::size_t>(u)] = edge(u, v).v;
+    if (u <= n_) return;
+    const Edge e = edge(u, v);
+    const int xr =
+        flo_from_[static_cast<std::size_t>(u)][static_cast<std::size_t>(e.u)];
+    const int pr = get_pr(u, xr);
+    auto& f = flo_[static_cast<std::size_t>(u)];
+    for (int i = 0; i < pr; ++i) set_match(f[static_cast<std::size_t>(i)],
+                                           f[static_cast<std::size_t>(i ^ 1)]);
+    set_match(xr, v);
+    std::rotate(f.begin(), f.begin() + pr, f.end());
+  }
+
+  void augment(int u, int v) {
+    while (true) {
+      const int xnv =
+          st_[static_cast<std::size_t>(match_[static_cast<std::size_t>(u)])];
+      set_match(u, v);
+      if (!xnv) return;
+      set_match(xnv, st_[static_cast<std::size_t>(pa_[static_cast<std::size_t>(
+                        xnv)])]);
+      u = st_[static_cast<std::size_t>(pa_[static_cast<std::size_t>(xnv)])];
+      v = xnv;
+    }
+  }
+
+  int get_lca(int u, int v) {
+    for (++timer_; u || v; std::swap(u, v)) {
+      if (u == 0) continue;
+      if (vis_[static_cast<std::size_t>(u)] == timer_) return u;
+      vis_[static_cast<std::size_t>(u)] = timer_;
+      u = st_[static_cast<std::size_t>(match_[static_cast<std::size_t>(u)])];
+      if (u)
+        u = st_[static_cast<std::size_t>(pa_[static_cast<std::size_t>(u)])];
+    }
+    return 0;
+  }
+
+  void add_blossom(int u, int lca, int v) {
+    int b = n_ + 1;
+    while (b <= n_x_ && st_[static_cast<std::size_t>(b)]) ++b;
+    if (b > n_x_) ++n_x_;
+    lab_[static_cast<std::size_t>(b)] = 0;
+    s_[static_cast<std::size_t>(b)] = 0;
+    match_[static_cast<std::size_t>(b)] =
+        match_[static_cast<std::size_t>(lca)];
+    auto& f = flo_[static_cast<std::size_t>(b)];
+    f.clear();
+    f.push_back(lca);
+    for (int x = u, y; x != lca;
+         x = st_[static_cast<std::size_t>(pa_[static_cast<std::size_t>(y)])]) {
+      f.push_back(x);
+      y = st_[static_cast<std::size_t>(match_[static_cast<std::size_t>(x)])];
+      f.push_back(y);
+      q_push(y);
+    }
+    std::reverse(f.begin() + 1, f.end());
+    for (int x = v, y; x != lca;
+         x = st_[static_cast<std::size_t>(pa_[static_cast<std::size_t>(y)])]) {
+      f.push_back(x);
+      y = st_[static_cast<std::size_t>(match_[static_cast<std::size_t>(x)])];
+      f.push_back(y);
+      q_push(y);
+    }
+    set_st(b, b);
+    for (int x = 1; x <= n_x_; ++x) {
+      edge(b, x).w = 0;
+      edge(x, b).w = 0;
+    }
+    for (int x = 1; x <= n_; ++x)
+      flo_from_[static_cast<std::size_t>(b)][static_cast<std::size_t>(x)] = 0;
+    for (const int xs : f) {
+      for (int x = 1; x <= n_x_; ++x)
+        if (edge(b, x).w == 0 || e_delta(edge(xs, x)) < e_delta(edge(b, x))) {
+          edge(b, x) = edge(xs, x);
+          edge(x, b) = edge(x, xs);
+        }
+      for (int x = 1; x <= n_; ++x)
+        if (flo_from_[static_cast<std::size_t>(xs)]
+                     [static_cast<std::size_t>(x)])
+          flo_from_[static_cast<std::size_t>(b)][static_cast<std::size_t>(x)] =
+              xs;
+    }
+    set_slack(b);
+  }
+
+  void expand_blossom(int b) {
+    auto& f = flo_[static_cast<std::size_t>(b)];
+    for (const int t : f) set_st(t, t);
+    const int xr =
+        flo_from_[static_cast<std::size_t>(b)][static_cast<std::size_t>(
+            edge(b, pa_[static_cast<std::size_t>(b)]).u)];
+    const int pr = get_pr(b, xr);
+    for (int i = 0; i < pr; i += 2) {
+      const int xs = f[static_cast<std::size_t>(i)];
+      const int xns = f[static_cast<std::size_t>(i + 1)];
+      pa_[static_cast<std::size_t>(xs)] = edge(xns, xs).u;
+      s_[static_cast<std::size_t>(xs)] = 1;
+      s_[static_cast<std::size_t>(xns)] = 0;
+      slack_[static_cast<std::size_t>(xs)] = 0;
+      set_slack(xns);
+      q_push(xns);
+    }
+    s_[static_cast<std::size_t>(xr)] = 1;
+    pa_[static_cast<std::size_t>(xr)] = pa_[static_cast<std::size_t>(b)];
+    for (std::size_t i = static_cast<std::size_t>(pr) + 1; i < f.size(); ++i) {
+      const int xs = f[i];
+      s_[static_cast<std::size_t>(xs)] = -1;
+      set_slack(xs);
+    }
+    st_[static_cast<std::size_t>(b)] = 0;
+  }
+
+  bool on_found_edge(const Edge& e) {
+    const int u = st_[static_cast<std::size_t>(e.u)];
+    const int v = st_[static_cast<std::size_t>(e.v)];
+    if (s_[static_cast<std::size_t>(v)] == -1) {
+      pa_[static_cast<std::size_t>(v)] = e.u;
+      s_[static_cast<std::size_t>(v)] = 1;
+      const int nu =
+          st_[static_cast<std::size_t>(match_[static_cast<std::size_t>(v)])];
+      slack_[static_cast<std::size_t>(v)] = 0;
+      slack_[static_cast<std::size_t>(nu)] = 0;
+      s_[static_cast<std::size_t>(nu)] = 0;
+      q_push(nu);
+    } else if (s_[static_cast<std::size_t>(v)] == 0) {
+      const int lca = get_lca(u, v);
+      if (!lca) {
+        augment(u, v);
+        augment(v, u);
+        return true;
+      }
+      add_blossom(u, lca, v);
+    }
+    return false;
+  }
+
+  bool matching() {
+    std::fill(s_.begin() + 1, s_.begin() + n_x_ + 1, -1);
+    std::fill(slack_.begin() + 1, slack_.begin() + n_x_ + 1, 0);
+    q_.clear();
+    for (int x = 1; x <= n_x_; ++x)
+      if (st_[static_cast<std::size_t>(x)] == x &&
+          !match_[static_cast<std::size_t>(x)]) {
+        pa_[static_cast<std::size_t>(x)] = 0;
+        s_[static_cast<std::size_t>(x)] = 0;
+        q_push(x);
+      }
+    if (q_.empty()) return false;
+    while (true) {
+      while (!q_.empty()) {
+        const int u = q_.front();
+        q_.pop_front();
+        if (s_[static_cast<std::size_t>(st_[static_cast<std::size_t>(u)])] ==
+            1)
+          continue;
+        for (int v = 1; v <= n_; ++v)
+          if (edge(u, v).w > 0 && st_[static_cast<std::size_t>(u)] !=
+                                      st_[static_cast<std::size_t>(v)]) {
+            if (e_delta(edge(u, v)) == 0) {
+              if (on_found_edge(edge(u, v))) return true;
+            } else {
+              update_slack(u, st_[static_cast<std::size_t>(v)]);
+            }
+          }
+      }
+      ll d = kInf;
+      for (int b = n_ + 1; b <= n_x_; ++b)
+        if (st_[static_cast<std::size_t>(b)] == b &&
+            s_[static_cast<std::size_t>(b)] == 1)
+          d = std::min(d, lab_[static_cast<std::size_t>(b)] / 2);
+      for (int x = 1; x <= n_x_; ++x)
+        if (st_[static_cast<std::size_t>(x)] == x &&
+            slack_[static_cast<std::size_t>(x)]) {
+          const Edge& se = edge(slack_[static_cast<std::size_t>(x)], x);
+          if (s_[static_cast<std::size_t>(x)] == -1)
+            d = std::min(d, e_delta(se));
+          else if (s_[static_cast<std::size_t>(x)] == 0)
+            d = std::min(d, e_delta(se) / 2);
+        }
+      for (int u = 1; u <= n_; ++u) {
+        const int root = st_[static_cast<std::size_t>(u)];
+        if (s_[static_cast<std::size_t>(root)] == 0) {
+          if (lab_[static_cast<std::size_t>(u)] <= d) return false;
+          lab_[static_cast<std::size_t>(u)] -= d;
+        } else if (s_[static_cast<std::size_t>(root)] == 1) {
+          lab_[static_cast<std::size_t>(u)] += d;
+        }
+      }
+      for (int b = n_ + 1; b <= n_x_; ++b)
+        if (st_[static_cast<std::size_t>(b)] == b) {
+          if (s_[static_cast<std::size_t>(b)] == 0)
+            lab_[static_cast<std::size_t>(b)] += d * 2;
+          else if (s_[static_cast<std::size_t>(b)] == 1)
+            lab_[static_cast<std::size_t>(b)] -= d * 2;
+        }
+      q_.clear();
+      for (int x = 1; x <= n_x_; ++x)
+        if (st_[static_cast<std::size_t>(x)] == x &&
+            slack_[static_cast<std::size_t>(x)] &&
+            st_[static_cast<std::size_t>(slack_[static_cast<std::size_t>(x)])] !=
+                x &&
+            e_delta(edge(slack_[static_cast<std::size_t>(x)], x)) == 0)
+          if (on_found_edge(edge(slack_[static_cast<std::size_t>(x)], x)))
+            return true;
+      for (int b = n_ + 1; b <= n_x_; ++b)
+        if (st_[static_cast<std::size_t>(b)] == b &&
+            s_[static_cast<std::size_t>(b)] == 1 &&
+            lab_[static_cast<std::size_t>(b)] == 0)
+          expand_blossom(b);
+    }
+  }
+
+  int n_;
+  int cap_;
+  int n_x_ = 0;
+  int timer_ = 0;
+  std::vector<std::vector<Edge>> g_;
+  std::vector<ll> lab_;
+  std::vector<int> match_;
+  std::vector<int> slack_;
+  std::vector<int> st_;
+  std::vector<int> pa_;
+  std::vector<int> s_;
+  std::vector<int> vis_;
+  std::vector<std::vector<int>> flo_;
+  std::vector<std::vector<int>> flo_from_;
+  std::deque<int> q_;
+};
+
+}  // namespace
+
+MatchingResult min_weight_perfect_matching(
+    int n, const std::vector<std::vector<double>>& weight) {
+  if (n < 0 || weight.size() != static_cast<std::size_t>(n))
+    throw std::invalid_argument("matching: bad weight matrix");
+  if (n % 2 != 0)
+    throw std::invalid_argument("matching: odd number of vertices");
+  MatchingResult result;
+  result.mate.assign(static_cast<std::size_t>(n), -1);
+  if (n == 0) return result;
+
+  // Scale to integers and transform min -> max: w' = C - w.
+  ll max_scaled = 0;
+  for (int i = 0; i < n; ++i) {
+    if (weight[static_cast<std::size_t>(i)].size() !=
+        static_cast<std::size_t>(n))
+      throw std::invalid_argument("matching: bad weight matrix row");
+    for (int j = 0; j < n; ++j) {
+      const double w = weight[static_cast<std::size_t>(i)]
+                             [static_cast<std::size_t>(j)];
+      if (w == kNoEdge || i == j) continue;
+      if (w < 0.0) throw std::invalid_argument("matching: negative weight");
+      max_scaled =
+          std::max(max_scaled, static_cast<ll>(std::llround(w * kScale)));
+    }
+  }
+  // C must be large enough that any perfect matching (n/2 edges, each of
+  // transformed weight >= C - max_scaled) outweighs any non-perfect matching
+  // (at most n/2 - 1 edges, each <= C): C > (n/2) * max_scaled suffices.
+  const ll big = max_scaled * (static_cast<ll>(n) / 2 + 1) + 1;
+
+  MaxWeightMatcher matcher(n);
+  for (int i = 0; i < n; ++i)
+    for (int j = i + 1; j < n; ++j) {
+      const double w =
+          weight[static_cast<std::size_t>(i)][static_cast<std::size_t>(j)];
+      if (w == kNoEdge) continue;
+      const ll scaled = static_cast<ll>(std::llround(w * kScale));
+      matcher.add_edge(i + 1, j + 1, big - scaled);
+    }
+  const int pairs = matcher.solve();
+  if (pairs * 2 != n)
+    throw std::runtime_error("matching: no perfect matching exists");
+
+  for (int i = 0; i < n; ++i) {
+    const int m = matcher.match(i + 1);
+    if (m == 0) throw std::runtime_error("matching: vertex left unmatched");
+    result.mate[static_cast<std::size_t>(i)] = m - 1;
+    if (m - 1 > i)
+      result.total_weight += weight[static_cast<std::size_t>(i)]
+                                   [static_cast<std::size_t>(m - 1)];
+  }
+  return result;
+}
+
+}  // namespace surfnet::decoder

@@ -1,0 +1,38 @@
+#pragma once
+
+// Exact minimum-weight perfect matching on a general graph (the "Blossom"
+// step of the paper's Algorithm 1, ref. [37]).
+//
+// Internally this is the classic O(n^3) primal-dual maximum-weight general
+// matching algorithm (multiple alternating trees, blossom shrinking, dual
+// adjustment with integral duals). Minimum-weight perfect matching on a
+// graph where a perfect matching exists is obtained by the standard
+// transform w' = C - w with C > max w: with all transformed weights
+// positive, a maximum-weight matching on an even-order graph admitting a
+// perfect matching is perfect, and among perfect matchings maximizing
+// sum(C - w) minimizes sum(w).
+//
+// Double weights are scaled to integers (kScale) so the dual updates stay
+// exact; the quantization error is negligible for decoding purposes.
+
+#include <limits>
+#include <vector>
+
+namespace surfnet::decoder {
+
+/// Marker for an absent edge in the weight matrix.
+inline constexpr double kNoEdge = std::numeric_limits<double>::infinity();
+
+struct MatchingResult {
+  std::vector<int> mate;  ///< mate[v] is v's partner; size n
+  double total_weight = 0.0;
+};
+
+/// Computes a minimum-weight perfect matching of the n-vertex graph whose
+/// symmetric weight matrix is `weight` (kNoEdge = absent). Requires n even
+/// and that a perfect matching exists; throws std::invalid_argument or
+/// std::runtime_error otherwise. O(n^3).
+MatchingResult min_weight_perfect_matching(
+    int n, const std::vector<std::vector<double>>& weight);
+
+}  // namespace surfnet::decoder

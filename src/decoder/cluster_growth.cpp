@@ -1,0 +1,173 @@
+#include "decoder/cluster_growth.h"
+
+#include <stdexcept>
+#include <utility>
+
+#include "decoder/dsu.h"
+
+namespace surfnet::decoder {
+
+namespace {
+
+constexpr double kFullyGrown = 1.0 - 1e-9;
+
+/// Mutable growth state. Cluster metadata (parity, boundary flag, frontier
+/// edge list) is stored per vertex and is authoritative only at DSU roots.
+struct GrowthState {
+  explicit GrowthState(const qec::DecodingGraph& graph,
+                       const std::vector<char>& syndrome)
+      : graph(graph),
+        dsu(static_cast<std::size_t>(graph.num_real_vertices())),
+        parity(syndrome.begin(), syndrome.end()),
+        touches_boundary(static_cast<std::size_t>(graph.num_real_vertices()),
+                         0),
+        frontier(static_cast<std::size_t>(graph.num_real_vertices())),
+        growth(graph.num_edges(), 0.0),
+        region(graph.num_edges(), 0) {
+    for (int v = 0; v < graph.num_real_vertices(); ++v) {
+      const auto incident = graph.incident(v);
+      frontier[static_cast<std::size_t>(v)].assign(incident.begin(),
+                                                   incident.end());
+    }
+  }
+
+  bool is_odd(int root) const {
+    return parity[static_cast<std::size_t>(root)] &&
+           !touches_boundary[static_cast<std::size_t>(root)];
+  }
+
+  /// Fuse the endpoints of a fully grown edge. Returns the surviving root
+  /// when a union happened, or the affected root when the edge hit a
+  /// boundary, or -1 when nothing changed.
+  int fuse(std::size_t e) {
+    const auto& edge = graph.edge(e);
+    const bool bu = graph.is_boundary(edge.u);
+    const bool bv = graph.is_boundary(edge.v);
+    if (bu && bv) return -1;
+    if (bu || bv) {
+      const int real = bu ? edge.v : edge.u;
+      const int root = dsu.find(real);
+      touches_boundary[static_cast<std::size_t>(root)] = 1;
+      return root;
+    }
+    const int ru = dsu.find(edge.u);
+    const int rv = dsu.find(edge.v);
+    if (ru == rv) return -1;
+    const int survivor = dsu.unite(ru, rv);
+    const int other = (survivor == ru) ? rv : ru;
+    parity[static_cast<std::size_t>(survivor)] =
+        static_cast<char>(parity[static_cast<std::size_t>(survivor)] ^
+                          parity[static_cast<std::size_t>(other)]);
+    touches_boundary[static_cast<std::size_t>(survivor)] |=
+        touches_boundary[static_cast<std::size_t>(other)];
+    auto& dst = frontier[static_cast<std::size_t>(survivor)];
+    auto& src = frontier[static_cast<std::size_t>(other)];
+    dst.insert(dst.end(), src.begin(), src.end());
+    src.clear();
+    src.shrink_to_fit();
+    return survivor;
+  }
+
+  const qec::DecodingGraph& graph;
+  Dsu dsu;
+  std::vector<char> parity;
+  std::vector<char> touches_boundary;
+  std::vector<std::vector<int>> frontier;
+  std::vector<double> growth;
+  std::vector<char> region;
+};
+
+}  // namespace
+
+std::vector<char> grow_clusters(const qec::DecodingGraph& graph,
+                                const std::vector<char>& syndrome,
+                                const GrowthConfig& config) {
+  if (syndrome.size() != static_cast<std::size_t>(graph.num_real_vertices()))
+    throw std::invalid_argument("grow_clusters: syndrome size mismatch");
+  if (config.speed.size() != graph.num_edges())
+    throw std::invalid_argument("grow_clusters: speed size mismatch");
+  if (!config.pregrown.empty() && config.pregrown.size() != graph.num_edges())
+    throw std::invalid_argument("grow_clusters: pregrown size mismatch");
+
+  GrowthState state(graph, syndrome);
+
+  // Seed the region with pregrown (erased) edges and fuse through them.
+  if (!config.pregrown.empty()) {
+    for (std::size_t e = 0; e < graph.num_edges(); ++e) {
+      if (!config.pregrown[e]) continue;
+      state.region[e] = 1;
+      state.growth[e] = 1.0;
+      state.fuse(e);
+    }
+  }
+
+  // Initial active set: odd clusters.
+  std::vector<int> active;
+  for (int v = 0; v < graph.num_real_vertices(); ++v)
+    if (state.dsu.find(v) == v && state.is_odd(v)) active.push_back(v);
+
+  std::vector<int> stamp(static_cast<std::size_t>(graph.num_real_vertices()),
+                         -1);
+  std::vector<std::size_t> newly_grown;
+  int round = 0;
+  while (true) {
+    if (++round > config.max_rounds)
+      throw std::logic_error("grow_clusters: round cap exceeded");
+
+    // Keep only the clusters that are still odd, deduplicated by root.
+    // Fusions happen between rounds, so roots are stable within a round.
+    std::vector<int> odd_roots;
+    for (int r : active) {
+      const int root = state.dsu.find(r);
+      if (stamp[static_cast<std::size_t>(root)] == round) continue;
+      stamp[static_cast<std::size_t>(root)] = round;
+      if (state.is_odd(root)) odd_roots.push_back(root);
+    }
+    if (odd_roots.empty()) break;
+    active = odd_roots;
+
+    newly_grown.clear();
+    std::size_t edges_touched = 0;
+
+    for (int root : active) {
+      auto& edges = state.frontier[static_cast<std::size_t>(root)];
+      std::size_t keep = 0;
+      for (std::size_t i = 0; i < edges.size(); ++i) {
+        const auto e = static_cast<std::size_t>(edges[i]);
+        if (state.region[e]) continue;  // interior: drop from frontier
+        const auto& edge = graph.edge(e);
+        if (!graph.is_boundary(edge.u) && !graph.is_boundary(edge.v) &&
+            state.dsu.same(edge.u, edge.v))
+          continue;  // both ends inside this cluster: drop
+        edges[keep++] = edges[i];
+        ++edges_touched;
+        state.growth[e] += config.speed[e];
+        if (state.growth[e] >= kFullyGrown) {
+          state.region[e] = 1;
+          newly_grown.push_back(e);
+        }
+      }
+      edges.resize(keep);
+    }
+    // A round where no odd cluster had any frontier edge to grow can never
+    // make progress: the syndrome is undecodable (bug or bad input).
+    if (edges_touched == 0)
+      throw std::logic_error("grow_clusters: odd clusters cannot expand");
+
+    std::vector<int> next_active;
+    for (std::size_t e : newly_grown) {
+      const int root = state.fuse(e);
+      if (root >= 0 && state.is_odd(state.dsu.find(root)))
+        next_active.push_back(state.dsu.find(root));
+    }
+    for (int r : active) {
+      const int root = state.dsu.find(r);
+      if (state.is_odd(root)) next_active.push_back(root);
+    }
+    active = std::move(next_active);
+  }
+
+  return std::move(state.region);
+}
+
+}  // namespace surfnet::decoder

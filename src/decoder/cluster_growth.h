@@ -1,0 +1,41 @@
+#pragma once
+
+// Shared cluster-growth engine behind the Union-Find baseline decoder and
+// the SurfNet Decoder (paper Algorithm 2). Odd clusters (odd syndrome
+// parity, not touching a boundary) grow their frontier edges every round;
+// a fully grown edge fuses the clusters at its endpoints (union-find).
+// Growth stops when no odd cluster remains; the grown region is then handed
+// to the peeling decoder.
+//
+// The two decoders differ only in their growth policy:
+//   * Union-Find baseline: every edge grows by half an edge per round and
+//     erased edges are part of the region from the start (ref. [32]).
+//   * SurfNet Decoder: edge e grows by speed(e) = -r / ln(1 - rho_e) per
+//     round, so erasures (rho = 0.5) and low-fidelity Support qubits are
+//     absorbed before high-fidelity Core qubits.
+
+#include <vector>
+
+#include "qec/graph.h"
+
+namespace surfnet::decoder {
+
+struct GrowthConfig {
+  /// Growth added to an edge per round from EACH incident odd cluster,
+  /// in units of the edge's length (1.0 = a whole edge).
+  std::vector<double> speed;
+  /// Edges fully grown before the first round (erasures, for the UF
+  /// baseline). May be empty, meaning none.
+  std::vector<char> pregrown;
+  /// Safety cap on growth rounds; exceeded only on a bug or a pathological
+  /// speed assignment.
+  int max_rounds = 1 << 20;
+};
+
+/// Run cluster growth; returns the per-edge region mask (grown edges, which
+/// always includes pregrown ones) suitable for peel_correction.
+std::vector<char> grow_clusters(const qec::DecodingGraph& graph,
+                                const std::vector<char>& syndrome,
+                                const GrowthConfig& config);
+
+}  // namespace surfnet::decoder

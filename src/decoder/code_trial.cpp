@@ -1,0 +1,62 @@
+#include "decoder/code_trial.h"
+
+#include "qec/syndrome.h"
+
+namespace surfnet::decoder {
+
+DecodeInput make_decode_input(const qec::CodeLattice& lattice,
+                              qec::GraphKind kind,
+                              const qec::ErrorSample& sample,
+                              const std::vector<double>& component_prior) {
+  const qec::DecodingGraph& graph = lattice.graph(kind);
+  DecodeInput input;
+  input.graph = &graph;
+  const auto flips = qec::edge_flips(lattice, kind, sample.error);
+  input.syndrome = qec::syndrome_bitmap(graph, flips);
+  input.erased = qec::erased_edges(lattice, kind, sample.erased);
+  input.error_prob.resize(graph.num_edges());
+  for (std::size_t e = 0; e < graph.num_edges(); ++e)
+    input.error_prob[e] =
+        component_prior[static_cast<std::size_t>(graph.edge(e).data_qubit)];
+  return input;
+}
+
+CodeTrialResult decode_sample(const qec::CodeLattice& lattice,
+                              const qec::ErrorSample& sample,
+                              const std::vector<double>& component_prior,
+                              const Decoder& decoder) {
+  CodeTrialResult result;
+  for (const auto kind : {qec::GraphKind::Z, qec::GraphKind::X}) {
+    const auto input = make_decode_input(lattice, kind, sample,
+                                         component_prior);
+    const auto correction = decoder.decode(input);
+    const auto flips = qec::edge_flips(lattice, kind, sample.error);
+    const auto outcome =
+        qec::evaluate_correction(lattice, kind, flips, correction);
+    (kind == qec::GraphKind::Z ? result.z_graph : result.x_graph) = outcome;
+  }
+  return result;
+}
+
+CodeTrialResult run_code_trial(const qec::CodeLattice& lattice,
+                               const qec::NoiseProfile& profile,
+                               qec::PauliChannel channel,
+                               const Decoder& decoder, util::Rng& rng) {
+  const auto sample = qec::sample_errors(profile, channel, rng);
+  const auto prior = profile.component_error_prob(channel);
+  return decode_sample(lattice, sample, prior, decoder);
+}
+
+double logical_error_rate(const qec::CodeLattice& lattice,
+                          const qec::NoiseProfile& profile,
+                          qec::PauliChannel channel, const Decoder& decoder,
+                          int trials, util::Rng& rng) {
+  int failures = 0;
+  for (int t = 0; t < trials; ++t) {
+    if (!run_code_trial(lattice, profile, channel, decoder, rng).success())
+      ++failures;
+  }
+  return trials > 0 ? static_cast<double>(failures) / trials : 0.0;
+}
+
+}  // namespace surfnet::decoder

@@ -1,0 +1,26 @@
+#include "decoder/decoder.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace surfnet::decoder {
+
+double edge_weight(double error_prob) {
+  const double clamped = std::clamp(error_prob, 1e-10, 1.0 - 1e-10);
+  return -std::log(clamped);
+}
+
+std::vector<double> effective_error_prob(const DecodeInput& input) {
+  if (input.graph == nullptr)
+    throw std::invalid_argument("DecodeInput: null graph");
+  const std::size_t m = input.graph->num_edges();
+  if (input.erased.size() != m || input.error_prob.size() != m)
+    throw std::invalid_argument("DecodeInput: per-edge size mismatch");
+  std::vector<double> prob(m);
+  for (std::size_t e = 0; e < m; ++e)
+    prob[e] = input.erased[e] ? 0.5 : input.error_prob[e];
+  return prob;
+}
+
+}  // namespace surfnet::decoder

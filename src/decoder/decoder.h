@@ -1,0 +1,42 @@
+#pragma once
+
+// Common decoder interface. A decoder receives the decoding graph, the
+// syndrome bitmap, the known erasure locations, and the per-edge prior
+// error probabilities (1 - rho, with rho the estimated fidelity computed
+// from the fibers a qubit travelled through — paper Sec. IV-C), and returns
+// a per-edge correction whose syndrome must equal the input syndrome.
+
+#include <string_view>
+#include <vector>
+
+#include "qec/graph.h"
+
+namespace surfnet::decoder {
+
+struct DecodeInput {
+  const qec::DecodingGraph* graph = nullptr;
+  std::vector<char> syndrome;       ///< bitmap over real vertices
+  std::vector<char> erased;         ///< per edge: known erasure flag
+  std::vector<double> error_prob;   ///< per edge: prior P(error), excl. erasure
+};
+
+/// Per-edge weight w = -ln(1 - rho) (paper Sec. IV-C): the negative log of
+/// the edge's error probability. Erased edges use probability 1/2. The
+/// probability is clamped away from {0, 1} for numerical safety.
+double edge_weight(double error_prob);
+
+/// Effective per-edge error probability: 1/2 on erased edges, the prior
+/// otherwise.
+std::vector<double> effective_error_prob(const DecodeInput& input);
+
+class Decoder {
+ public:
+  virtual ~Decoder() = default;
+
+  /// Returns a per-edge correction with the same syndrome as the input.
+  virtual std::vector<char> decode(const DecodeInput& input) const = 0;
+
+  virtual std::string_view name() const = 0;
+};
+
+}  // namespace surfnet::decoder

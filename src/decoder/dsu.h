@@ -1,0 +1,57 @@
+#pragma once
+
+// Disjoint-set union with union-by-size and path compression: the
+// O(alpha(n)) substrate behind cluster fusion in the Union-Find and SurfNet
+// decoders (paper Theorem 2).
+
+#include <cstddef>
+#include <numeric>
+#include <vector>
+
+namespace surfnet::decoder {
+
+class Dsu {
+ public:
+  explicit Dsu(std::size_t n) : parent_(n), size_(n, 1) {
+    std::iota(parent_.begin(), parent_.end(), 0);
+  }
+
+  int find(int x) {
+    int root = x;
+    while (parent_[static_cast<std::size_t>(root)] != root)
+      root = parent_[static_cast<std::size_t>(root)];
+    while (parent_[static_cast<std::size_t>(x)] != root) {
+      const int next = parent_[static_cast<std::size_t>(x)];
+      parent_[static_cast<std::size_t>(x)] = root;
+      x = next;
+    }
+    return root;
+  }
+
+  /// Union the sets of a and b; returns the surviving root, or -1 when the
+  /// two were already in the same set.
+  int unite(int a, int b) {
+    a = find(a);
+    b = find(b);
+    if (a == b) return -1;
+    if (size_[static_cast<std::size_t>(a)] <
+        size_[static_cast<std::size_t>(b)])
+      std::swap(a, b);
+    parent_[static_cast<std::size_t>(b)] = a;
+    size_[static_cast<std::size_t>(a)] +=
+        size_[static_cast<std::size_t>(b)];
+    return a;
+  }
+
+  bool same(int a, int b) { return find(a) == find(b); }
+
+  std::size_t size_of(int x) {
+    return size_[static_cast<std::size_t>(find(x))];
+  }
+
+ private:
+  std::vector<int> parent_;
+  std::vector<std::size_t> size_;
+};
+
+}  // namespace surfnet::decoder

@@ -1,0 +1,11 @@
+#include "decoder/erasure_decoder.h"
+
+#include "decoder/peeling.h"
+
+namespace surfnet::decoder {
+
+std::vector<char> ErasureDecoder::decode(const DecodeInput& input) const {
+  return peel_correction(*input.graph, input.erased, input.syndrome);
+}
+
+}  // namespace surfnet::decoder

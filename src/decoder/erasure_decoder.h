@@ -1,0 +1,23 @@
+#pragma once
+
+// Pure-erasure decoder (Delfosse-Zemor, paper ref. [39]): maximum
+// likelihood and linear time over the quantum erasure channel — the
+// regime where all of a code's damage comes from known photon losses.
+// It peels directly over the erased region without any cluster growth, so
+// it requires every syndrome to be explainable by erasures alone; decoding
+// a syndrome caused by a Pauli error outside the erased region throws.
+// Use the Union-Find or SurfNet decoders for mixed noise.
+
+#include "decoder/decoder.h"
+
+namespace surfnet::decoder {
+
+class ErasureDecoder final : public Decoder {
+ public:
+  /// Precondition: the syndrome is confined to the erased region
+  /// (erasure-only noise). Throws std::logic_error otherwise.
+  std::vector<char> decode(const DecodeInput& input) const override;
+  std::string_view name() const override { return "Erasure"; }
+};
+
+}  // namespace surfnet::decoder

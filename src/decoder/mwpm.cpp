@@ -1,0 +1,134 @@
+#include "decoder/mwpm.h"
+
+#include <limits>
+#include <queue>
+#include <stdexcept>
+#include <utility>
+
+#include "decoder/blossom.h"
+
+namespace surfnet::decoder {
+
+namespace {
+
+struct DijkstraResult {
+  std::vector<double> dist;      ///< per vertex
+  std::vector<int> parent_edge;  ///< edge used to reach each vertex, -1 at src
+};
+
+DijkstraResult dijkstra(const qec::DecodingGraph& graph, int source,
+                        const std::vector<double>& edge_w) {
+  DijkstraResult out;
+  out.dist.assign(static_cast<std::size_t>(graph.num_vertices()),
+                  std::numeric_limits<double>::infinity());
+  out.parent_edge.assign(static_cast<std::size_t>(graph.num_vertices()), -1);
+  using Item = std::pair<double, int>;
+  std::priority_queue<Item, std::vector<Item>, std::greater<>> heap;
+  out.dist[static_cast<std::size_t>(source)] = 0.0;
+  heap.push({0.0, source});
+  while (!heap.empty()) {
+    const auto [d, u] = heap.top();
+    heap.pop();
+    if (d > out.dist[static_cast<std::size_t>(u)]) continue;
+    // Paths do not continue through boundary vertices.
+    if (graph.is_boundary(u) && u != source) continue;
+    for (int e : graph.incident(u)) {
+      const int v = graph.other_end(static_cast<std::size_t>(e), u);
+      const double nd = d + edge_w[static_cast<std::size_t>(e)];
+      if (nd < out.dist[static_cast<std::size_t>(v)]) {
+        out.dist[static_cast<std::size_t>(v)] = nd;
+        out.parent_edge[static_cast<std::size_t>(v)] = e;
+        heap.push({nd, v});
+      }
+    }
+  }
+  return out;
+}
+
+/// XOR the shortest path from `source` to `target` into `correction`,
+/// walking parent edges backwards.
+void apply_path(const qec::DecodingGraph& graph, const DijkstraResult& sp,
+                int source, int target, std::vector<char>& correction) {
+  int v = target;
+  while (v != source) {
+    const int e = sp.parent_edge[static_cast<std::size_t>(v)];
+    if (e < 0) throw std::logic_error("mwpm: broken shortest-path tree");
+    correction[static_cast<std::size_t>(e)] ^= 1;
+    v = graph.other_end(static_cast<std::size_t>(e), v);
+  }
+}
+
+}  // namespace
+
+std::vector<char> MwpmDecoder::decode(const DecodeInput& input) const {
+  const qec::DecodingGraph& graph = *input.graph;
+  const auto prob = effective_error_prob(input);
+
+  std::vector<double> edge_w(graph.num_edges());
+  for (std::size_t e = 0; e < graph.num_edges(); ++e)
+    edge_w[e] = edge_weight(prob[e]);
+
+  std::vector<int> syndromes;
+  for (int v = 0; v < graph.num_real_vertices(); ++v)
+    if (input.syndrome[static_cast<std::size_t>(v)]) syndromes.push_back(v);
+
+  std::vector<char> correction(graph.num_edges(), 0);
+  if (syndromes.empty()) return correction;
+
+  const int s = static_cast<int>(syndromes.size());
+  std::vector<DijkstraResult> sp;
+  sp.reserve(static_cast<std::size_t>(s));
+  for (int i = 0; i < s; ++i)
+    sp.push_back(dijkstra(graph, syndromes[static_cast<std::size_t>(i)],
+                          edge_w));
+
+  // Path graph: vertices [0, s) are syndromes, [s, 2s) their boundary
+  // partners. Syndrome-partner edges use the distance to the nearer
+  // boundary; partner-partner edges are free; cross syndrome-partner edges
+  // are absent.
+  const int bd_a = graph.boundary().first;
+  const int bd_b = graph.boundary().second;
+  const int n = 2 * s;
+  std::vector<std::vector<double>> w(
+      static_cast<std::size_t>(n),
+      std::vector<double>(static_cast<std::size_t>(n), kNoEdge));
+  std::vector<int> nearest_boundary(static_cast<std::size_t>(s));
+  for (int i = 0; i < s; ++i) {
+    const auto& d = sp[static_cast<std::size_t>(i)].dist;
+    for (int j = i + 1; j < s; ++j) {
+      const double dij =
+          d[static_cast<std::size_t>(syndromes[static_cast<std::size_t>(j)])];
+      w[static_cast<std::size_t>(i)][static_cast<std::size_t>(j)] = dij;
+      w[static_cast<std::size_t>(j)][static_cast<std::size_t>(i)] = dij;
+    }
+    const double da = d[static_cast<std::size_t>(bd_a)];
+    const double db = d[static_cast<std::size_t>(bd_b)];
+    nearest_boundary[static_cast<std::size_t>(i)] = (da <= db) ? bd_a : bd_b;
+    const double dbound = std::min(da, db);
+    w[static_cast<std::size_t>(i)][static_cast<std::size_t>(s + i)] = dbound;
+    w[static_cast<std::size_t>(s + i)][static_cast<std::size_t>(i)] = dbound;
+    for (int j = i + 1; j < s; ++j) {
+      w[static_cast<std::size_t>(s + i)][static_cast<std::size_t>(s + j)] = 0.0;
+      w[static_cast<std::size_t>(s + j)][static_cast<std::size_t>(s + i)] = 0.0;
+    }
+  }
+
+  const auto matching = min_weight_perfect_matching(n, w);
+  for (int i = 0; i < s; ++i) {
+    const int mate = matching.mate[static_cast<std::size_t>(i)];
+    if (mate < s) {
+      if (mate > i)
+        apply_path(graph, sp[static_cast<std::size_t>(i)],
+                   syndromes[static_cast<std::size_t>(i)],
+                   syndromes[static_cast<std::size_t>(mate)], correction);
+    } else {
+      // Matched to the boundary: XOR the path to the nearer boundary vertex.
+      apply_path(graph, sp[static_cast<std::size_t>(i)],
+                 syndromes[static_cast<std::size_t>(i)],
+                 nearest_boundary[static_cast<std::size_t>(i)], correction);
+    }
+  }
+  return correction;
+}
+
+}  // namespace surfnet::decoder

@@ -1,0 +1,21 @@
+#pragma once
+
+// Modified MWPM decoder (paper Algorithm 1 / Theorem 1). The decoding graph
+// is weighted with w = -ln(1 - rho) per edge (erasures: rho = 0.5). For
+// every syndrome, Dijkstra computes shortest paths to all other syndromes
+// and to the nearest boundary; a path graph over the syndromes — augmented
+// with one virtual boundary partner per syndrome (virtual-virtual edges are
+// free) — is handed to the exact blossom matcher, and matched paths are
+// XOR-ed into the correction.
+
+#include "decoder/decoder.h"
+
+namespace surfnet::decoder {
+
+class MwpmDecoder final : public Decoder {
+ public:
+  std::vector<char> decode(const DecodeInput& input) const override;
+  std::string_view name() const override { return "MWPM"; }
+};
+
+}  // namespace surfnet::decoder

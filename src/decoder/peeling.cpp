@@ -1,0 +1,76 @@
+#include "decoder/peeling.h"
+
+#include <stdexcept>
+
+namespace surfnet::decoder {
+
+std::vector<char> peel_correction(const qec::DecodingGraph& graph,
+                                  const std::vector<char>& region,
+                                  std::vector<char> syndrome) {
+  if (region.size() != graph.num_edges())
+    throw std::invalid_argument("peel: region size mismatch");
+  if (syndrome.size() != static_cast<std::size_t>(graph.num_real_vertices()))
+    throw std::invalid_argument("peel: syndrome size mismatch");
+
+  const int nv = graph.num_vertices();
+  std::vector<char> visited(static_cast<std::size_t>(nv), 0);
+
+  // Tree edges in discovery order: (edge id, parent vertex, child vertex).
+  struct TreeEdge {
+    int edge;
+    int parent;
+    int child;
+  };
+  std::vector<TreeEdge> forest;
+  forest.reserve(graph.num_edges());
+
+  std::vector<int> stack;
+  auto dfs_from = [&](int root) {
+    stack.push_back(root);
+    while (!stack.empty()) {
+      const int u = stack.back();
+      stack.pop_back();
+      for (int e : graph.incident(u)) {
+        if (!region[static_cast<std::size_t>(e)]) continue;
+        const int v = graph.other_end(static_cast<std::size_t>(e), u);
+        if (visited[static_cast<std::size_t>(v)]) continue;
+        visited[static_cast<std::size_t>(v)] = 1;
+        forest.push_back({e, u, v});
+        stack.push_back(v);
+      }
+    }
+  };
+
+  // Boundary vertices are the preferred forest roots so that leftover
+  // syndrome parity in boundary-touching components is absorbed there.
+  // Mark all boundaries visited first so no boundary vertex becomes a child.
+  for (int v = graph.num_real_vertices(); v < nv; ++v)
+    visited[static_cast<std::size_t>(v)] = 1;
+  for (int v = graph.num_real_vertices(); v < nv; ++v) dfs_from(v);
+  for (int v = 0; v < graph.num_real_vertices(); ++v) {
+    if (visited[static_cast<std::size_t>(v)]) continue;
+    visited[static_cast<std::size_t>(v)] = 1;
+    dfs_from(v);
+  }
+
+  // Peel leaves inward: reverse discovery order guarantees each child is
+  // processed before its parent.
+  std::vector<char> correction(graph.num_edges(), 0);
+  for (auto it = forest.rbegin(); it != forest.rend(); ++it) {
+    const int child = it->child;
+    if (!syndrome[static_cast<std::size_t>(child)]) continue;
+    correction[static_cast<std::size_t>(it->edge)] = 1;
+    syndrome[static_cast<std::size_t>(child)] = 0;
+    if (!graph.is_boundary(it->parent))
+      syndrome[static_cast<std::size_t>(it->parent)] ^= 1;
+  }
+
+  for (char bit : syndrome)
+    if (bit)
+      throw std::logic_error(
+          "peel: unmatched syndrome (region component has odd parity and no "
+          "boundary)");
+  return correction;
+}
+
+}  // namespace surfnet::decoder

@@ -1,0 +1,25 @@
+#pragma once
+
+// Peeling decoder (Delfosse-Zemor, paper ref. [39]): linear-time maximum
+// likelihood decoding over a known erased region. Given a subgraph (the
+// "region": erased edges plus edges grown by a cluster decoder) in which
+// every connected component either has even syndrome parity or touches a
+// boundary vertex, the peeler builds a spanning forest rooted at boundary
+// vertices and peels leaf edges inward, emitting a correction that exactly
+// reproduces the syndrome.
+
+#include <vector>
+
+#include "qec/graph.h"
+
+namespace surfnet::decoder {
+
+/// Peel a correction out of `region`. `syndrome` is a bitmap over real
+/// vertices; every syndrome vertex must lie inside the region and every
+/// region component must be matchable (even parity or boundary-touching),
+/// otherwise std::logic_error is thrown.
+std::vector<char> peel_correction(const qec::DecodingGraph& graph,
+                                  const std::vector<char>& region,
+                                  std::vector<char> syndrome);
+
+}  // namespace surfnet::decoder

@@ -1,0 +1,29 @@
+#pragma once
+
+// The SurfNet Decoder (paper Algorithm 2): weighted-growth Union-Find with
+// peeling. Each edge grows at speed -r / ln(1 - rho_e) per round, where r
+// is the decoder step size (default 2/3) and 1 - rho_e the edge's error
+// probability. Erasures (rho = 0.5) grow fastest; low-fidelity Support
+// qubits grow faster than high-fidelity Core qubits, steering clusters —
+// and therefore decoding paths — through the most error-prone locations.
+
+#include "decoder/decoder.h"
+
+namespace surfnet::decoder {
+
+class SurfNetDecoder final : public Decoder {
+ public:
+  /// `step_size` is the paper's r; it trades decoding speed for accuracy
+  /// (default 2/3 "generally achieving a good balance").
+  explicit SurfNetDecoder(double step_size = 2.0 / 3.0);
+
+  std::vector<char> decode(const DecodeInput& input) const override;
+  std::string_view name() const override { return "SurfNetDecoder"; }
+
+  double step_size() const { return step_size_; }
+
+ private:
+  double step_size_;
+};
+
+}  // namespace surfnet::decoder

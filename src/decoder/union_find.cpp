@@ -1,0 +1,18 @@
+#include "decoder/union_find.h"
+
+#include "decoder/cluster_growth.h"
+#include "decoder/peeling.h"
+
+namespace surfnet::decoder {
+
+std::vector<char> UnionFindDecoder::decode(const DecodeInput& input) const {
+  const qec::DecodingGraph& graph = *input.graph;
+  // Uniform half-edge growth; fidelity information is deliberately unused.
+  GrowthConfig config;
+  config.speed.assign(graph.num_edges(), 0.5);
+  config.pregrown = input.erased;
+  const auto region = grow_clusters(graph, input.syndrome, config);
+  return peel_correction(graph, region, input.syndrome);
+}
+
+}  // namespace surfnet::decoder

@@ -1,0 +1,18 @@
+#pragma once
+
+// Union-Find decoder (Delfosse-Nickerson, paper ref. [32]) — the baseline
+// the SurfNet Decoder is evaluated against in Fig. 8. Erased edges join the
+// region before growth starts; every edge then grows by half an edge per
+// round regardless of its fidelity. The grown region is peeled.
+
+#include "decoder/decoder.h"
+
+namespace surfnet::decoder {
+
+class UnionFindDecoder final : public Decoder {
+ public:
+  std::vector<char> decode(const DecodeInput& input) const override;
+  std::string_view name() const override { return "UnionFind"; }
+};
+
+}  // namespace surfnet::decoder

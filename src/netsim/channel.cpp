@@ -1,0 +1,17 @@
+#include "netsim/channel.h"
+
+#include <stdexcept>
+
+namespace surfnet::netsim {
+
+double path_noise(const Topology& topology, const std::vector<int>& path) {
+  double mu = 0.0;
+  for (std::size_t i = 0; i + 1 < path.size(); ++i) {
+    const int e = topology.fiber_between(path[i], path[i + 1]);
+    if (e < 0) throw std::invalid_argument("path_noise: non-adjacent nodes");
+    mu += topology.fiber_noise(e);
+  }
+  return mu;
+}
+
+}  // namespace surfnet::netsim

@@ -1,0 +1,43 @@
+#pragma once
+
+// Noise bookkeeping for the two SurfNet channels (paper Sec. V-A).
+//
+// Fidelity multiplies along a path, so the scheduler works with additive
+// noise mu = ln(1 / gamma). The plain channel accumulates the full path
+// noise on Support qubits and loses photons (erasures); the
+// entanglement-based channel halves the effective Core noise thanks to
+// entanglement purification, and loses nothing (failed attempts are simply
+// regenerated before teleportation).
+
+#include <cmath>
+#include <vector>
+
+#include "netsim/topology.h"
+
+namespace surfnet::netsim {
+
+/// mu = ln(1 / gamma).
+inline double noise_of_fidelity(double gamma) {
+  return std::log(1.0 / std::max(gamma, 1e-9));
+}
+
+/// gamma = exp(-mu).
+inline double fidelity_of_noise(double mu) { return std::exp(-mu); }
+
+/// Sum of fiber noises along a node path (consecutive nodes must be
+/// adjacent; throws otherwise).
+double path_noise(const Topology& topology, const std::vector<int>& path);
+
+/// Per-qubit Pauli error probability after accumulating noise mu:
+/// p = 1 - exp(-mu), the complement of the residual fidelity.
+inline double pauli_rate_of_noise(double mu) {
+  return 1.0 - std::exp(-mu);
+}
+
+/// Probability a Support photon is lost (erased) over `hops` fibers with
+/// per-hop loss probability `loss`.
+inline double erasure_rate(double loss, int hops) {
+  return 1.0 - std::pow(1.0 - loss, hops);
+}
+
+}  // namespace surfnet::netsim

@@ -1,0 +1,72 @@
+#include "netsim/dot.h"
+
+#include <set>
+#include <sstream>
+
+namespace surfnet::netsim {
+
+namespace {
+
+void emit_nodes(const Topology& topology, const std::set<int>& ec_servers,
+                std::ostringstream& os) {
+  for (int v = 0; v < topology.num_nodes(); ++v) {
+    os << "  n" << v << " [label=\"" << v << "\"";
+    switch (topology.node(v).role) {
+      case NodeRole::User:
+        os << ", shape=circle";
+        break;
+      case NodeRole::Switch:
+        os << ", shape=box";
+        break;
+      case NodeRole::Server:
+        os << ", shape=box, peripheries=2";
+        break;
+    }
+    if (ec_servers.count(v)) os << ", style=filled, fillcolor=lightgrey";
+    os << "];\n";
+  }
+}
+
+}  // namespace
+
+std::string to_dot(const Topology& topology) {
+  return to_dot(topology, Schedule{});
+}
+
+std::string to_dot(const Topology& topology, const Schedule& schedule) {
+  // Classify fibers by the channels routed over them.
+  std::set<std::pair<int, int>> core_hops, support_hops;
+  std::set<int> ec_servers;
+  auto canon = [](int a, int b) {
+    return a < b ? std::make_pair(a, b) : std::make_pair(b, a);
+  };
+  for (const auto& s : schedule.scheduled) {
+    for (std::size_t i = 0; i + 1 < s.core_path.size(); ++i)
+      core_hops.insert(canon(s.core_path[i], s.core_path[i + 1]));
+    for (std::size_t i = 0; i + 1 < s.support_path.size(); ++i)
+      support_hops.insert(canon(s.support_path[i], s.support_path[i + 1]));
+    for (int server : s.ec_servers) ec_servers.insert(server);
+  }
+
+  std::ostringstream os;
+  os << "graph surfnet {\n  layout=neato;\n  overlap=false;\n";
+  emit_nodes(topology, ec_servers, os);
+  os.setf(std::ios::fixed);
+  os.precision(2);
+  for (int e = 0; e < topology.num_fibers(); ++e) {
+    const auto& f = topology.fiber(e);
+    os << "  n" << f.a << " -- n" << f.b << " [label=\"" << f.fidelity
+       << "/" << f.entanglement_capacity << "\"";
+    const auto key = canon(f.a, f.b);
+    const bool core = core_hops.count(key);
+    const bool support = support_hops.count(key);
+    if (core && support) os << ", color=\"red:blue\", penwidth=2";
+    else if (core) os << ", color=red, penwidth=2";
+    else if (support) os << ", color=blue, penwidth=2";
+    os << "];\n";
+  }
+  os << "}\n";
+  return os.str();
+}
+
+}  // namespace surfnet::netsim

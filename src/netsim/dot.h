@@ -1,0 +1,21 @@
+#pragma once
+
+// Graphviz export of network topologies and schedules, for inspecting the
+// networks the benches generate: `dot -Tsvg network.dot -o network.svg`.
+
+#include <string>
+
+#include "netsim/schedule.h"
+#include "netsim/topology.h"
+
+namespace surfnet::netsim {
+
+/// DOT graph of the topology: users (circles), switches (boxes), servers
+/// (double boxes); fibers labelled with fidelity and pair capacity.
+std::string to_dot(const Topology& topology);
+
+/// DOT graph with a schedule's routes overlaid: Core paths in red,
+/// Support paths in blue, EC servers filled.
+std::string to_dot(const Topology& topology, const Schedule& schedule);
+
+}  // namespace surfnet::netsim

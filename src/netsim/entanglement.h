@@ -1,0 +1,58 @@
+#pragma once
+
+// Entanglement substrate (paper Sec. IV-B / V): probabilistic pair
+// generation at switches, entanglement swapping along a path, and the
+// recurrence purification protocol used to raise pair fidelity.
+
+#include <vector>
+
+#include "util/rng.h"
+
+namespace surfnet::netsim {
+
+/// One round of recurrence purification combining two pairs of fidelities
+/// rho1 and rho2 (paper Sec. IV-C, ref. [11]):
+///   rho' = rho1 rho2 / (rho1 rho2 + (1 - rho1)(1 - rho2)).
+double purify(double rho1, double rho2);
+
+/// Fidelity after consuming `extra_pairs` additional pairs of the same base
+/// fidelity in successive purification rounds (the paper's Purification
+/// N = 1, 2, 9 benchmarks use extra_pairs = N).
+double purified_fidelity(double base, int extra_pairs);
+
+/// Fidelity of the end-to-end pair obtained by swapping a chain of link
+/// pairs: the no-error probabilities multiply.
+double swapped_fidelity(const std::vector<double>& link_fidelities);
+
+/// Per-fiber inventory of prepared entangled pairs. Switches run a routine
+/// that generates pairs probabilistically each time slot; teleporting a
+/// qubit across a fiber consumes one pair.
+class EntanglementPool {
+ public:
+  /// `generation_rate` is the per-slot probability that a fiber's routine
+  /// produces one new pair; `capacity` caps the stored pairs per fiber.
+  EntanglementPool(int num_fibers, double generation_rate, int capacity);
+
+  /// Advance one time slot: every fiber independently generates.
+  void tick(util::Rng& rng);
+
+  int available(int fiber) const {
+    return pairs_[static_cast<std::size_t>(fiber)];
+  }
+
+  /// Consume `count` pairs on a fiber; returns false (and consumes nothing)
+  /// when fewer are available.
+  bool consume(int fiber, int count);
+
+  /// Pre-fill every fiber to its capacity (offline-scheduling snapshots).
+  void fill();
+
+  double generation_rate() const { return rate_; }
+
+ private:
+  std::vector<int> pairs_;
+  double rate_;
+  int capacity_;
+};
+
+}  // namespace surfnet::netsim

@@ -1,0 +1,171 @@
+#include "netsim/io.h"
+
+#include <istream>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+
+namespace surfnet::netsim {
+
+namespace {
+
+[[noreturn]] void fail(int line, const std::string& what) {
+  throw std::invalid_argument("line " + std::to_string(line) + ": " + what);
+}
+
+std::string role_name(NodeRole role) {
+  switch (role) {
+    case NodeRole::User: return "user";
+    case NodeRole::Switch: return "switch";
+    case NodeRole::Server: return "server";
+  }
+  return "?";
+}
+
+NodeRole role_of(const std::string& name, int line) {
+  if (name == "user") return NodeRole::User;
+  if (name == "switch") return NodeRole::Switch;
+  if (name == "server") return NodeRole::Server;
+  fail(line, "unknown node role '" + name + "'");
+}
+
+std::vector<int> read_node_list(std::istringstream& ss, int line) {
+  int count = 0;
+  if (!(ss >> count) || count < 0) fail(line, "bad node-list count");
+  std::vector<int> nodes(static_cast<std::size_t>(count));
+  for (int& v : nodes)
+    if (!(ss >> v)) fail(line, "truncated node list");
+  return nodes;
+}
+
+void write_node_list(std::ostream& os, const std::vector<int>& nodes) {
+  os << ' ' << nodes.size();
+  for (int v : nodes) os << ' ' << v;
+}
+
+}  // namespace
+
+void write_topology(std::ostream& os, const Topology& topology) {
+  os << "surfnet-topology v1\n";
+  for (int v = 0; v < topology.num_nodes(); ++v) {
+    const auto& node = topology.node(v);
+    os << "node " << v << ' ' << role_name(node.role) << ' '
+       << node.storage_capacity << '\n';
+  }
+  os.precision(17);
+  for (int e = 0; e < topology.num_fibers(); ++e) {
+    const auto& f = topology.fiber(e);
+    os << "fiber " << f.a << ' ' << f.b << ' ' << f.fidelity << ' '
+       << f.entanglement_capacity << '\n';
+  }
+}
+
+Topology read_topology(std::istream& is) {
+  std::string line;
+  int line_no = 1;
+  if (!std::getline(is, line) || line != "surfnet-topology v1")
+    fail(line_no, "expected header 'surfnet-topology v1'");
+  std::vector<Node> nodes;
+  std::vector<Fiber> fibers;
+  while (std::getline(is, line)) {
+    ++line_no;
+    if (line.empty()) continue;
+    std::istringstream ss(line);
+    std::string tag;
+    ss >> tag;
+    if (tag == "node") {
+      int id = -1, capacity = 0;
+      std::string role;
+      if (!(ss >> id >> role >> capacity)) fail(line_no, "bad node record");
+      if (id != static_cast<int>(nodes.size()))
+        fail(line_no, "node ids must be dense and ordered");
+      Node node;
+      node.role = role_of(role, line_no);
+      node.storage_capacity = capacity;
+      nodes.push_back(node);
+    } else if (tag == "fiber") {
+      Fiber f;
+      if (!(ss >> f.a >> f.b >> f.fidelity >> f.entanglement_capacity))
+        fail(line_no, "bad fiber record");
+      fibers.push_back(f);
+    } else {
+      fail(line_no, "unknown record '" + tag + "'");
+    }
+  }
+  return Topology(std::move(nodes), std::move(fibers));
+}
+
+void write_schedule(std::ostream& os, const Schedule& schedule) {
+  os << "surfnet-schedule v1\n";
+  os << "requested " << schedule.requested_codes << '\n';
+  for (const auto& s : schedule.scheduled) {
+    os << "request " << s.request_index << ' ' << s.codes << ' '
+       << s.code_distance << " support";
+    write_node_list(os, s.support_path);
+    os << " core";
+    write_node_list(os, s.core_path);
+    os << " ec";
+    write_node_list(os, s.ec_servers);
+    os << '\n';
+  }
+}
+
+Schedule read_schedule(std::istream& is) {
+  std::string line;
+  int line_no = 1;
+  if (!std::getline(is, line) || line != "surfnet-schedule v1")
+    fail(line_no, "expected header 'surfnet-schedule v1'");
+  Schedule schedule;
+  while (std::getline(is, line)) {
+    ++line_no;
+    if (line.empty()) continue;
+    std::istringstream ss(line);
+    std::string tag;
+    ss >> tag;
+    if (tag == "requested") {
+      if (!(ss >> schedule.requested_codes))
+        fail(line_no, "bad requested record");
+    } else if (tag == "request") {
+      ScheduledRequest s;
+      std::string keyword;
+      if (!(ss >> s.request_index >> s.codes >> s.code_distance >> keyword) ||
+          keyword != "support")
+        fail(line_no, "bad request record");
+      s.support_path = read_node_list(ss, line_no);
+      if (!(ss >> keyword) || keyword != "core")
+        fail(line_no, "expected 'core'");
+      s.core_path = read_node_list(ss, line_no);
+      if (!(ss >> keyword) || keyword != "ec")
+        fail(line_no, "expected 'ec'");
+      s.ec_servers = read_node_list(ss, line_no);
+      schedule.scheduled.push_back(std::move(s));
+    } else {
+      fail(line_no, "unknown record '" + tag + "'");
+    }
+  }
+  return schedule;
+}
+
+std::string topology_to_string(const Topology& topology) {
+  std::ostringstream os;
+  write_topology(os, topology);
+  return os.str();
+}
+
+Topology topology_from_string(const std::string& text) {
+  std::istringstream is(text);
+  return read_topology(is);
+}
+
+std::string schedule_to_string(const Schedule& schedule) {
+  std::ostringstream os;
+  write_schedule(os, schedule);
+  return os.str();
+}
+
+Schedule schedule_from_string(const std::string& text) {
+  std::istringstream is(text);
+  return read_schedule(is);
+}
+
+}  // namespace surfnet::netsim

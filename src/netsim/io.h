@@ -1,0 +1,39 @@
+#pragma once
+
+// Plain-text serialization of topologies and schedules, so that generated
+// networks and routing decisions can be saved, diffed, shared, and
+// re-simulated exactly. The format is line-oriented and versioned:
+//
+//   surfnet-topology v1
+//   node <id> user|switch|server <storage_capacity>
+//   fiber <a> <b> <fidelity> <entanglement_capacity>
+//
+//   surfnet-schedule v1
+//   requested <total_codes>
+//   request <index> <codes> <distance> support <n> <v...> core <n> <v...>
+//           ec <n> <v...>
+//
+// Writers emit deterministic output; readers validate and throw
+// std::invalid_argument with a line number on malformed input.
+
+#include <iosfwd>
+#include <string>
+
+#include "netsim/schedule.h"
+#include "netsim/topology.h"
+
+namespace surfnet::netsim {
+
+void write_topology(std::ostream& os, const Topology& topology);
+Topology read_topology(std::istream& is);
+
+void write_schedule(std::ostream& os, const Schedule& schedule);
+Schedule read_schedule(std::istream& is);
+
+/// String conveniences.
+std::string topology_to_string(const Topology& topology);
+Topology topology_from_string(const std::string& text);
+std::string schedule_to_string(const Schedule& schedule);
+Schedule schedule_from_string(const std::string& text);
+
+}  // namespace surfnet::netsim

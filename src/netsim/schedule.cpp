@@ -1,0 +1,28 @@
+#include "netsim/schedule.h"
+
+#include <stdexcept>
+
+namespace surfnet::netsim {
+
+std::vector<Request> random_requests(const Topology& topology, int count,
+                                     int max_codes, util::Rng& rng) {
+  const auto users = topology.users();
+  if (users.size() < 2)
+    throw std::invalid_argument("random_requests: need at least two users");
+  if (max_codes < 1)
+    throw std::invalid_argument("random_requests: max_codes must be >= 1");
+  std::vector<Request> requests;
+  requests.reserve(static_cast<std::size_t>(count));
+  for (int i = 0; i < count; ++i) {
+    Request r;
+    r.src = users[rng.below(users.size())];
+    do {
+      r.dst = users[rng.below(users.size())];
+    } while (r.dst == r.src);
+    r.codes = static_cast<int>(rng.between(1, max_codes));
+    requests.push_back(r);
+  }
+  return requests;
+}
+
+}  // namespace surfnet::netsim

@@ -1,0 +1,474 @@
+#include "netsim/simulator.h"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <queue>
+#include <stdexcept>
+
+#include "decoder/code_trial.h"
+#include "netsim/channel.h"
+#include "qec/core_support.h"
+#include "qec/lattice.h"
+
+namespace surfnet::netsim {
+
+namespace {
+
+/// Lattice + Core/Support partition for one code distance, shared across
+/// all codes of that distance in a run.
+struct CodeGeometry {
+  qec::SurfaceCodeLattice lattice;
+  qec::CoreSupportPartition partition;
+  explicit CodeGeometry(int distance)
+      : lattice(distance), partition(qec::make_core_support(lattice)) {}
+};
+
+/// Static, validated view of one scheduled request.
+struct RequestPlan {
+  const ScheduledRequest* sched = nullptr;
+  bool raw = false;  ///< no Core path: everything rides the plain channel
+  struct Barrier {
+    int node = -1;
+    bool is_ec = false;
+  };
+  std::vector<Barrier> barriers;  ///< EC servers in order, then destination
+  const CodeGeometry* geometry = nullptr;
+};
+
+void validate_path(const Topology& topology, const std::vector<int>& path) {
+  for (std::size_t i = 0; i + 1 < path.size(); ++i)
+    if (topology.fiber_between(path[i], path[i + 1]) < 0)
+      throw std::invalid_argument("schedule path has non-adjacent nodes");
+}
+
+void require_in_order(const std::vector<int>& path,
+                      const std::vector<int>& nodes) {
+  std::size_t cursor = 0;
+  for (int node : nodes) {
+    while (cursor < path.size() && path[cursor] != node) ++cursor;
+    if (cursor == path.size())
+      throw std::invalid_argument("EC server not on scheduled path");
+    ++cursor;
+  }
+}
+
+RequestPlan make_plan(const Topology& topology, const ScheduledRequest& s,
+                      const CodeGeometry& geometry) {
+  RequestPlan plan;
+  plan.sched = &s;
+  plan.raw = s.core_path.empty();
+  plan.geometry = &geometry;
+  if (s.support_path.size() < 2)
+    throw std::invalid_argument("scheduled request without a support path");
+  validate_path(topology, s.support_path);
+  require_in_order(s.support_path, s.ec_servers);
+  if (!plan.raw) {
+    validate_path(topology, s.core_path);
+    require_in_order(s.core_path, s.ec_servers);
+    if (s.core_path.front() != s.support_path.front() ||
+        s.core_path.back() != s.support_path.back())
+      throw std::invalid_argument("core/support paths disagree on endpoints");
+  }
+  for (int server : s.ec_servers) plan.barriers.push_back({server, true});
+  plan.barriers.push_back({s.support_path.back(), false});
+  return plan;
+}
+
+/// One in-flight surface code. Paths are per-code copies so that online
+/// recovery (paper Sec. V-B) can reroute around failed fibers.
+struct ActiveCode {
+  std::vector<int> s_path;
+  std::vector<int> c_path;
+  int s_pos = 0;
+  int c_pos = 0;
+  int s_target = -1;  ///< index of the current barrier node in s_path
+  int c_target = -1;
+  int barrier = 0;
+  double acc_support_mu = 0.0;  ///< noise since the last correction
+  double acc_core_mu = 0.0;
+  int acc_support_hops = 0;
+  int jumps_since_ec = 0;
+  int start_slot = 0;
+  int cooldown = 0;
+  bool corrupted = false;
+};
+
+int find_on_path(const std::vector<int>& path, int node, int from) {
+  for (std::size_t i = static_cast<std::size_t>(from); i < path.size(); ++i)
+    if (path[i] == node) return static_cast<int>(i);
+  return -1;
+}
+
+}  // namespace
+
+SimulationResult simulate_surfnet(const Topology& topology,
+                                  const Schedule& schedule,
+                                  const SimulationParams& params,
+                                  const decoder::Decoder& decoder,
+                                  util::Rng& rng) {
+  SimulationResult result;
+  result.codes_scheduled = schedule.scheduled_codes();
+  if (schedule.scheduled.empty()) return result;
+
+  std::map<int, CodeGeometry> geometries;
+  auto geometry_for = [&](int distance) -> const CodeGeometry& {
+    auto it = geometries.find(distance);
+    if (it == geometries.end())
+      it = geometries.emplace(distance, CodeGeometry(distance)).first;
+    return it->second;
+  };
+
+  std::vector<RequestPlan> plans;
+  plans.reserve(schedule.scheduled.size());
+  for (const auto& s : schedule.scheduled) {
+    if (s.codes <= 0) continue;
+    const int distance =
+        s.code_distance > 0 ? s.code_distance : params.code_distance;
+    plans.push_back(make_plan(topology, s, geometry_for(distance)));
+  }
+
+  // Per-fiber prepared-pair inventory and failure state.
+  std::vector<int> pairs(static_cast<std::size_t>(topology.num_fibers()), 0);
+  std::vector<int> down_until(static_cast<std::size_t>(topology.num_fibers()),
+                              0);
+  auto fiber_down = [&](int e, int slot) {
+    return slot < down_until[static_cast<std::size_t>(e)];
+  };
+
+  std::vector<int> codes_remaining(plans.size());
+  std::vector<ActiveCode> active(plans.size());
+  std::vector<char> has_active(plans.size(), 0);
+  for (std::size_t i = 0; i < plans.size(); ++i)
+    codes_remaining[i] = plans[i].sched->codes;
+
+  auto retarget = [&](const RequestPlan& plan, ActiveCode& code) {
+    const int node =
+        plan.barriers[static_cast<std::size_t>(code.barrier)].node;
+    code.s_target = find_on_path(code.s_path, node, code.s_pos);
+    if (code.s_target < 0)
+      throw std::logic_error("barrier node lost from support path");
+    if (!plan.raw) {
+      code.c_target = find_on_path(code.c_path, node, code.c_pos);
+      if (code.c_target < 0)
+        throw std::logic_error("barrier node lost from core path");
+    }
+  };
+
+  auto launch = [&](const RequestPlan& plan, int slot) {
+    ActiveCode code;
+    code.s_path = plan.sched->support_path;
+    code.c_path = plan.sched->core_path;
+    code.start_slot = slot;
+    retarget(plan, code);
+    return code;
+  };
+
+  // Local recovery (paper Sec. V-B): replace the remainder of a route to
+  // the next designated node with a detour over live fibers.
+  auto reroute = [&](std::vector<int>& path, int pos, int target_node,
+                     int slot) -> bool {
+    const int start = path[static_cast<std::size_t>(pos)];
+    std::vector<int> parent(static_cast<std::size_t>(topology.num_nodes()),
+                            -2);
+    std::queue<int> queue;
+    queue.push(start);
+    parent[static_cast<std::size_t>(start)] = -1;
+    while (!queue.empty()) {
+      const int u = queue.front();
+      queue.pop();
+      if (u == target_node) break;
+      for (int e : topology.incident(u)) {
+        if (fiber_down(e, slot)) continue;
+        const int v = topology.other_end(e, u);
+        if (parent[static_cast<std::size_t>(v)] != -2) continue;
+        // Only the target node may be a user.
+        if (v != target_node && !topology.is_switch_or_server(v)) continue;
+        parent[static_cast<std::size_t>(v)] = u;
+        queue.push(v);
+      }
+    }
+    if (parent[static_cast<std::size_t>(target_node)] == -2) return false;
+    std::vector<int> detour;
+    for (int v = target_node; v != -1;
+         v = parent[static_cast<std::size_t>(v)])
+      detour.push_back(v);
+    std::reverse(detour.begin(), detour.end());
+    // Splice: keep the prefix up to the current position and the tail
+    // beyond the recovery target (later barriers and the destination).
+    const int target_idx = find_on_path(path, target_node, pos);
+    if (target_idx < 0) return false;
+    std::vector<int> tail(path.begin() + target_idx + 1, path.end());
+    path.resize(static_cast<std::size_t>(pos));
+    path.insert(path.end(), detour.begin(), detour.end());
+    path.insert(path.end(), tail.begin(), tail.end());
+    return true;
+  };
+
+  // Decode over the noise accumulated since the last correction.
+  auto run_correction = [&](const RequestPlan& plan, ActiveCode& code) {
+    const auto& geometry = *plan.geometry;
+    const double support_pauli =
+        pauli_rate_of_noise(params.noise_scale * code.acc_support_mu);
+    const double support_erasure =
+        erasure_rate(params.loss_per_hop, code.acc_support_hops);
+    // Purification across the entanglement-based channel suppresses the
+    // Core noise (paper Sec. V-A); teleported qubits are never lost in
+    // transit, but every teleportation event adds un-purifiable operation
+    // noise that the surface code — unlike a bare qubit — can correct.
+    const double op_mu =
+        -std::log(1.0 - params.teleport_op_noise) * code.jumps_since_ec;
+    const double core_pauli = pauli_rate_of_noise(
+        params.purification_factor * params.noise_scale * code.acc_core_mu +
+        op_mu);
+
+    std::vector<qec::QubitNoise> rates(
+        static_cast<std::size_t>(geometry.lattice.num_data_qubits()));
+    for (int q = 0; q < geometry.lattice.num_data_qubits(); ++q) {
+      const bool core =
+          !plan.raw && geometry.partition.is_core[static_cast<std::size_t>(q)];
+      rates[static_cast<std::size_t>(q)] =
+          core ? qec::QubitNoise{core_pauli, 0.0}
+               : qec::QubitNoise{support_pauli, support_erasure};
+    }
+    const qec::NoiseProfile profile{std::move(rates)};
+    const auto trial = decoder::run_code_trial(geometry.lattice, profile,
+                                               params.channel, decoder, rng);
+    if (!trial.success()) code.corrupted = true;
+    code.acc_support_mu = 0.0;
+    code.acc_core_mu = 0.0;
+    code.acc_support_hops = 0;
+    code.jumps_since_ec = 0;
+  };
+
+  std::vector<std::size_t> order(plans.size());
+  for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+
+  int in_flight_or_pending = result.codes_scheduled;
+  for (int slot = 0; slot < params.max_slots && in_flight_or_pending > 0;
+       ++slot) {
+    // Entanglement generation routine at every switch; fiber failures.
+    for (std::size_t e = 0; e < pairs.size(); ++e) {
+      const int cap =
+          topology.fiber(static_cast<int>(e)).entanglement_capacity;
+      const int whole = static_cast<int>(params.entanglement_rate);
+      const double frac = params.entanglement_rate - whole;
+      const int gain = whole + ((frac > 0.0 && rng.bernoulli(frac)) ? 1 : 0);
+      pairs[e] = std::min(cap, pairs[e] + gain);
+    }
+    if (params.fiber_failure_rate > 0.0) {
+      for (std::size_t e = 0; e < down_until.size(); ++e)
+        if (!fiber_down(static_cast<int>(e), slot) &&
+            rng.bernoulli(params.fiber_failure_rate))
+          down_until[e] = slot + params.fiber_failure_duration;
+    }
+
+    // Randomize service order so no request systematically wins contention.
+    for (std::size_t i = order.size(); i > 1; --i)
+      std::swap(order[i - 1], order[rng.below(i)]);
+
+    for (std::size_t idx : order) {
+      const RequestPlan& plan = plans[idx];
+      if (!has_active[idx]) {
+        if (codes_remaining[idx] == 0) continue;
+        --codes_remaining[idx];
+        active[idx] = launch(plan, slot);
+        has_active[idx] = 1;
+      }
+      ActiveCode& code = active[idx];
+      if (code.cooldown > 0) {
+        --code.cooldown;
+        continue;
+      }
+      const auto& barrier =
+          plan.barriers[static_cast<std::size_t>(code.barrier)];
+
+      // Plain channel: the Support part advances one fiber per slot; a
+      // failed fiber triggers a local recovery path (or the photons are
+      // held in error-mitigation circuits until it comes back).
+      if (code.s_pos < code.s_target) {
+        const int e = topology.fiber_between(
+            code.s_path[static_cast<std::size_t>(code.s_pos)],
+            code.s_path[static_cast<std::size_t>(code.s_pos) + 1]);
+        if (!fiber_down(e, slot)) {
+          ++code.s_pos;
+          code.acc_support_mu += topology.fiber_noise(e);
+          ++code.acc_support_hops;
+        } else if (params.enable_recovery &&
+                   reroute(code.s_path, code.s_pos, barrier.node, slot)) {
+          code.s_target = find_on_path(code.s_path, barrier.node,
+                                       code.s_pos);
+        }
+      }
+
+      // Entanglement-based channel: opportunistic movement over up to
+      // `opportunistic_segment` fibers once every fiber of the segment is
+      // alive and holds enough prepared pairs.
+      if (!plan.raw && code.c_pos < code.c_target) {
+        const int n_core = plan.geometry->partition.num_core;
+        const int remaining = code.c_target - code.c_pos;
+        const int segment = std::min(params.opportunistic_segment, remaining);
+        bool ready = true;
+        bool broken = false;
+        for (int h = 0; h < segment; ++h) {
+          const int e = topology.fiber_between(
+              code.c_path[static_cast<std::size_t>(code.c_pos + h)],
+              code.c_path[static_cast<std::size_t>(code.c_pos + h + 1)]);
+          if (fiber_down(e, slot)) broken = true;
+          if (pairs[static_cast<std::size_t>(e)] < n_core) ready = false;
+        }
+        if (broken) {
+          if (params.enable_recovery &&
+              reroute(code.c_path, code.c_pos, barrier.node, slot))
+            code.c_target = find_on_path(code.c_path, barrier.node,
+                                         code.c_pos);
+        } else if (ready) {
+          double segment_mu = 0.0;
+          for (int h = 0; h < segment; ++h) {
+            const int e = topology.fiber_between(
+                code.c_path[static_cast<std::size_t>(code.c_pos + h)],
+                code.c_path[static_cast<std::size_t>(code.c_pos + h + 1)]);
+            pairs[static_cast<std::size_t>(e)] -= n_core;
+            segment_mu += topology.fiber_noise(e);
+          }
+          // Entanglement swapping and teleportation are probabilistic; a
+          // failed attempt wastes the consumed pairs.
+          const bool success =
+              params.swap_success >= 1.0 ||
+              rng.bernoulli(std::pow(params.swap_success, segment));
+          if (success) {
+            code.c_pos += segment;
+            code.acc_core_mu += segment_mu;
+            ++code.jumps_since_ec;
+          }
+        }
+      }
+
+      // Barrier reached by both parts: correct (or finally read out).
+      const bool support_done = code.s_pos >= code.s_target;
+      const bool core_done = plan.raw || code.c_pos >= code.c_target;
+      if (support_done && core_done) {
+        run_correction(plan, code);
+        const bool final_barrier =
+            code.barrier + 1 == static_cast<int>(plan.barriers.size());
+        if (final_barrier) {
+          ++result.codes_delivered;
+          if (!code.corrupted) ++result.codes_succeeded;
+          result.total_latency += slot - code.start_slot + 1;
+          has_active[idx] = 0;
+          --in_flight_or_pending;
+        } else {
+          ++code.barrier;
+          retarget(plan, code);
+          code.cooldown = 1;  // the EC circuit occupies one slot
+        }
+      }
+    }
+  }
+  return result;
+}
+
+SimulationResult simulate_purification(const Topology& topology,
+                                       const Schedule& schedule,
+                                       int extra_pairs,
+                                       const SimulationParams& params,
+                                       util::Rng& rng) {
+  SimulationResult result;
+  result.codes_scheduled = schedule.scheduled_codes();
+  if (schedule.scheduled.empty()) return result;
+
+  struct Plan {
+    const ScheduledRequest* sched;
+    double success_prob;
+  };
+  std::vector<Plan> plans;
+  for (const auto& s : schedule.scheduled) {
+    if (s.codes <= 0) continue;
+    const auto& path = s.core_path.empty() ? s.support_path : s.core_path;
+    if (path.size() < 2)
+      throw std::invalid_argument("purification schedule without a path");
+    double prob = 1.0;
+    for (std::size_t i = 0; i + 1 < path.size(); ++i) {
+      const int e = topology.fiber_between(path[i], path[i + 1]);
+      if (e < 0)
+        throw std::invalid_argument("schedule path has non-adjacent nodes");
+      // Purification raises pair fidelity, but the bare message qubit also
+      // survives the teleportation operations of each hop unprotected.
+      prob *= purified_fidelity(topology.fiber(e).fidelity, extra_pairs) *
+              (1.0 - params.teleport_op_noise);
+    }
+    plans.push_back({&s, prob});
+  }
+
+  std::vector<int> pairs(static_cast<std::size_t>(topology.num_fibers()), 0);
+  std::vector<int> down_until(static_cast<std::size_t>(topology.num_fibers()),
+                              0);
+  const int per_hop = 1 + extra_pairs;
+
+  struct State {
+    int pos = 0;
+    int start = 0;
+  };
+  std::vector<int> codes_remaining(plans.size());
+  std::vector<State> active(plans.size());
+  std::vector<char> has_active(plans.size(), 0);
+  for (std::size_t i = 0; i < plans.size(); ++i)
+    codes_remaining[i] = plans[i].sched->codes;
+
+  std::vector<std::size_t> order(plans.size());
+  for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+
+  int pending = result.codes_scheduled;
+  for (int slot = 0; slot < params.max_slots && pending > 0; ++slot) {
+    for (std::size_t e = 0; e < pairs.size(); ++e) {
+      const int cap =
+          topology.fiber(static_cast<int>(e)).entanglement_capacity;
+      const int whole = static_cast<int>(params.entanglement_rate);
+      const double frac = params.entanglement_rate - whole;
+      const int gain = whole + ((frac > 0.0 && rng.bernoulli(frac)) ? 1 : 0);
+      pairs[e] = std::min(cap, pairs[e] + gain);
+    }
+    if (params.fiber_failure_rate > 0.0) {
+      for (std::size_t e = 0; e < down_until.size(); ++e)
+        if (slot >= down_until[e] &&
+            rng.bernoulli(params.fiber_failure_rate))
+          down_until[e] = slot + params.fiber_failure_duration;
+    }
+    for (std::size_t i = order.size(); i > 1; --i)
+      std::swap(order[i - 1], order[rng.below(i)]);
+
+    for (std::size_t idx : order) {
+      const Plan& plan = plans[idx];
+      const auto& path = plan.sched->core_path.empty()
+                             ? plan.sched->support_path
+                             : plan.sched->core_path;
+      if (!has_active[idx]) {
+        if (codes_remaining[idx] == 0) continue;
+        --codes_remaining[idx];
+        active[idx] = State{0, slot};
+        has_active[idx] = 1;
+      }
+      State& state = active[idx];
+      if (state.pos + 1 < static_cast<int>(path.size())) {
+        const int e = topology.fiber_between(
+            path[static_cast<std::size_t>(state.pos)],
+            path[static_cast<std::size_t>(state.pos) + 1]);
+        if (slot >= down_until[static_cast<std::size_t>(e)] &&
+            pairs[static_cast<std::size_t>(e)] >= per_hop) {
+          pairs[static_cast<std::size_t>(e)] -= per_hop;
+          ++state.pos;
+        }
+      }
+      if (state.pos + 1 == static_cast<int>(path.size())) {
+        ++result.codes_delivered;
+        if (rng.bernoulli(plan.success_prob)) ++result.codes_succeeded;
+        result.total_latency += slot - state.start + 1;
+        has_active[idx] = 0;
+        --pending;
+      }
+    }
+  }
+  return result;
+}
+
+}  // namespace surfnet::netsim

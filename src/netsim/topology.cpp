@@ -1,0 +1,180 @@
+#include "netsim/topology.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <stdexcept>
+
+namespace surfnet::netsim {
+
+Topology::Topology(std::vector<Node> nodes, std::vector<Fiber> fibers)
+    : nodes_(std::move(nodes)), fibers_(std::move(fibers)) {
+  for (const auto& f : fibers_) {
+    if (f.a < 0 || f.b < 0 || f.a >= num_nodes() || f.b >= num_nodes())
+      throw std::invalid_argument("fiber endpoint out of range");
+    if (f.a == f.b) throw std::invalid_argument("self-loop fiber");
+    if (f.fidelity < 0.0 || f.fidelity > 1.0)
+      throw std::invalid_argument("fiber fidelity outside [0, 1]");
+  }
+  build_index();
+}
+
+void Topology::build_index() {
+  offsets_.assign(nodes_.size() + 1, 0);
+  for (const auto& f : fibers_) {
+    ++offsets_[static_cast<std::size_t>(f.a) + 1];
+    ++offsets_[static_cast<std::size_t>(f.b) + 1];
+  }
+  for (std::size_t i = 1; i < offsets_.size(); ++i)
+    offsets_[i] += offsets_[i - 1];
+  incidence_.resize(offsets_.back());
+  std::vector<std::size_t> cursor(offsets_.begin(), offsets_.end() - 1);
+  for (std::size_t e = 0; e < fibers_.size(); ++e) {
+    incidence_[cursor[static_cast<std::size_t>(fibers_[e].a)]++] =
+        static_cast<int>(e);
+    incidence_[cursor[static_cast<std::size_t>(fibers_[e].b)]++] =
+        static_cast<int>(e);
+  }
+}
+
+int Topology::other_end(int fiber_id, int v) const {
+  const auto& f = fiber(fiber_id);
+  if (f.a == v) return f.b;
+  if (f.b == v) return f.a;
+  throw std::logic_error("other_end: node not on fiber");
+}
+
+int Topology::fiber_between(int u, int v) const {
+  for (int e : incident(u))
+    if (other_end(e, u) == v) return e;
+  return -1;
+}
+
+double Topology::fiber_noise(int e) const {
+  const double gamma = std::max(fiber(e).fidelity, 1e-9);
+  return std::log(1.0 / gamma);
+}
+
+std::vector<int> Topology::users() const {
+  std::vector<int> out;
+  for (int v = 0; v < num_nodes(); ++v)
+    if (is_user(v)) out.push_back(v);
+  return out;
+}
+
+std::vector<int> Topology::servers() const {
+  std::vector<int> out;
+  for (int v = 0; v < num_nodes(); ++v)
+    if (is_server(v)) out.push_back(v);
+  return out;
+}
+
+std::vector<int> Topology::switches_and_servers() const {
+  std::vector<int> out;
+  for (int v = 0; v < num_nodes(); ++v)
+    if (is_switch_or_server(v)) out.push_back(v);
+  return out;
+}
+
+bool Topology::connected() const {
+  if (num_nodes() == 0) return true;
+  std::vector<char> seen(static_cast<std::size_t>(num_nodes()), 0);
+  std::vector<int> stack{0};
+  seen[0] = 1;
+  int count = 1;
+  while (!stack.empty()) {
+    const int v = stack.back();
+    stack.pop_back();
+    for (int e : incident(v)) {
+      const int u = other_end(e, v);
+      if (!seen[static_cast<std::size_t>(u)]) {
+        seen[static_cast<std::size_t>(u)] = 1;
+        ++count;
+        stack.push_back(u);
+      }
+    }
+  }
+  return count == num_nodes();
+}
+
+Topology make_random_topology(const TopologySpec& spec, util::Rng& rng) {
+  if (spec.num_nodes < 3)
+    throw std::invalid_argument("topology needs at least 3 nodes");
+  const int m = std::max(1, spec.attach_edges);
+  if (spec.num_servers + spec.num_switches >= spec.num_nodes)
+    throw std::invalid_argument("not enough nodes left to be users");
+
+  // Barabasi-Albert: start from a small clique of m+1 nodes, then attach
+  // each new node to m distinct existing nodes chosen proportionally to
+  // degree (implemented by sampling the endpoint multiset).
+  const int seed_nodes = m + 1;
+  std::vector<std::pair<int, int>> edges;
+  std::vector<int> endpoint_pool;  // each edge contributes both endpoints
+  for (int i = 0; i < seed_nodes; ++i)
+    for (int j = i + 1; j < seed_nodes; ++j) {
+      edges.emplace_back(i, j);
+      endpoint_pool.push_back(i);
+      endpoint_pool.push_back(j);
+    }
+  for (int v = seed_nodes; v < spec.num_nodes; ++v) {
+    std::vector<int> targets;
+    int guard = 0;
+    while (static_cast<int>(targets.size()) < m) {
+      if (++guard > 10000)
+        throw std::logic_error("BA attachment failed to find targets");
+      const int t =
+          endpoint_pool[rng.below(endpoint_pool.size())];
+      if (std::find(targets.begin(), targets.end(), t) == targets.end())
+        targets.push_back(t);
+    }
+    for (int t : targets) {
+      edges.emplace_back(v, t);
+      endpoint_pool.push_back(v);
+      endpoint_pool.push_back(t);
+    }
+  }
+
+  // Role assignment by degree: top num_servers become servers, the next
+  // num_switches become switches, the rest are users.
+  std::vector<int> degree(static_cast<std::size_t>(spec.num_nodes), 0);
+  for (const auto& [a, b] : edges) {
+    ++degree[static_cast<std::size_t>(a)];
+    ++degree[static_cast<std::size_t>(b)];
+  }
+  std::vector<int> order(static_cast<std::size_t>(spec.num_nodes));
+  std::iota(order.begin(), order.end(), 0);
+  std::stable_sort(order.begin(), order.end(), [&](int x, int y) {
+    return degree[static_cast<std::size_t>(x)] >
+           degree[static_cast<std::size_t>(y)];
+  });
+
+  std::vector<Node> nodes(static_cast<std::size_t>(spec.num_nodes));
+  for (int rank = 0; rank < spec.num_nodes; ++rank) {
+    Node& node = nodes[static_cast<std::size_t>(order[
+        static_cast<std::size_t>(rank)])];
+    if (rank < spec.num_servers) {
+      node.role = NodeRole::Server;
+      node.storage_capacity = spec.storage_capacity;
+    } else if (rank < spec.num_servers + spec.num_switches) {
+      node.role = NodeRole::Switch;
+      node.storage_capacity = spec.storage_capacity;
+    } else {
+      node.role = NodeRole::User;
+      node.storage_capacity = 0;
+    }
+  }
+
+  std::vector<Fiber> fibers;
+  fibers.reserve(edges.size());
+  for (const auto& [a, b] : edges) {
+    Fiber f;
+    f.a = a;
+    f.b = b;
+    f.fidelity = rng.uniform(spec.fidelity_lo, spec.fidelity_hi);
+    f.entanglement_capacity = spec.entanglement_capacity;
+    fibers.push_back(f);
+  }
+  return Topology(std::move(nodes), std::move(fibers));
+}
+
+}  // namespace surfnet::netsim

@@ -1,0 +1,9 @@
+#include "qec/core_support.h"
+
+namespace surfnet::qec {
+
+CoreSupportPartition make_core_support(const CodeLattice& lattice) {
+  return lattice.core_partition();
+}
+
+}  // namespace surfnet::qec

@@ -1,0 +1,36 @@
+#include "qec/graph.h"
+
+#include <algorithm>
+
+namespace surfnet::qec {
+
+DecodingGraph::DecodingGraph(int num_real, BoundaryIds boundary,
+                             std::vector<GraphEdge> edges)
+    : num_real_(num_real), boundary_(boundary), edges_(std::move(edges)) {
+  if (num_real_ < 0) throw std::invalid_argument("negative vertex count");
+  num_vertices_ = num_real_;
+  num_vertices_ = std::max(num_vertices_, boundary_.first + 1);
+  num_vertices_ = std::max(num_vertices_, boundary_.second + 1);
+  for (const auto& e : edges_) {
+    if (e.u < 0 || e.v < 0 || e.u >= num_vertices_ || e.v >= num_vertices_)
+      throw std::invalid_argument("edge endpoint out of range");
+    if (e.u == e.v) throw std::invalid_argument("self-loop edge");
+  }
+  offsets_.assign(static_cast<std::size_t>(num_vertices_) + 1, 0);
+  for (const auto& e : edges_) {
+    ++offsets_[static_cast<std::size_t>(e.u) + 1];
+    ++offsets_[static_cast<std::size_t>(e.v) + 1];
+  }
+  for (std::size_t i = 1; i < offsets_.size(); ++i)
+    offsets_[i] += offsets_[i - 1];
+  incidence_.resize(offsets_.back());
+  std::vector<std::size_t> cursor(offsets_.begin(), offsets_.end() - 1);
+  for (std::size_t e = 0; e < edges_.size(); ++e) {
+    incidence_[cursor[static_cast<std::size_t>(edges_[e].u)]++] =
+        static_cast<int>(e);
+    incidence_[cursor[static_cast<std::size_t>(edges_[e].v)]++] =
+        static_cast<int>(e);
+  }
+}
+
+}  // namespace surfnet::qec

@@ -1,0 +1,80 @@
+#pragma once
+
+// Decoding graph shared by every decoder in SurfNet.
+//
+// A decoding graph G = {V, E, W} (paper Sec. IV-C) has one vertex per
+// measurement qubit of a given type plus two *virtual boundary vertices*,
+// and one edge per data qubit. An error on a data qubit flips the syndrome
+// of the measurement qubits at its edge's endpoints; flips on boundary
+// vertices are absorbed (boundaries are not measured).
+//
+// Edge weights W encode per-qubit fidelity: w = -ln(1 - rho) where rho is
+// the estimated probability of NO error on that qubit, so likelier errors
+// get smaller weights and shortest paths are maximum-likelihood chains.
+
+#include <cstddef>
+#include <span>
+#include <stdexcept>
+#include <vector>
+
+namespace surfnet::qec {
+
+/// Identifies one of the two virtual boundary vertices of a planar graph.
+struct BoundaryIds {
+  int first = -1;
+  int second = -1;
+};
+
+struct GraphEdge {
+  int u = -1;          ///< endpoint vertex (may be a boundary vertex)
+  int v = -1;          ///< endpoint vertex (may be a boundary vertex)
+  int data_qubit = -1; ///< index of the data qubit this edge represents
+};
+
+/// An undirected multigraph with designated boundary vertices, stored as an
+/// edge list plus a CSR-style adjacency index. Vertices [0, num_real) are
+/// measurement qubits; boundary vertices come after.
+class DecodingGraph {
+ public:
+  DecodingGraph() = default;
+
+  /// Construct from an edge list. `num_real` is the number of measurement
+  /// vertices; `boundary` vertices must be >= num_real.
+  DecodingGraph(int num_real, BoundaryIds boundary,
+                std::vector<GraphEdge> edges);
+
+  int num_real_vertices() const { return num_real_; }
+  int num_vertices() const { return num_vertices_; }
+  std::size_t num_edges() const { return edges_.size(); }
+  BoundaryIds boundary() const { return boundary_; }
+
+  bool is_boundary(int vertex) const { return vertex >= num_real_; }
+
+  const GraphEdge& edge(std::size_t e) const { return edges_[e]; }
+  const std::vector<GraphEdge>& edges() const { return edges_; }
+
+  /// Edge indices incident to `vertex`.
+  std::span<const int> incident(int vertex) const {
+    return {incidence_.data() + offsets_[static_cast<std::size_t>(vertex)],
+            offsets_[static_cast<std::size_t>(vertex) + 1] -
+                offsets_[static_cast<std::size_t>(vertex)]};
+  }
+
+  /// The endpoint of edge `e` that is not `vertex`.
+  int other_end(std::size_t e, int vertex) const {
+    const auto& ed = edges_[e];
+    if (ed.u == vertex) return ed.v;
+    if (ed.v == vertex) return ed.u;
+    throw std::logic_error("other_end: vertex not on edge");
+  }
+
+ private:
+  int num_real_ = 0;
+  int num_vertices_ = 0;
+  BoundaryIds boundary_;
+  std::vector<GraphEdge> edges_;
+  std::vector<std::size_t> offsets_;  // size num_vertices_+1
+  std::vector<int> incidence_;        // edge indices
+};
+
+}  // namespace surfnet::qec

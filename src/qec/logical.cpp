@@ -1,0 +1,52 @@
+#include "qec/logical.h"
+
+#include <stdexcept>
+
+#include "qec/syndrome.h"
+
+namespace surfnet::qec {
+
+std::vector<char> residual(const std::vector<char>& flips,
+                           const std::vector<char>& correction) {
+  if (flips.size() != correction.size())
+    throw std::invalid_argument("residual: size mismatch");
+  std::vector<char> out(flips.size());
+  for (std::size_t e = 0; e < flips.size(); ++e)
+    out[e] = static_cast<char>((flips[e] ^ correction[e]) & 1);
+  return out;
+}
+
+bool correction_valid(const DecodingGraph& graph,
+                      const std::vector<char>& flips,
+                      const std::vector<char>& correction) {
+  const auto res = residual(flips, correction);
+  for (char bit : syndrome_bitmap(graph, res))
+    if (bit) return false;
+  return true;
+}
+
+bool logical_flip(const CodeLattice& lattice, GraphKind kind,
+                  const std::vector<char>& residual_edges) {
+  const DecodingGraph& graph = lattice.graph(kind);
+  if (residual_edges.size() != graph.num_edges())
+    throw std::invalid_argument("logical_flip: size mismatch");
+  // Edge index equals data-qubit index by construction; assert via lookup.
+  bool parity = false;
+  for (int q : lattice.logical_cut(kind))
+    parity ^= (residual_edges[static_cast<std::size_t>(q)] != 0);
+  return parity;
+}
+
+DecodeOutcome evaluate_correction(const CodeLattice& lattice,
+                                  GraphKind kind,
+                                  const std::vector<char>& flips,
+                                  const std::vector<char>& correction) {
+  DecodeOutcome outcome;
+  const DecodingGraph& graph = lattice.graph(kind);
+  outcome.valid = correction_valid(graph, flips, correction);
+  if (outcome.valid)
+    outcome.logical = logical_flip(lattice, kind, residual(flips, correction));
+  return outcome;
+}
+
+}  // namespace surfnet::qec

@@ -1,0 +1,45 @@
+#pragma once
+
+// Logical-error verification (paper Sec. III-C / Fig. 3). A correction is
+// *valid* when the residual error (actual flips XOR correction) has empty
+// syndrome: the residual is then a union of cycles and boundary-to-boundary
+// chains. The correction *fails logically* when a residual chain connects
+// the two boundaries, which happens iff the residual crosses the lattice's
+// logical cut an odd number of times.
+
+#include <vector>
+
+#include "qec/graph.h"
+#include "qec/code_lattice.h"
+
+namespace surfnet::qec {
+
+/// XOR of two per-edge indicator vectors.
+std::vector<char> residual(const std::vector<char>& flips,
+                           const std::vector<char>& correction);
+
+/// True when `correction` reproduces the syndrome of `flips` exactly
+/// (i.e. the residual has no syndrome).
+bool correction_valid(const DecodingGraph& graph,
+                      const std::vector<char>& flips,
+                      const std::vector<char>& correction);
+
+/// Parity of `residual_edges` over the lattice's logical cut for `kind`.
+/// Only meaningful when the residual has empty syndrome.
+bool logical_flip(const CodeLattice& lattice, GraphKind kind,
+                  const std::vector<char>& residual_edges);
+
+/// Outcome of decoding one graph of one code.
+struct DecodeOutcome {
+  bool valid = false;    ///< correction matched the syndrome
+  bool logical = false;  ///< residual implements a logical operator
+  bool success() const { return valid && !logical; }
+};
+
+/// Convenience: evaluate a correction against the true flips.
+DecodeOutcome evaluate_correction(const CodeLattice& lattice,
+                                  GraphKind kind,
+                                  const std::vector<char>& flips,
+                                  const std::vector<char>& correction);
+
+}  // namespace surfnet::qec

@@ -1,0 +1,47 @@
+#pragma once
+
+// Single-qubit Pauli algebra. A Pauli error on a data qubit is one of
+// {I, X, Y, Z}; global phases are irrelevant for error correction, so the
+// group law here is multiplication modulo phase (i.e. the Klein four-group
+// on the (x, z) symplectic bits).
+
+#include <cstdint>
+#include <string_view>
+
+namespace surfnet::qec {
+
+enum class Pauli : std::uint8_t { I = 0, X = 1, Z = 2, Y = 3 };
+
+/// X-component bit: true for X and Y. These are the errors detected by
+/// Z-type stabilizers (the primal decoding graph).
+constexpr bool has_x(Pauli p) {
+  return (static_cast<std::uint8_t>(p) & 1u) != 0;
+}
+
+/// Z-component bit: true for Z and Y. Detected by X-type stabilizers.
+constexpr bool has_z(Pauli p) {
+  return (static_cast<std::uint8_t>(p) & 2u) != 0;
+}
+
+/// Build a Pauli from its symplectic components.
+constexpr Pauli make_pauli(bool x_component, bool z_component) {
+  return static_cast<Pauli>((x_component ? 1u : 0u) | (z_component ? 2u : 0u));
+}
+
+/// Group multiplication modulo phase: XOR of symplectic bits.
+constexpr Pauli operator*(Pauli a, Pauli b) {
+  return static_cast<Pauli>(static_cast<std::uint8_t>(a) ^
+                            static_cast<std::uint8_t>(b));
+}
+
+constexpr std::string_view to_string(Pauli p) {
+  switch (p) {
+    case Pauli::I: return "I";
+    case Pauli::X: return "X";
+    case Pauli::Z: return "Z";
+    case Pauli::Y: return "Y";
+  }
+  return "?";
+}
+
+}  // namespace surfnet::qec

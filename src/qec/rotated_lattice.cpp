@@ -1,0 +1,122 @@
+#include "qec/rotated_lattice.h"
+
+#include <map>
+#include <stdexcept>
+
+namespace surfnet::qec {
+
+namespace {
+
+int parity(int pr, int pc) { return ((pr + pc) % 2 + 2) % 2; }
+
+/// Is the cell with top-left corner (pr, pc) an included stabilizer of the
+/// requested type? Z cells have odd parity; X cells even. Half-plaquettes
+/// survive only on the matching boundary (X: top/bottom, Z: left/right).
+bool cell_included(int pr, int pc, bool z_type, int d) {
+  const bool is_z = parity(pr, pc) == 1;
+  if (is_z != z_type) return false;
+  const bool top = pr == -1, bottom = pr == d - 1;
+  const bool left = pc == -1, right = pc == d - 1;
+  if ((top || bottom) && (left || right)) return false;  // corner
+  if (top || bottom) return !z_type && pc >= 0 && pc <= d - 2;
+  if (left || right) return z_type && pr >= 0 && pr <= d - 2;
+  return true;  // interior
+}
+
+}  // namespace
+
+RotatedSurfaceCodeLattice::RotatedSurfaceCodeLattice(int distance)
+    : d_(distance) {
+  if (d_ < 3 || d_ % 2 == 0)
+    throw std::invalid_argument(
+        "rotated surface code distance must be odd and >= 3");
+
+  for (const bool z_type : {true, false}) {
+    // Number the included cells of this type.
+    std::map<std::pair<int, int>, int> cell_id;
+    for (int pr = -1; pr <= d_ - 1; ++pr)
+      for (int pc = -1; pc <= d_ - 1; ++pc)
+        if (cell_included(pr, pc, z_type, d_))
+          cell_id[{pr, pc}] = static_cast<int>(cell_id.size());
+
+    const int num_real = static_cast<int>(cell_id.size());
+    const BoundaryIds boundary{num_real, num_real + 1};
+    std::vector<GraphEdge> edges;
+    std::vector<int> cut;
+    edges.reserve(static_cast<std::size_t>(num_data_qubits()));
+
+    // Each data qubit (r, c) touches exactly two same-type cells: the
+    // diagonal pair {(r-1,c-1),(r,c)} when its parity matches the type,
+    // otherwise the anti-diagonal pair {(r-1,c),(r,c-1)}.
+    for (int q = 0; q < num_data_qubits(); ++q) {
+      const int r = q / d_, c = q % d_;
+      const bool diagonal = (parity(r, c) == 1) == z_type;
+      const std::pair<int, int> cells[2] = {
+          diagonal ? std::pair<int, int>{r - 1, c - 1}
+                   : std::pair<int, int>{r - 1, c},
+          diagonal ? std::pair<int, int>{r, c}
+                   : std::pair<int, int>{r, c - 1}};
+      GraphEdge edge;
+      edge.data_qubit = q;
+      int ends[2];
+      bool touches_first_boundary = false;
+      for (int i = 0; i < 2; ++i) {
+        const auto it = cell_id.find(cells[i]);
+        if (it != cell_id.end()) {
+          ends[i] = it->second;
+          continue;
+        }
+        // Excluded same-type cells lie on this graph's two boundaries:
+        // Z cells on the top/bottom rows, X cells on the left/right
+        // columns.
+        const bool first = z_type ? (cells[i].first == -1)
+                                  : (cells[i].second == -1);
+        ends[i] = first ? boundary.first : boundary.second;
+        if (first) touches_first_boundary = true;
+      }
+      if (ends[0] == ends[1])
+        throw std::logic_error("rotated lattice: degenerate edge");
+      edge.u = ends[0];
+      edge.v = ends[1];
+      edges.push_back(edge);
+      if (touches_first_boundary) cut.push_back(q);
+    }
+
+    if (z_type) {
+      z_graph_ = DecodingGraph(num_real, boundary, std::move(edges));
+      z_cut_ = std::move(cut);
+    } else {
+      x_graph_ = DecodingGraph(num_real, boundary, std::move(edges));
+      x_cut_ = std::move(cut);
+    }
+  }
+}
+
+std::vector<int> RotatedSurfaceCodeLattice::logical_operator(
+    GraphKind k) const {
+  // Logical X (Z-graph): the central column, top to bottom; logical Z
+  // (X-graph): the central row.
+  const int mid = (d_ - 1) / 2;
+  std::vector<int> chain;
+  for (int t = 0; t < d_; ++t)
+    chain.push_back(k == GraphKind::Z ? data_index({t, mid})
+                                      : data_index({mid, t}));
+  return chain;
+}
+
+CoreSupportPartition RotatedSurfaceCodeLattice::core_partition() const {
+  const int mid = (d_ - 1) / 2;
+  CoreSupportPartition part;
+  part.is_core.assign(static_cast<std::size_t>(num_data_qubits()), 0);
+  for (int q = 0; q < num_data_qubits(); ++q) {
+    const Coord rc = data_coord(q);
+    if (rc.r == mid || rc.c == mid) {
+      part.is_core[static_cast<std::size_t>(q)] = 1;
+      ++part.num_core;
+    }
+  }
+  part.num_support = num_data_qubits() - part.num_core;
+  return part;
+}
+
+}  // namespace surfnet::qec

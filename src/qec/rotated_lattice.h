@@ -1,0 +1,63 @@
+#pragma once
+
+// Rotated surface code of odd distance d — the modern standard layout,
+// using only d^2 data qubits for the same code distance (the paper
+// mentions such variants in Sec. III-B; this is the library's extension
+// beyond the unrotated layout it evaluates).
+//
+// Data qubits sit on a d x d grid. Stabilizer plaquettes occupy the cells
+// between them in a checkerboard pattern: a cell with corner (pr, pc)
+// (top-left data qubit (pr, pc), cells indexed pr, pc in [-1, d-1]) is
+// Z-type when pr + pc is odd and X-type when even. Interior cells weigh 4;
+// on the lattice edge only half-plaquettes of the matching type survive:
+// X-type on the top/bottom rows, Z-type on the left/right columns. The
+// missing Z-cells along the top and bottom are this layout's Z-graph
+// boundaries (logical X runs vertically); left/right are the X-graph
+// boundaries (logical Z runs horizontally).
+
+#include <vector>
+
+#include "qec/code_lattice.h"
+
+namespace surfnet::qec {
+
+class RotatedSurfaceCodeLattice final : public CodeLattice {
+ public:
+  /// Build a rotated lattice of odd distance d >= 3.
+  explicit RotatedSurfaceCodeLattice(int distance);
+
+  int distance() const override { return d_; }
+  int num_data_qubits() const override { return d_ * d_; }
+  int num_stabilizers(GraphKind kind) const {
+    return graph(kind).num_real_vertices();
+  }
+
+  Coord data_coord(int q) const override { return {q / d_, q % d_}; }
+  int data_index(Coord rc) const {
+    if (rc.r < 0 || rc.c < 0 || rc.r >= d_ || rc.c >= d_) return -1;
+    return rc.r * d_ + rc.c;
+  }
+
+  const DecodingGraph& graph(GraphKind k) const override {
+    return k == GraphKind::Z ? z_graph_ : x_graph_;
+  }
+  const std::vector<int>& logical_cut(GraphKind k) const override {
+    return k == GraphKind::Z ? z_cut_ : x_cut_;
+  }
+
+  /// Logical X: the central column (a vertical chain between the Z-graph
+  /// boundaries); logical Z: the central row.
+  std::vector<int> logical_operator(GraphKind k) const override;
+
+  /// Central cross: middle row plus middle column, 2d-1 Core qubits.
+  CoreSupportPartition core_partition() const override;
+
+ private:
+  int d_;
+  DecodingGraph z_graph_;
+  DecodingGraph x_graph_;
+  std::vector<int> z_cut_;
+  std::vector<int> x_cut_;
+};
+
+}  // namespace surfnet::qec

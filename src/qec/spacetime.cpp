@@ -1,0 +1,168 @@
+#include "qec/spacetime.h"
+
+#include <stdexcept>
+
+#include "qec/syndrome.h"
+
+namespace surfnet::qec {
+
+SpaceTimeGraph::SpaceTimeGraph(const CodeLattice& lattice, GraphKind kind,
+                               int rounds)
+    : kind_(kind), rounds_(rounds) {
+  if (rounds < 1)
+    throw std::invalid_argument("space-time graph needs >= 1 noisy round");
+  const DecodingGraph& base = lattice.graph(kind);
+  base_vertices_ = base.num_real_vertices();
+  const int num_real = (rounds_ + 1) * base_vertices_;
+  const BoundaryIds boundary{num_real, num_real + 1};
+
+  std::vector<GraphEdge> edges;
+  edges.reserve(static_cast<std::size_t>(rounds_) *
+                (base.num_edges() + static_cast<std::size_t>(base_vertices_)));
+
+  auto lift = [&](int base_vertex, int layer) {
+    if (base.is_boundary(base_vertex))
+      return base_vertex == base.boundary().first ? boundary.first
+                                                  : boundary.second;
+    return layer * base_vertices_ + base_vertex;
+  };
+
+  // Horizontal edges: data errors arriving in window t flip detector
+  // layer t.
+  for (int t = 0; t < rounds_; ++t) {
+    for (std::size_t e = 0; e < base.num_edges(); ++e) {
+      const auto& be = base.edge(e);
+      GraphEdge edge;
+      edge.u = lift(be.u, t);
+      edge.v = lift(be.v, t);
+      edge.data_qubit = static_cast<int>(edges.size());
+      edges.push_back(edge);
+      edge_window_.push_back(t);
+      edge_qubit_.push_back(be.data_qubit);
+    }
+  }
+  // Vertical edges: a measurement error at noisy round t flips detector
+  // layers t and t+1.
+  for (int t = 0; t < rounds_; ++t) {
+    for (int s = 0; s < base_vertices_; ++s) {
+      GraphEdge edge;
+      edge.u = t * base_vertices_ + s;
+      edge.v = (t + 1) * base_vertices_ + s;
+      edge.data_qubit = static_cast<int>(edges.size());
+      edges.push_back(edge);
+      edge_window_.push_back(-1);
+      edge_qubit_.push_back(s);
+    }
+  }
+  graph_ = DecodingGraph(num_real, boundary, std::move(edges));
+}
+
+std::vector<double> SpaceTimeGraph::edge_priors(
+    double data_rate, double measurement_rate) const {
+  std::vector<double> priors(graph_.num_edges());
+  for (std::size_t e = 0; e < priors.size(); ++e)
+    priors[e] = is_horizontal(e) ? data_rate : measurement_rate;
+  return priors;
+}
+
+SpaceTimeSample sample_spacetime(const CodeLattice& lattice, GraphKind kind,
+                                 int rounds, double data_rate,
+                                 double measurement_rate, util::Rng& rng) {
+  const DecodingGraph& base = lattice.graph(kind);
+  SpaceTimeSample sample;
+  sample.window_flips.assign(
+      static_cast<std::size_t>(rounds),
+      std::vector<char>(base.num_edges(), 0));
+  sample.measurement_flips.assign(
+      static_cast<std::size_t>(rounds),
+      std::vector<char>(static_cast<std::size_t>(base.num_real_vertices()),
+                        0));
+  for (auto& window : sample.window_flips)
+    for (auto& flip : window)
+      if (rng.bernoulli(data_rate)) flip = 1;
+  for (auto& round : sample.measurement_flips)
+    for (auto& flip : round)
+      if (rng.bernoulli(measurement_rate)) flip = 1;
+  return sample;
+}
+
+namespace {
+
+/// True per-spacetime-edge flips of a sample (matching the graph's edge
+/// layout: horizontal window-major, then vertical round-major).
+std::vector<char> spacetime_flips(const SpaceTimeGraph& graph,
+                                  const SpaceTimeSample& sample) {
+  std::vector<char> flips(graph.graph().num_edges(), 0);
+  std::size_t e = 0;
+  for (const auto& window : sample.window_flips)
+    for (char flip : window) flips[e++] = flip;
+  for (const auto& round : sample.measurement_flips)
+    for (char flip : round) flips[e++] = flip;
+  if (e != flips.size())
+    throw std::logic_error("spacetime_flips: sample/graph shape mismatch");
+  return flips;
+}
+
+}  // namespace
+
+std::vector<char> spacetime_detectors(const SpaceTimeGraph& graph,
+                                      const SpaceTimeSample& sample) {
+  return syndrome_bitmap(graph.graph(), spacetime_flips(graph, sample));
+}
+
+DecodeOutcome decode_spacetime(const CodeLattice& lattice,
+                               const SpaceTimeGraph& graph,
+                               const SpaceTimeSample& sample,
+                               const decoder::Decoder& decoder,
+                               double data_rate, double measurement_rate) {
+  const auto flips = spacetime_flips(graph, sample);
+
+  decoder::DecodeInput input;
+  input.graph = &graph.graph();
+  input.syndrome = syndrome_bitmap(graph.graph(), flips);
+  input.erased.assign(graph.graph().num_edges(), 0);
+  input.error_prob = graph.edge_priors(data_rate, measurement_rate);
+  const auto correction = decoder.decode(input);
+
+  DecodeOutcome outcome;
+  outcome.valid = correction_valid(graph.graph(), flips, correction);
+  if (!outcome.valid) return outcome;
+
+  // Project the residual onto space: XOR the horizontal components over
+  // all windows per base data qubit; vertical edges project out. A valid
+  // space-time residual projects to a syndrome-free space chain, so the
+  // usual logical-cut parity decides success.
+  const auto residual_st = residual(flips, correction);
+  std::vector<char> space(lattice.graph(graph.kind()).num_edges(), 0);
+  for (std::size_t e = 0; e < residual_st.size(); ++e) {
+    if (!residual_st[e] || !graph.is_horizontal(e)) continue;
+    space[static_cast<std::size_t>(graph.edge_qubit(e))] ^= 1;
+  }
+  outcome.logical = logical_flip(lattice, graph.kind(), space);
+  return outcome;
+}
+
+double spacetime_logical_error_rate(const CodeLattice& lattice, int rounds,
+                                    double data_rate,
+                                    double measurement_rate,
+                                    const decoder::Decoder& decoder,
+                                    int trials, util::Rng& rng) {
+  const SpaceTimeGraph z_graph(lattice, GraphKind::Z, rounds);
+  const SpaceTimeGraph x_graph(lattice, GraphKind::X, rounds);
+  int failures = 0;
+  for (int t = 0; t < trials; ++t) {
+    bool ok = true;
+    for (const auto* graph : {&z_graph, &x_graph}) {
+      const GraphKind kind = graph == &z_graph ? GraphKind::Z : GraphKind::X;
+      const auto sample = sample_spacetime(lattice, kind, rounds, data_rate,
+                                           measurement_rate, rng);
+      const auto outcome = decode_spacetime(lattice, *graph, sample, decoder,
+                                            data_rate, measurement_rate);
+      if (!outcome.success()) ok = false;
+    }
+    if (!ok) ++failures;
+  }
+  return trials > 0 ? static_cast<double>(failures) / trials : 0.0;
+}
+
+}  // namespace surfnet::qec

@@ -1,0 +1,96 @@
+#pragma once
+
+// Space-time (phenomenological) decoding — the extension beyond the
+// paper's error-free-measurement assumption (Sec. I: "All measurements
+// are assumed to be error-free").
+//
+// T noisy syndrome-measurement rounds are followed by one perfect round.
+// Data errors arriving in window t flip the detector layer t (the XOR of
+// consecutive measurement outcomes); a measurement error at round t flips
+// detector layers t and t+1. The resulting decoding problem lives on a
+// 3D graph: T+1 copies of the base decoding graph (horizontal edges =
+// data qubits per window; the final layer carries no fresh data errors but
+// exists as detector targets) connected by vertical edges (measurement
+// errors), with the base graph's two space boundaries kept virtual. Any
+// Decoder in this library runs on it unchanged.
+
+#include <vector>
+
+#include "decoder/decoder.h"
+#include "qec/code_lattice.h"
+#include "qec/logical.h"
+#include "qec/pauli.h"
+#include "util/rng.h"
+
+namespace surfnet::qec {
+
+/// The 3D decoding graph for one stabilizer type over T noisy rounds.
+class SpaceTimeGraph {
+ public:
+  /// `rounds` = number of noisy measurement rounds T (>= 1). Layers
+  /// 0..T-1 are the detectors after each noisy round; layer T is the
+  /// detector between the last noisy round and the perfect final round.
+  SpaceTimeGraph(const CodeLattice& lattice, GraphKind kind, int rounds);
+
+  const DecodingGraph& graph() const { return graph_; }
+  GraphKind kind() const { return kind_; }
+  int rounds() const { return rounds_; }
+  int layers() const { return rounds_ + 1; }
+  int num_layer_vertices() const { return base_vertices_; }
+
+  /// Edge classification. Horizontal edges carry (window, data qubit);
+  /// vertical edges carry (round, stabilizer).
+  bool is_horizontal(std::size_t edge) const {
+    return edge_window_[edge] >= 0;
+  }
+  int edge_window(std::size_t edge) const { return edge_window_[edge]; }
+  int edge_qubit(std::size_t edge) const { return edge_qubit_[edge]; }
+
+  /// Per-edge prior error probabilities for the decoders.
+  std::vector<double> edge_priors(double data_rate,
+                                  double measurement_rate) const;
+
+ private:
+  GraphKind kind_;
+  int rounds_;
+  int base_vertices_;
+  DecodingGraph graph_;
+  std::vector<int> edge_window_;  ///< window index, or -1 for vertical
+  std::vector<int> edge_qubit_;   ///< data qubit (horizontal) or stabilizer
+};
+
+/// One sampled space-time error history.
+struct SpaceTimeSample {
+  /// Per window (0..T-1): per-edge X/Z-component flips of the base graph.
+  std::vector<std::vector<char>> window_flips;
+  /// Per noisy round (0..T-1): per-stabilizer measurement flips.
+  std::vector<std::vector<char>> measurement_flips;
+};
+
+/// Sample i.i.d. data flips (per component, rate `data_rate`) and
+/// measurement flips (rate `measurement_rate`).
+SpaceTimeSample sample_spacetime(const CodeLattice& lattice, GraphKind kind,
+                                 int rounds, double data_rate,
+                                 double measurement_rate, util::Rng& rng);
+
+/// Detector bitmap over the space-time graph's real vertices.
+std::vector<char> spacetime_detectors(const SpaceTimeGraph& graph,
+                                      const SpaceTimeSample& sample);
+
+/// Decode one sample and report validity + logical outcome: the residual
+/// (true flips XOR correction), projected onto space by XOR over layers,
+/// must be a stabilizer (no logical-cut crossing).
+DecodeOutcome decode_spacetime(const CodeLattice& lattice,
+                               const SpaceTimeGraph& graph,
+                               const SpaceTimeSample& sample,
+                               const decoder::Decoder& decoder,
+                               double data_rate, double measurement_rate);
+
+/// Monte-Carlo logical error rate over both graph kinds.
+double spacetime_logical_error_rate(const CodeLattice& lattice, int rounds,
+                                    double data_rate,
+                                    double measurement_rate,
+                                    const decoder::Decoder& decoder,
+                                    int trials, util::Rng& rng);
+
+}  // namespace surfnet::qec

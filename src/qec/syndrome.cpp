@@ -1,0 +1,60 @@
+#include "qec/syndrome.h"
+
+#include <stdexcept>
+
+namespace surfnet::qec {
+
+std::vector<char> edge_flips(const CodeLattice& lattice, GraphKind kind,
+                             const std::vector<Pauli>& error) {
+  const DecodingGraph& graph = lattice.graph(kind);
+  if (error.size() != graph.num_edges())
+    throw std::invalid_argument("edge_flips: error size mismatch");
+  std::vector<char> flips(graph.num_edges(), 0);
+  for (std::size_t e = 0; e < graph.num_edges(); ++e) {
+    const Pauli p = error[static_cast<std::size_t>(graph.edge(e).data_qubit)];
+    const bool detected = (kind == GraphKind::Z) ? has_x(p) : has_z(p);
+    flips[e] = detected ? 1 : 0;
+  }
+  return flips;
+}
+
+std::vector<char> syndrome_bitmap(const DecodingGraph& graph,
+                                  const std::vector<char>& flips) {
+  if (flips.size() != graph.num_edges())
+    throw std::invalid_argument("syndrome_bitmap: flips size mismatch");
+  std::vector<char> syndrome(
+      static_cast<std::size_t>(graph.num_real_vertices()), 0);
+  for (std::size_t e = 0; e < flips.size(); ++e) {
+    if (!flips[e]) continue;
+    const auto& edge = graph.edge(e);
+    if (!graph.is_boundary(edge.u))
+      syndrome[static_cast<std::size_t>(edge.u)] ^= 1;
+    if (!graph.is_boundary(edge.v))
+      syndrome[static_cast<std::size_t>(edge.v)] ^= 1;
+  }
+  return syndrome;
+}
+
+std::vector<int> syndrome_vertices(const DecodingGraph& graph,
+                                   const std::vector<char>& flips) {
+  const auto bitmap = syndrome_bitmap(graph, flips);
+  std::vector<int> vertices;
+  for (std::size_t v = 0; v < bitmap.size(); ++v)
+    if (bitmap[v]) vertices.push_back(static_cast<int>(v));
+  return vertices;
+}
+
+std::vector<char> erased_edges(const CodeLattice& lattice,
+                               GraphKind kind,
+                               const std::vector<char>& erased_qubits) {
+  const DecodingGraph& graph = lattice.graph(kind);
+  if (erased_qubits.size() != graph.num_edges())
+    throw std::invalid_argument("erased_edges: flags size mismatch");
+  std::vector<char> erased(graph.num_edges(), 0);
+  for (std::size_t e = 0; e < graph.num_edges(); ++e)
+    erased[e] =
+        erased_qubits[static_cast<std::size_t>(graph.edge(e).data_qubit)];
+  return erased;
+}
+
+}  // namespace surfnet::qec

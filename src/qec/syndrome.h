@@ -1,0 +1,35 @@
+#pragma once
+
+// Syndrome extraction (paper Sec. III-C, with the error-free measurement
+// assumption). A data-qubit error whose component matches a graph's type
+// flips the measurement outcome of the edge's two endpoint stabilizers;
+// flips at virtual boundary vertices are absorbed.
+
+#include <vector>
+
+#include "qec/graph.h"
+#include "qec/code_lattice.h"
+#include "qec/pauli.h"
+
+namespace surfnet::qec {
+
+/// Per-edge flip indicator for one decoding graph: edge e of graph `kind`
+/// is flipped when its data qubit carries the component that graph detects
+/// (X-type for the Z-graph, Z-type for the X-graph).
+std::vector<char> edge_flips(const CodeLattice& lattice, GraphKind kind,
+                             const std::vector<Pauli>& error);
+
+/// Per-real-vertex syndrome bitmap from per-edge flips.
+std::vector<char> syndrome_bitmap(const DecodingGraph& graph,
+                                  const std::vector<char>& flips);
+
+/// Sorted list of syndrome vertex ids (the decoder input sigma).
+std::vector<int> syndrome_vertices(const DecodingGraph& graph,
+                                   const std::vector<char>& flips);
+
+/// Per-edge erasure indicator for one decoding graph from per-qubit flags.
+std::vector<char> erased_edges(const CodeLattice& lattice,
+                               GraphKind kind,
+                               const std::vector<char>& erased_qubits);
+
+}  // namespace surfnet::qec

@@ -1,0 +1,247 @@
+#include "routing/formulation.h"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace surfnet::routing {
+
+using netsim::Request;
+using netsim::Topology;
+
+RoutingFormulation::RoutingFormulation(const Topology& topology,
+                                       const std::vector<Request>& requests,
+                                       const RoutingParams& params)
+    : topology_(&topology), params_(params), servers_(topology.servers()) {
+  if (params_.core_qubits <= 0 || params_.support_qubits <= 0)
+    throw std::invalid_argument("routing: code sizes must be positive");
+  build(requests);
+}
+
+int RoutingFormulation::edge_tail(int de) const {
+  const auto& f = topology_->fiber(edge_fiber(de));
+  return (de % 2 == 0) ? f.a : f.b;
+}
+
+int RoutingFormulation::edge_head(int de) const {
+  const auto& f = topology_->fiber(edge_fiber(de));
+  return (de % 2 == 0) ? f.b : f.a;
+}
+
+void RoutingFormulation::build(const std::vector<Request>& requests) {
+  const Topology& topo = *topology_;
+  const int de_count = num_directed_edges();
+  const int n = params_.core_qubits;
+  const int m = params_.support_qubits;
+  const int total_qubits = params_.total_qubits();
+
+  // --- Variables (Eq. 2 bounds become variable upper bounds). ---
+  vars_.resize(requests.size());
+  for (std::size_t k = 0; k < requests.size(); ++k) {
+    const Request& req = requests[k];
+    if (req.src == req.dst || !topo.is_user(req.src) || !topo.is_user(req.dst))
+      throw std::invalid_argument("routing: request endpoints must be "
+                                  "distinct users");
+    VarIndex& v = vars_[k];
+    v.y = lp_.add_variable(1.0, req.codes);  // objective: max sum Y_k
+    v.a.assign(static_cast<std::size_t>(de_count), -1);
+    v.b.assign(static_cast<std::size_t>(de_count), -1);
+    for (int de = 0; de < de_count; ++de) {
+      const int tail = edge_tail(de);
+      const int head = edge_head(de);
+      // Eq. 3 line 1: no flow out of the destination or into the source;
+      // transit through third-party users is physically meaningless.
+      const bool tail_ok = (tail == req.src) || topo.is_switch_or_server(tail);
+      const bool head_ok = (head == req.dst) || topo.is_switch_or_server(head);
+      if (!tail_ok || !head_ok) continue;
+      // Small negative objective on every flow unit-noise product: among
+      // maximum-throughput solutions the LP then picks minimum-noise
+      // routes (and aligned Core/Support paths).
+      const double penalty =
+          -params_.noise_objective_weight * topo.fiber_noise(edge_fiber(de));
+      if (params_.dual_channel)
+        v.a[static_cast<std::size_t>(de)] = lp_.add_variable(penalty);
+      v.b[static_cast<std::size_t>(de)] = lp_.add_variable(penalty);
+    }
+    v.x.assign(servers_.size(), -1);
+    for (std::size_t r = 0; r < servers_.size(); ++r)
+      v.x[r] = lp_.add_variable(0.0, req.codes);
+  }
+
+  auto in_edges = [&](int node) {
+    std::vector<int> out;
+    for (int e : topo.incident(node)) {
+      const int de0 = 2 * e, de1 = 2 * e + 1;
+      if (edge_head(de0) == node) out.push_back(de0);
+      if (edge_head(de1) == node) out.push_back(de1);
+    }
+    return out;
+  };
+  auto out_edges = [&](int node) {
+    std::vector<int> out;
+    for (int e : topo.incident(node)) {
+      const int de0 = 2 * e, de1 = 2 * e + 1;
+      if (edge_tail(de0) == node) out.push_back(de0);
+      if (edge_tail(de1) == node) out.push_back(de1);
+    }
+    return out;
+  };
+
+  // --- Per-request constraints: Eqs. (3), (4), (6). ---
+  for (std::size_t k = 0; k < requests.size(); ++k) {
+    const Request& req = requests[k];
+    const VarIndex& v = vars_[k];
+
+    auto add_flow_equation = [&](const std::vector<int>& edges,
+                                 const std::vector<int>& var_of_edge,
+                                 double y_coeff) {
+      Constraint c;
+      for (int de : edges) {
+        const int var = var_of_edge[static_cast<std::size_t>(de)];
+        if (var >= 0) c.terms.emplace_back(var, 1.0);
+      }
+      c.terms.emplace_back(v.y, y_coeff);
+      c.type = ConstraintType::Equal;
+      c.rhs = 0.0;
+      lp_.add_constraint(std::move(c));
+    };
+
+    // Eq. 3: inflow(dst) = outflow(src) = n*Y (Core) and m*Y (Support).
+    if (params_.dual_channel) {
+      add_flow_equation(in_edges(req.dst), v.a, -static_cast<double>(n));
+      add_flow_equation(out_edges(req.src), v.a, -static_cast<double>(n));
+      add_flow_equation(in_edges(req.dst), v.b, -static_cast<double>(m));
+      add_flow_equation(out_edges(req.src), v.b, -static_cast<double>(m));
+    } else {
+      add_flow_equation(in_edges(req.dst), v.b,
+                        -static_cast<double>(total_qubits));
+      add_flow_equation(out_edges(req.src), v.b,
+                        -static_cast<double>(total_qubits));
+    }
+
+    // Eq. 4: conservation at switches and servers; server EC coupling.
+    for (int node : topo.switches_and_servers()) {
+      const auto in = in_edges(node);
+      const auto out = out_edges(node);
+      auto add_conservation = [&](const std::vector<int>& var_of_edge) {
+        Constraint c;
+        bool any = false;
+        for (int de : in) {
+          const int var = var_of_edge[static_cast<std::size_t>(de)];
+          if (var >= 0) c.terms.emplace_back(var, 1.0), any = true;
+        }
+        for (int de : out) {
+          const int var = var_of_edge[static_cast<std::size_t>(de)];
+          if (var >= 0) c.terms.emplace_back(var, -1.0), any = true;
+        }
+        if (!any) return;
+        c.type = ConstraintType::Equal;
+        c.rhs = 0.0;
+        lp_.add_constraint(std::move(c));
+      };
+      if (params_.dual_channel) add_conservation(v.a);
+      add_conservation(v.b);
+    }
+    for (std::size_t r = 0; r < servers_.size(); ++r) {
+      const int node = servers_[r];
+      const auto in = in_edges(node);
+      auto add_coupling = [&](const std::vector<int>& var_of_edge,
+                              double qubits) {
+        Constraint c;
+        for (int de : in) {
+          const int var = var_of_edge[static_cast<std::size_t>(de)];
+          if (var >= 0) c.terms.emplace_back(var, 1.0);
+        }
+        c.terms.emplace_back(v.x[r], -qubits);
+        c.type = ConstraintType::Equal;
+        c.rhs = 0.0;
+        lp_.add_constraint(std::move(c));
+      };
+      if (params_.dual_channel) {
+        add_coupling(v.a, static_cast<double>(n));
+        add_coupling(v.b, static_cast<double>(m));
+      } else {
+        add_coupling(v.b, static_cast<double>(total_qubits));
+      }
+    }
+
+    // Eq. 6: noise thresholds (normalized per code as in the paper's
+    // worked example). Core: 0 <= (1/n) sum mu a - w sum x <= Wc * Y.
+    // Whole code: (1/(n+m)) sum mu (a/2 + b) - w sum x <= W * Y.
+    auto noise_terms = [&](const std::vector<int>& var_of_edge,
+                           double scale, Constraint& c) {
+      for (int de = 0; de < de_count; ++de) {
+        const int var = var_of_edge[static_cast<std::size_t>(de)];
+        if (var < 0) continue;
+        const double mu = topo.fiber_noise(edge_fiber(de));
+        if (mu > 0.0) c.terms.emplace_back(var, scale * mu);
+      }
+    };
+    if (params_.dual_channel) {
+      Constraint lower;  // >= 0: discourages consecutive servers
+      noise_terms(v.a, 1.0 / n, lower);
+      for (std::size_t r = 0; r < servers_.size(); ++r)
+        lower.terms.emplace_back(v.x[r], -params_.ec_reduction);
+      Constraint upper = lower;
+      lower.type = ConstraintType::GreaterEqual;
+      lower.rhs = 0.0;
+      lp_.add_constraint(std::move(lower));
+      upper.terms.emplace_back(v.y, -params_.core_noise_threshold);
+      upper.type = ConstraintType::LessEqual;
+      upper.rhs = 0.0;
+      lp_.add_constraint(std::move(upper));
+    }
+    {
+      Constraint total;
+      if (params_.dual_channel) {
+        noise_terms(v.a, 0.5 / total_qubits, total);
+        noise_terms(v.b, 1.0 / total_qubits, total);
+      } else {
+        noise_terms(v.b, 1.0 / total_qubits, total);
+      }
+      for (std::size_t r = 0; r < servers_.size(); ++r)
+        total.terms.emplace_back(v.x[r], -params_.ec_reduction);
+      total.terms.emplace_back(v.y, -params_.total_noise_threshold);
+      total.type = ConstraintType::LessEqual;
+      total.rhs = 0.0;
+      lp_.add_constraint(std::move(total));
+    }
+  }
+
+  // --- Shared capacity constraints: Eq. (5). ---
+  const double capacity_scale =
+      params_.dual_channel ? 1.0 : params_.raw_capacity_bonus;
+  for (int node : topo.switches_and_servers()) {
+    Constraint c;
+    for (int de : in_edges(node)) {
+      for (const auto& v : vars_) {
+        if (params_.dual_channel) {
+          const int va = v.a[static_cast<std::size_t>(de)];
+          if (va >= 0) c.terms.emplace_back(va, 1.0);
+        }
+        const int vb = v.b[static_cast<std::size_t>(de)];
+        if (vb >= 0) c.terms.emplace_back(vb, 1.0);
+      }
+    }
+    if (c.terms.empty()) continue;
+    c.type = ConstraintType::LessEqual;
+    c.rhs = capacity_scale * topo.node(node).storage_capacity;
+    lp_.add_constraint(std::move(c));
+  }
+  if (params_.dual_channel) {
+    for (int e = 0; e < topo.num_fibers(); ++e) {
+      Constraint c;
+      for (const auto& v : vars_) {
+        for (int de : {2 * e, 2 * e + 1}) {
+          const int va = v.a[static_cast<std::size_t>(de)];
+          if (va >= 0) c.terms.emplace_back(va, 1.0);
+        }
+      }
+      if (c.terms.empty()) continue;
+      c.type = ConstraintType::LessEqual;
+      c.rhs = topo.fiber(e).entanglement_capacity;
+      lp_.add_constraint(std::move(c));
+    }
+  }
+}
+
+}  // namespace surfnet::routing

@@ -1,0 +1,94 @@
+#pragma once
+
+// LP formulation of the SurfNet routing protocol (paper Sec. V-A,
+// Eqs. (1)-(6)). Variables per request k:
+//   Y_k      in [0, i_k] : surface codes scheduled,
+//   a^k_e    >= 0        : Core qubits routed through directed edge e,
+//   b^k_e    >= 0        : Support qubits routed through directed edge e,
+//   x^k_r    in [0, i_k] : error corrections scheduled at server r;
+// objective max sum_k Y_k; constraints: initialization/termination (3),
+// conservation and server coupling (4), storage and entanglement capacity
+// (5), and the normalized noise thresholds (6), where the Core noise is
+// halved to account for purification and each correction subtracts omega.
+//
+// With dual_channel = false the same machinery produces the paper's "Raw"
+// baseline: no Core variables, every qubit on the plain channel, EC still
+// available in servers, and switches get a capacity bonus because they no
+// longer prepare entanglement.
+
+#include <vector>
+
+#include "netsim/schedule.h"
+#include "netsim/topology.h"
+#include "routing/simplex.h"
+
+namespace surfnet::routing {
+
+struct RoutingParams {
+  int core_qubits = 7;      ///< n (distance-4 code, paper example)
+  int support_qubits = 18;  ///< m
+  double ec_reduction = 0.12;         ///< omega
+  double core_noise_threshold = 0.16; ///< W_c
+  double total_noise_threshold = 0.22;  ///< W
+  bool dual_channel = true;             ///< false = Raw baseline
+  double raw_capacity_bonus = 1.2;      ///< Raw switches hold more qubits
+  /// Secondary objective weight: the LP maximizes sum_k Y_k minus this
+  /// weight times the total noise carried by all flows, so that among
+  /// maximum-throughput schedules the minimum-noise routing is chosen.
+  /// Must stay small enough never to sacrifice a whole code for noise.
+  double noise_objective_weight = 0.02;
+  /// Adaptive code sizes based on quality of service (paper Sec. VI-C
+  /// future direction), supported by the greedy scheduler: clean routes
+  /// use a compact distance-3 code, noisy routes escalate to distance 5,
+  /// and the noise thresholds scale with the code's error tolerance.
+  bool adaptive_code_distance = false;
+
+  /// Core qubits of the distance-d cross: 2d - 1.
+  static int core_qubits_for(int distance) { return 2 * distance - 1; }
+  /// Data qubits of the distance-d planar code: d^2 + (d-1)^2.
+  static int total_qubits_for(int distance) {
+    return distance * distance + (distance - 1) * (distance - 1);
+  }
+
+  int total_qubits() const { return core_qubits + support_qubits; }
+};
+
+class RoutingFormulation {
+ public:
+  struct VarIndex {
+    int y = -1;
+    std::vector<int> a;  ///< per directed edge; -1 = pruned/absent
+    std::vector<int> b;  ///< per directed edge; -1 = pruned
+    std::vector<int> x;  ///< per server (order of Topology::servers())
+  };
+
+  RoutingFormulation(const netsim::Topology& topology,
+                     const std::vector<netsim::Request>& requests,
+                     const RoutingParams& params);
+
+  const LpProblem& problem() const { return lp_; }
+  const RoutingParams& params() const { return params_; }
+  const std::vector<int>& servers() const { return servers_; }
+
+  int num_requests() const { return static_cast<int>(vars_.size()); }
+  const VarIndex& vars(int k) const {
+    return vars_[static_cast<std::size_t>(k)];
+  }
+
+  /// Directed edges: 2 per fiber; even ids run a->b, odd ids b->a.
+  int num_directed_edges() const { return 2 * topology_->num_fibers(); }
+  int edge_fiber(int de) const { return de / 2; }
+  int edge_tail(int de) const;
+  int edge_head(int de) const;
+
+ private:
+  const netsim::Topology* topology_;
+  RoutingParams params_;
+  std::vector<int> servers_;
+  std::vector<VarIndex> vars_;
+  LpProblem lp_;
+
+  void build(const std::vector<netsim::Request>& requests);
+};
+
+}  // namespace surfnet::routing

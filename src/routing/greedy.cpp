@@ -1,0 +1,345 @@
+#include "routing/greedy.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <queue>
+
+#include "netsim/channel.h"
+
+namespace surfnet::routing {
+
+using netsim::Request;
+using netsim::Schedule;
+using netsim::ScheduledRequest;
+using netsim::Topology;
+
+CapacityTracker::CapacityTracker(const Topology& topology,
+                                 const RoutingParams& params)
+    : topology_(&topology), params_(params) {
+  const double bonus = params.dual_channel ? 1.0 : params.raw_capacity_bonus;
+  node_capacity_.resize(static_cast<std::size_t>(topology.num_nodes()));
+  for (int v = 0; v < topology.num_nodes(); ++v)
+    node_capacity_[static_cast<std::size_t>(v)] =
+        bonus * topology.node(v).storage_capacity;
+  fiber_pairs_.resize(static_cast<std::size_t>(topology.num_fibers()));
+  for (int e = 0; e < topology.num_fibers(); ++e)
+    fiber_pairs_[static_cast<std::size_t>(e)] =
+        topology.fiber(e).entanglement_capacity;
+}
+
+bool CapacityTracker::path_feasible(const std::vector<int>& path) const {
+  return path_feasible(path, params_.total_qubits(), params_.core_qubits);
+}
+
+bool CapacityTracker::path_feasible(const std::vector<int>& path,
+                                    double node_demand,
+                                    double pair_demand) const {
+  for (std::size_t i = 1; i + 1 < path.size(); ++i)
+    if (node_remaining(path[i]) < node_demand) return false;
+  if (params_.dual_channel) {
+    for (std::size_t i = 0; i + 1 < path.size(); ++i) {
+      const int e = topology_->fiber_between(path[i], path[i + 1]);
+      if (e < 0 || fiber_pairs_remaining(e) < pair_demand) return false;
+    }
+  }
+  return true;
+}
+
+void CapacityTracker::commit(const std::vector<int>& path) {
+  commit(path, params_.total_qubits(), params_.core_qubits);
+}
+
+void CapacityTracker::commit(const std::vector<int>& path, double node_demand,
+                             double pair_demand) {
+  for (std::size_t i = 1; i + 1 < path.size(); ++i)
+    node_capacity_[static_cast<std::size_t>(path[i])] -= node_demand;
+  if (params_.dual_channel) {
+    for (std::size_t i = 0; i + 1 < path.size(); ++i) {
+      const int e = topology_->fiber_between(path[i], path[i + 1]);
+      fiber_pairs_[static_cast<std::size_t>(e)] -= pair_demand;
+    }
+  }
+}
+
+int adaptive_distance(double residual_noise) {
+  if (residual_noise <= 0.10) return 3;
+  if (residual_noise <= 0.30) return 4;
+  return 5;
+}
+
+bool CapacityTracker::split_feasible(
+    const std::vector<int>& core_path,
+    const std::vector<int>& support_path) const {
+  // Storage demand per node: Core and Support qubits are counted where
+  // each part travels; a node on both paths stores both.
+  const double support_demand =
+      params_.dual_channel ? params_.support_qubits : params_.total_qubits();
+  std::vector<std::pair<int, double>> demand;
+  for (std::size_t i = 1; i + 1 < support_path.size(); ++i)
+    demand.emplace_back(support_path[i], support_demand);
+  for (std::size_t i = 1; i + 1 < core_path.size(); ++i)
+    demand.emplace_back(core_path[i],
+                        static_cast<double>(params_.core_qubits));
+  std::vector<std::pair<int, double>> agg;
+  for (const auto& [node, qubits] : demand) {
+    bool found = false;
+    for (auto& [n2, q2] : agg)
+      if (n2 == node) {
+        q2 += qubits;
+        found = true;
+      }
+    if (!found) agg.emplace_back(node, qubits);
+  }
+  for (const auto& [node, qubits] : agg)
+    if (node_remaining(node) < qubits) return false;
+  for (std::size_t i = 0; i + 1 < core_path.size(); ++i) {
+    const int e = topology_->fiber_between(core_path[i], core_path[i + 1]);
+    if (e < 0 || fiber_pairs_remaining(e) < params_.core_qubits) return false;
+  }
+  return true;
+}
+
+void CapacityTracker::commit_split(const std::vector<int>& core_path,
+                                   const std::vector<int>& support_path) {
+  const double support_demand =
+      params_.dual_channel ? params_.support_qubits : params_.total_qubits();
+  for (std::size_t i = 1; i + 1 < support_path.size(); ++i)
+    node_capacity_[static_cast<std::size_t>(support_path[i])] -=
+        support_demand;
+  for (std::size_t i = 1; i + 1 < core_path.size(); ++i)
+    node_capacity_[static_cast<std::size_t>(core_path[i])] -=
+        params_.core_qubits;
+  for (std::size_t i = 0; i + 1 < core_path.size(); ++i) {
+    const int e = topology_->fiber_between(core_path[i], core_path[i + 1]);
+    fiber_pairs_[static_cast<std::size_t>(e)] -= params_.core_qubits;
+  }
+}
+
+namespace {
+
+/// Dijkstra over nodes with remaining capacity, minimizing accumulated
+/// noise. Only the request's endpoints may be users.
+std::optional<std::vector<int>> min_noise_path(const Topology& topology,
+                                               const CapacityTracker& tracker,
+                                               const RoutingParams& params,
+                                               int src, int dst) {
+  const double node_demand = params.total_qubits();
+  const double pair_demand = params.core_qubits;
+  const double inf = std::numeric_limits<double>::infinity();
+  std::vector<double> dist(static_cast<std::size_t>(topology.num_nodes()),
+                           inf);
+  std::vector<int> parent(static_cast<std::size_t>(topology.num_nodes()), -1);
+  using Item = std::pair<double, int>;
+  std::priority_queue<Item, std::vector<Item>, std::greater<>> heap;
+  dist[static_cast<std::size_t>(src)] = 0.0;
+  heap.push({0.0, src});
+  while (!heap.empty()) {
+    const auto [d, u] = heap.top();
+    heap.pop();
+    if (d > dist[static_cast<std::size_t>(u)]) continue;
+    if (u == dst) break;
+    for (int e : topology.incident(u)) {
+      const int v = topology.other_end(e, u);
+      // Only the destination user is enterable; transit nodes need storage.
+      if (v != dst) {
+        if (!topology.is_switch_or_server(v)) continue;
+        if (tracker.node_remaining(v) < node_demand) continue;
+      }
+      if (params.dual_channel &&
+          tracker.fiber_pairs_remaining(e) < pair_demand)
+        continue;
+      const double nd = d + topology.fiber_noise(e);
+      if (nd < dist[static_cast<std::size_t>(v)]) {
+        dist[static_cast<std::size_t>(v)] = nd;
+        parent[static_cast<std::size_t>(v)] = u;
+        heap.push({nd, v});
+      }
+    }
+  }
+  if (dist[static_cast<std::size_t>(dst)] == inf) return std::nullopt;
+  std::vector<int> path;
+  for (int v = dst; v != -1; v = parent[static_cast<std::size_t>(v)])
+    path.push_back(v);
+  std::reverse(path.begin(), path.end());
+  return path;
+}
+
+}  // namespace
+
+namespace {
+
+/// Threshold-check a concrete path; returns the planned code or nullopt.
+std::optional<PlannedCode> check_path(const Topology& topology,
+                                      const RoutingParams& params,
+                                      const std::vector<int>& path);
+
+}  // namespace
+
+std::optional<PlannedCode> plan_code(const Topology& topology,
+                                     const CapacityTracker& tracker,
+                                     const RoutingParams& params, int src,
+                                     int dst) {
+  const auto direct = min_noise_path(topology, tracker, params, src, dst);
+  if (direct) {
+    if (auto plan = check_path(topology, params, *direct)) return plan;
+  }
+  // The minimum-noise route may fail the thresholds simply because it
+  // passes too few servers: detour through one server — or an ordered pair
+  // of servers — (the hierarchical equivalent of the LP routing its flow
+  // through EC sites) and keep the lowest-noise feasible composite.
+  auto is_simple = [](const std::vector<int>& path) {
+    for (std::size_t i = 0; i < path.size(); ++i)
+      for (std::size_t j = i + 1; j < path.size(); ++j)
+        if (path[i] == path[j]) return false;
+    return true;
+  };
+  auto join = [&](const std::vector<int>& a,
+                  const std::vector<int>& b) {
+    std::vector<int> composite = a;
+    composite.insert(composite.end(), b.begin() + 1, b.end());
+    return composite;
+  };
+
+  std::optional<PlannedCode> best;
+  double best_mu = std::numeric_limits<double>::infinity();
+  auto consider = [&](const std::vector<int>& composite) {
+    if (!is_simple(composite)) return;
+    const double mu = netsim::path_noise(topology, composite);
+    if (mu >= best_mu) return;
+    if (auto plan = check_path(topology, params, composite)) {
+      best = std::move(plan);
+      best_mu = mu;
+    }
+  };
+
+  const auto servers = topology.servers();
+  for (const int server : servers) {
+    if (server == src || server == dst) continue;
+    const auto first = min_noise_path(topology, tracker, params, src, server);
+    if (!first) continue;
+    const auto second =
+        min_noise_path(topology, tracker, params, server, dst);
+    if (second) consider(join(*first, *second));
+    for (const int other : servers) {
+      if (other == server || other == src || other == dst) continue;
+      const auto middle =
+          min_noise_path(topology, tracker, params, server, other);
+      if (!middle) continue;
+      const auto last =
+          min_noise_path(topology, tracker, params, other, dst);
+      if (last) consider(join(join(*first, *middle), *last));
+    }
+  }
+  return best;
+}
+
+namespace {
+
+std::optional<PlannedCode> check_path(const Topology& topology,
+                                      const RoutingParams& params,
+                                      const std::vector<int>& path_arg) {
+  const auto* path = &path_arg;
+  const double mu_total = netsim::path_noise(topology, *path);
+  std::vector<int> servers_on_path;
+  for (std::size_t i = 1; i + 1 < path->size(); ++i)
+    if (topology.is_server((*path)[i])) servers_on_path.push_back((*path)[i]);
+
+  // Schedule as many corrections as the lower noise bound allows
+  // (Eq. 6: core noise after corrections must stay >= 0).
+  const int max_ec = params.ec_reduction > 0.0
+                         ? static_cast<int>(std::floor(
+                               mu_total / params.ec_reduction))
+                         : 0;
+  const int ec_count =
+      std::min<int>(static_cast<int>(servers_on_path.size()), max_ec);
+
+  // Threshold checks, mirroring the normalized Eq. (6). With adaptive
+  // code sizes, the thresholds scale with the code's error tolerance:
+  // a larger code survives proportionally more residual noise.
+  const double after_ec = params.ec_reduction * ec_count;
+  const double core_residual = mu_total - after_ec;
+  int distance = 0;
+  double threshold_scale = 1.0;
+  if (params.adaptive_code_distance) {
+    distance = adaptive_distance(core_residual);
+    threshold_scale = (distance - 2.0) / 2.0;  // d=3: 0.5, d=4: 1, d=5: 1.5
+  }
+  const int n = params.core_qubits;
+  const int total = params.total_qubits();
+  if (params.dual_channel) {
+    if (core_residual > threshold_scale * params.core_noise_threshold)
+      return std::nullopt;
+    const double whole =
+        (0.5 * n * mu_total + (total - n) * mu_total) / total - after_ec;
+    if (whole > threshold_scale * params.total_noise_threshold)
+      return std::nullopt;
+  } else {
+    const double whole = mu_total - after_ec;
+    if (whole > threshold_scale * params.total_noise_threshold)
+      return std::nullopt;
+  }
+
+  PlannedCode plan;
+  plan.path = *path;
+  plan.ec_servers.assign(servers_on_path.begin(),
+                         servers_on_path.begin() + ec_count);
+  plan.distance = distance;
+  return plan;
+}
+
+}  // namespace
+
+Schedule route_greedy(const Topology& topology,
+                      const std::vector<Request>& requests,
+                      const RoutingParams& params, util::Rng& rng) {
+  Schedule schedule;
+  for (const auto& r : requests) schedule.requested_codes += r.codes;
+
+  CapacityTracker tracker(topology, params);
+  std::vector<std::size_t> order(requests.size());
+  for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+  for (std::size_t i = order.size(); i > 1; --i)
+    std::swap(order[i - 1], order[rng.below(i)]);
+
+  for (std::size_t k : order) {
+    const Request& req = requests[k];
+    for (int code = 0; code < req.codes; ++code) {
+      const auto plan = plan_code(topology, tracker, params, req.src,
+                                  req.dst);
+      if (!plan) break;
+      const double node_demand =
+          plan->distance > 0
+              ? RoutingParams::total_qubits_for(plan->distance)
+              : params.total_qubits();
+      const double pair_demand =
+          plan->distance > 0 ? RoutingParams::core_qubits_for(plan->distance)
+                             : params.core_qubits;
+      if (!tracker.path_feasible(plan->path, node_demand, pair_demand))
+        break;
+      tracker.commit(plan->path, node_demand, pair_demand);
+      // Merge consecutive identical plans of the same request.
+      if (!schedule.scheduled.empty()) {
+        auto& last = schedule.scheduled.back();
+        if (last.request_index == static_cast<int>(k) &&
+            last.support_path == plan->path &&
+            last.ec_servers == plan->ec_servers &&
+            last.code_distance == plan->distance) {
+          ++last.codes;
+          continue;
+        }
+      }
+      ScheduledRequest s;
+      s.request_index = static_cast<int>(k);
+      s.codes = 1;
+      s.support_path = plan->path;
+      if (params.dual_channel) s.core_path = plan->path;
+      s.ec_servers = plan->ec_servers;
+      s.code_distance = plan->distance;
+      schedule.scheduled.push_back(std::move(s));
+    }
+  }
+  return schedule;
+}
+
+}  // namespace surfnet::routing

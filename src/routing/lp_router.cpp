@@ -1,0 +1,286 @@
+#include "routing/lp_router.h"
+
+#include <algorithm>
+#include <cmath>
+#include <queue>
+
+#include "netsim/channel.h"
+#include "routing/greedy.h"
+
+namespace surfnet::routing {
+
+using netsim::Request;
+using netsim::Schedule;
+using netsim::ScheduledRequest;
+using netsim::Topology;
+
+namespace {
+
+constexpr double kFlowEps = 1e-6;
+
+/// A flow-carrying path extracted from the relaxed solution.
+struct FlowPath {
+  std::vector<int> nodes;
+  double weight = 0.0;  ///< codes carried (fractional)
+};
+
+/// BFS-based path stripping: repeatedly find any src->dst path through
+/// edges with positive residual flow, strip its bottleneck. BFS guarantees
+/// termination even when the LP solution contains flow cycles (those are
+/// simply never reached and ignored).
+std::vector<FlowPath> decompose_flow(const RoutingFormulation& formulation,
+                                     int num_nodes, std::vector<double> flow,
+                                     int src, int dst) {
+  const int de_count = formulation.num_directed_edges();
+  std::vector<FlowPath> paths;
+  for (int guard = 0; guard < 4 * de_count + 16; ++guard) {
+    // BFS over positive-flow edges.
+    std::vector<char> visited(static_cast<std::size_t>(num_nodes), 0);
+    std::vector<int> via(static_cast<std::size_t>(num_nodes), -1);
+    std::queue<int> queue;
+    queue.push(src);
+    visited[static_cast<std::size_t>(src)] = 1;
+    bool reached = false;
+    while (!queue.empty() && !reached) {
+      const int u = queue.front();
+      queue.pop();
+      for (int de = 0; de < de_count; ++de) {
+        if (flow[static_cast<std::size_t>(de)] <= kFlowEps) continue;
+        if (formulation.edge_tail(de) != u) continue;
+        const int v = formulation.edge_head(de);
+        if (visited[static_cast<std::size_t>(v)]) continue;
+        visited[static_cast<std::size_t>(v)] = 1;
+        via[static_cast<std::size_t>(v)] = de;
+        if (v == dst) {
+          reached = true;
+          break;
+        }
+        queue.push(v);
+      }
+    }
+    if (!reached) break;
+
+    // Walk back, collect the path and its bottleneck.
+    std::vector<int> edges;
+    for (int v = dst; v != src;) {
+      const int de = via[static_cast<std::size_t>(v)];
+      edges.push_back(de);
+      v = formulation.edge_tail(de);
+    }
+    std::reverse(edges.begin(), edges.end());
+    double bottleneck = std::numeric_limits<double>::infinity();
+    for (int de : edges)
+      bottleneck = std::min(bottleneck, flow[static_cast<std::size_t>(de)]);
+    for (int de : edges) flow[static_cast<std::size_t>(de)] -= bottleneck;
+
+    FlowPath path;
+    path.weight = bottleneck;
+    path.nodes.push_back(src);
+    for (int de : edges) path.nodes.push_back(formulation.edge_head(de));
+    paths.push_back(std::move(path));
+  }
+  return paths;
+}
+
+/// Largest-remainder allocation of `total` integral codes to paths
+/// proportionally to their fractional weights.
+std::vector<int> allocate_codes(const std::vector<FlowPath>& paths,
+                                int total) {
+  std::vector<int> alloc(paths.size(), 0);
+  int assigned = 0;
+  for (std::size_t i = 0; i < paths.size(); ++i) {
+    alloc[i] = static_cast<int>(std::floor(paths[i].weight + kFlowEps));
+    assigned += alloc[i];
+  }
+  std::vector<std::size_t> by_remainder(paths.size());
+  for (std::size_t i = 0; i < by_remainder.size(); ++i) by_remainder[i] = i;
+  std::sort(by_remainder.begin(), by_remainder.end(),
+            [&](std::size_t x, std::size_t y) {
+              const double rx = paths[x].weight - std::floor(paths[x].weight);
+              const double ry = paths[y].weight - std::floor(paths[y].weight);
+              return rx > ry;
+            });
+  for (std::size_t i = 0; i < by_remainder.size() && assigned < total; ++i) {
+    ++alloc[by_remainder[i]];
+    ++assigned;
+  }
+  // Trim over-allocation (floor sums can exceed `total` only by LP noise).
+  for (std::size_t i = paths.size(); i-- > 0 && assigned > total;) {
+    const int cut = std::min(alloc[i], assigned - total);
+    alloc[i] -= cut;
+    assigned -= cut;
+  }
+  return alloc;
+}
+
+/// EC servers for one code: servers on the core (or support, when raw)
+/// path that also lie on the other path, capped by the noise lower bound.
+std::vector<int> choose_ec_servers(const Topology& topology,
+                                   const RoutingParams& params,
+                                   const std::vector<int>& core_path,
+                                   const std::vector<int>& support_path) {
+  const auto& primary = core_path.empty() ? support_path : core_path;
+  std::vector<int> servers;
+  // EC needs the complete code, so a chosen server must appear on both
+  // paths, and in the same order on each (the simulator synchronizes the
+  // two parts barrier by barrier).
+  std::size_t support_cursor = 1;
+  for (std::size_t i = 1; i + 1 < primary.size(); ++i) {
+    const int node = primary[i];
+    if (!topology.is_server(node)) continue;
+    if (!core_path.empty()) {
+      const auto it = std::find(support_path.begin() +
+                                    static_cast<std::ptrdiff_t>(support_cursor),
+                                support_path.end() - 1, node);
+      if (it == support_path.end() - 1) continue;
+      support_cursor =
+          static_cast<std::size_t>(it - support_path.begin()) + 1;
+    }
+    servers.push_back(node);
+  }
+  const double mu = netsim::path_noise(topology, primary);
+  const int max_ec =
+      params.ec_reduction > 0.0
+          ? static_cast<int>(std::floor(mu / params.ec_reduction))
+          : 0;
+  if (static_cast<int>(servers.size()) > max_ec)
+    servers.resize(static_cast<std::size_t>(std::max(0, max_ec)));
+  return servers;
+}
+
+}  // namespace
+
+LpRouteResult route_lp(const Topology& topology,
+                       const std::vector<Request>& requests,
+                       const RoutingParams& params, util::Rng& rng) {
+  LpRouteResult result;
+  for (const auto& r : requests) result.schedule.requested_codes += r.codes;
+
+  const RoutingFormulation formulation(topology, requests, params);
+  const LpSolution lp = solve_lp(formulation.problem());
+  result.status = lp.status;
+  // Report the throughput part of the objective (sum of Y_k), not the
+  // noise-regularized value: it is the meaningful upper bound on codes.
+  if (lp.status == LpStatus::Optimal) {
+    double total_y = 0.0;
+    for (int k = 0; k < formulation.num_requests(); ++k)
+      total_y += lp.x[static_cast<std::size_t>(formulation.vars(k).y)];
+    result.lp_objective = total_y;
+  }
+  result.schedule.lp_objective = result.lp_objective;
+  if (lp.status != LpStatus::Optimal) {
+    // Fall back entirely to the greedy scheduler.
+    result.schedule = route_greedy(topology, requests, params, rng);
+    result.schedule.lp_objective = 0.0;
+    return result;
+  }
+
+  CapacityTracker tracker(topology, params);
+  const int de_count = formulation.num_directed_edges();
+
+  std::vector<int> scheduled_codes(requests.size(), 0);
+  std::vector<std::size_t> order(requests.size());
+  for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+  for (std::size_t i = order.size(); i > 1; --i)
+    std::swap(order[i - 1], order[rng.below(i)]);
+
+  for (std::size_t k : order) {
+    const Request& req = requests[k];
+    const auto& vars = formulation.vars(static_cast<int>(k));
+    const double y = lp.x[static_cast<std::size_t>(vars.y)];
+    const int target = static_cast<int>(std::floor(y + 1e-4));
+    if (target <= 0) continue;
+
+    const double n = params.core_qubits;
+    const double support_unit =
+        params.dual_channel ? params.support_qubits : params.total_qubits();
+
+    std::vector<double> support_flow(static_cast<std::size_t>(de_count), 0.0);
+    std::vector<double> core_flow(static_cast<std::size_t>(de_count), 0.0);
+    for (int de = 0; de < de_count; ++de) {
+      const int vb = vars.b[static_cast<std::size_t>(de)];
+      if (vb >= 0)
+        support_flow[static_cast<std::size_t>(de)] =
+            lp.x[static_cast<std::size_t>(vb)] / support_unit;
+      if (params.dual_channel) {
+        const int va = vars.a[static_cast<std::size_t>(de)];
+        if (va >= 0)
+          core_flow[static_cast<std::size_t>(de)] =
+              lp.x[static_cast<std::size_t>(va)] / n;
+      }
+    }
+
+    const auto support_paths = decompose_flow(
+        formulation, topology.num_nodes(), support_flow, req.src, req.dst);
+    const auto support_alloc = allocate_codes(support_paths, target);
+    std::vector<std::vector<int>> support_per_code;
+    for (std::size_t p = 0; p < support_paths.size(); ++p)
+      for (int c = 0; c < support_alloc[p]; ++c)
+        support_per_code.push_back(support_paths[p].nodes);
+
+    std::vector<std::vector<int>> core_per_code;
+    if (params.dual_channel) {
+      const auto core_paths = decompose_flow(
+          formulation, topology.num_nodes(), core_flow, req.src, req.dst);
+      const auto core_alloc = allocate_codes(core_paths, target);
+      for (std::size_t p = 0; p < core_paths.size(); ++p)
+        for (int c = 0; c < core_alloc[p]; ++c)
+          core_per_code.push_back(core_paths[p].nodes);
+    }
+
+    const std::size_t codes =
+        params.dual_channel
+            ? std::min(support_per_code.size(), core_per_code.size())
+            : support_per_code.size();
+    for (std::size_t c = 0; c < codes; ++c) {
+      const std::vector<int>& support = support_per_code[c];
+      static const std::vector<int> kEmpty;
+      const std::vector<int>& core =
+          params.dual_channel ? core_per_code[c] : kEmpty;
+      if (!tracker.split_feasible(core, support)) continue;
+      tracker.commit_split(core, support);
+      ++scheduled_codes[k];
+
+      const auto ec = choose_ec_servers(topology, params, core, support);
+      if (!result.schedule.scheduled.empty()) {
+        auto& last = result.schedule.scheduled.back();
+        if (last.request_index == static_cast<int>(k) &&
+            last.support_path == support && last.core_path == core &&
+            last.ec_servers == ec) {
+          ++last.codes;
+          continue;
+        }
+      }
+      ScheduledRequest s;
+      s.request_index = static_cast<int>(k);
+      s.codes = 1;
+      s.support_path = support;
+      s.core_path = core;
+      s.ec_servers = ec;
+      result.schedule.scheduled.push_back(std::move(s));
+    }
+  }
+
+  // Greedy top-up: reclaim codes the rounding dropped, while capacities and
+  // noise thresholds still allow.
+  for (std::size_t k : order) {
+    const Request& req = requests[k];
+    while (scheduled_codes[k] < req.codes) {
+      const auto plan =
+          plan_code(topology, tracker, params, req.src, req.dst);
+      if (!plan || !tracker.path_feasible(plan->path)) break;
+      tracker.commit(plan->path);
+      ++scheduled_codes[k];
+      ScheduledRequest s;
+      s.request_index = static_cast<int>(k);
+      s.codes = 1;
+      s.support_path = plan->path;
+      if (params.dual_channel) s.core_path = plan->path;
+      s.ec_servers = plan->ec_servers;
+      result.schedule.scheduled.push_back(std::move(s));
+    }
+  }
+  return result;
+}
+
+}  // namespace surfnet::routing

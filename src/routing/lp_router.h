@@ -1,0 +1,27 @@
+#pragma once
+
+// The centralized offline scheduler of SurfNet (paper Sec. V-A): build the
+// LP relaxation of Eqs. (1)-(6), solve it with the simplex solver, round
+// the fractional flows into integral per-code paths by flow decomposition,
+// and greedily top the schedule up with any codes the rounding lost.
+
+#include "netsim/schedule.h"
+#include "netsim/topology.h"
+#include "routing/formulation.h"
+#include "util/rng.h"
+
+namespace surfnet::routing {
+
+struct LpRouteResult {
+  netsim::Schedule schedule;
+  LpStatus status = LpStatus::Infeasible;
+  double lp_objective = 0.0;  ///< relaxed optimum (upper-bounds throughput)
+};
+
+/// Route with LP relaxation + rounding. `params.dual_channel` selects the
+/// SurfNet formulation or the Raw baseline formulation.
+LpRouteResult route_lp(const netsim::Topology& topology,
+                       const std::vector<netsim::Request>& requests,
+                       const RoutingParams& params, util::Rng& rng);
+
+}  // namespace surfnet::routing

@@ -1,0 +1,53 @@
+#pragma once
+
+// Dense two-phase primal simplex solver, written from scratch for the
+// SurfNet routing protocol (paper Sec. V-A): the integer program of
+// Eqs. (1)-(6) is solved as its LP relaxation and rounded, exactly as the
+// paper's evaluation does.
+//
+// The solver maximizes c^T x subject to mixed <= / >= / = constraints and
+// x >= 0 (optional per-variable upper bounds become rows). Phase 1 drives
+// artificial variables to zero; phase 2 optimizes the real objective with
+// Dantzig pricing and a Bland's-rule fallback for anti-cycling.
+
+#include <limits>
+#include <utility>
+#include <vector>
+
+namespace surfnet::routing {
+
+enum class ConstraintType { LessEqual, GreaterEqual, Equal };
+
+struct Constraint {
+  std::vector<std::pair<int, double>> terms;  ///< (variable, coefficient)
+  ConstraintType type = ConstraintType::LessEqual;
+  double rhs = 0.0;
+};
+
+struct LpProblem {
+  int num_vars = 0;
+  std::vector<double> objective;  ///< maximize objective . x
+  std::vector<Constraint> constraints;
+  /// Optional upper bounds (infinity = unbounded); lower bounds are 0.
+  std::vector<double> upper_bound;
+
+  int add_variable(double objective_coeff,
+                   double ub = std::numeric_limits<double>::infinity()) {
+    objective.push_back(objective_coeff);
+    upper_bound.push_back(ub);
+    return num_vars++;
+  }
+  void add_constraint(Constraint c) { constraints.push_back(std::move(c)); }
+};
+
+enum class LpStatus { Optimal, Infeasible, Unbounded, IterationLimit };
+
+struct LpSolution {
+  LpStatus status = LpStatus::Infeasible;
+  std::vector<double> x;
+  double objective = 0.0;
+};
+
+LpSolution solve_lp(const LpProblem& problem);
+
+}  // namespace surfnet::routing

@@ -1,0 +1,99 @@
+#pragma once
+
+// Deterministic, seedable pseudo-random number generation for all stochastic
+// components of SurfNet. Every simulation object takes an explicit 64-bit
+// seed so that experiments are exactly reproducible.
+//
+// The generator is xoshiro256** (Blackman & Vigna), seeded via SplitMix64.
+// It is small, fast, and of far higher quality than std::minstd; we avoid
+// std::mt19937 mostly to keep the state compact, copyable and trivially
+// serializable.
+
+#include <array>
+#include <cstdint>
+#include <limits>
+
+namespace surfnet::util {
+
+/// SplitMix64 step: used for seeding and as a standalone mixing function.
+constexpr std::uint64_t splitmix64(std::uint64_t& state) {
+  state += 0x9E3779B97F4A7C15ULL;
+  std::uint64_t z = state;
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  return z ^ (z >> 31);
+}
+
+/// xoshiro256** engine. Satisfies UniformRandomBitGenerator.
+class Rng {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit Rng(std::uint64_t seed = 0xD1CEFEEDDEADBEEFULL) {
+    std::uint64_t sm = seed;
+    for (auto& word : state_) word = splitmix64(sm);
+  }
+
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() {
+    return std::numeric_limits<result_type>::max();
+  }
+
+  result_type operator()() {
+    const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+  }
+
+  /// Uniform double in [0, 1).
+  double uniform() {
+    return static_cast<double>((*this)() >> 11) * 0x1.0p-53;
+  }
+
+  /// Uniform double in [lo, hi).
+  double uniform(double lo, double hi) { return lo + (hi - lo) * uniform(); }
+
+  /// Bernoulli trial with success probability p.
+  bool bernoulli(double p) { return uniform() < p; }
+
+  /// Uniform integer in [0, n). Requires n > 0. Uses Lemire rejection.
+  std::uint64_t below(std::uint64_t n) {
+    // Debiased multiply-shift (Lemire 2019).
+    std::uint64_t x = (*this)();
+    __uint128_t m = static_cast<__uint128_t>(x) * n;
+    auto lo = static_cast<std::uint64_t>(m);
+    if (lo < n) {
+      const std::uint64_t threshold = (0 - n) % n;
+      while (lo < threshold) {
+        x = (*this)();
+        m = static_cast<__uint128_t>(x) * n;
+        lo = static_cast<std::uint64_t>(m);
+      }
+    }
+    return static_cast<std::uint64_t>(m >> 64);
+  }
+
+  /// Uniform integer in [lo, hi] inclusive.
+  std::int64_t between(std::int64_t lo, std::int64_t hi) {
+    return lo + static_cast<std::int64_t>(
+                    below(static_cast<std::uint64_t>(hi - lo + 1)));
+  }
+
+  /// Derive an independent child generator (for per-trial streams).
+  Rng fork() { return Rng((*this)() ^ 0xA5A5A5A5A5A5A5A5ULL); }
+
+ private:
+  static constexpr std::uint64_t rotl(std::uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  std::array<std::uint64_t, 4> state_{};
+};
+
+}  // namespace surfnet::util

@@ -1,0 +1,23 @@
+#include "util/stats.h"
+
+#include <cmath>
+#include <limits>
+
+namespace surfnet::util {
+
+double crossing_point(const double* xs, const double* ya, const double* yb,
+                      std::size_t n) {
+  if (n < 2) return std::numeric_limits<double>::quiet_NaN();
+  for (std::size_t i = 0; i + 1 < n; ++i) {
+    const double d0 = ya[i] - yb[i];
+    const double d1 = ya[i + 1] - yb[i + 1];
+    if (d0 == 0.0) return xs[i];
+    if ((d0 < 0.0 && d1 >= 0.0) || (d0 > 0.0 && d1 <= 0.0)) {
+      const double t = d0 / (d0 - d1);
+      return xs[i] + t * (xs[i + 1] - xs[i]);
+    }
+  }
+  return std::numeric_limits<double>::quiet_NaN();
+}
+
+}  // namespace surfnet::util

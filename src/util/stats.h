@@ -1,0 +1,91 @@
+#pragma once
+
+// Small online-statistics helpers used by the benchmark harnesses to report
+// means and confidence intervals over Monte-Carlo trials.
+
+#include <cmath>
+#include <cstddef>
+#include <stdexcept>
+
+namespace surfnet::util {
+
+/// Welford online accumulator for mean / variance / standard error.
+class RunningStat {
+ public:
+  void add(double x) {
+    ++n_;
+    const double delta = x - mean_;
+    mean_ += delta / static_cast<double>(n_);
+    m2_ += delta * (x - mean_);
+    if (x < min_ || n_ == 1) min_ = x;
+    if (x > max_ || n_ == 1) max_ = x;
+  }
+
+  std::size_t count() const { return n_; }
+  double mean() const { return n_ ? mean_ : 0.0; }
+  double min() const { return n_ ? min_ : 0.0; }
+  double max() const { return n_ ? max_ : 0.0; }
+
+  /// Unbiased sample variance.
+  double variance() const {
+    return n_ > 1 ? m2_ / static_cast<double>(n_ - 1) : 0.0;
+  }
+  double stddev() const { return std::sqrt(variance()); }
+
+  /// Standard error of the mean.
+  double stderr_mean() const {
+    return n_ > 1 ? stddev() / std::sqrt(static_cast<double>(n_)) : 0.0;
+  }
+
+  /// Half-width of the ~95% normal confidence interval.
+  double ci95() const { return 1.96 * stderr_mean(); }
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Binomial proportion accumulator (success counts), with Wilson interval.
+class Proportion {
+ public:
+  void add(bool success) {
+    ++n_;
+    if (success) ++k_;
+  }
+  void add_many(std::size_t successes, std::size_t trials) {
+    k_ += successes;
+    n_ += trials;
+  }
+
+  std::size_t trials() const { return n_; }
+  std::size_t successes() const { return k_; }
+
+  double value() const {
+    return n_ ? static_cast<double>(k_) / static_cast<double>(n_) : 0.0;
+  }
+
+  /// Wilson score interval half-width at 95%.
+  double ci95() const {
+    if (n_ == 0) return 0.0;
+    const double z = 1.96;
+    const double n = static_cast<double>(n_);
+    const double p = value();
+    return z * std::sqrt(p * (1.0 - p) / n + z * z / (4 * n * n)) /
+           (1.0 + z * z / n);
+  }
+
+ private:
+  std::size_t n_ = 0;
+  std::size_t k_ = 0;
+};
+
+/// Linear interpolation of the crossing point where series a and b intersect:
+/// given matching x values and y values, returns the x where (a-b) changes
+/// sign, or NaN when they never cross. Used to estimate decoder thresholds.
+double crossing_point(const double* xs, const double* ya, const double* yb,
+                      std::size_t n);
+
+}  // namespace surfnet::util

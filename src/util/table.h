@@ -1,0 +1,39 @@
+#pragma once
+
+// Plain-text table rendering for the benchmark harnesses: each bench binary
+// reprints the rows/series of a paper table or figure, so the output must be
+// readable in a terminal and trivially diffable. Also supports CSV export.
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace surfnet::util {
+
+/// A simple column-aligned text table.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> header);
+
+  /// Append a row; must have the same arity as the header.
+  void add_row(std::vector<std::string> row);
+
+  /// Convenience: format doubles with the given precision.
+  static std::string fmt(double value, int precision = 4);
+  /// Format as percent, e.g. 0.0725 -> "7.25%".
+  static std::string pct(double value, int precision = 2);
+
+  /// Render with aligned columns and a separator under the header.
+  void print(std::ostream& os) const;
+
+  /// Render as CSV (no quoting needed for our numeric content).
+  void print_csv(std::ostream& os) const;
+
+  std::size_t rows() const { return rows_.size(); }
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace surfnet::util

@@ -1,0 +1,101 @@
+// Integration tests of the SurfNet facade: every (scenario, design) pair
+// runs end to end, metrics are well-formed, and trials are reproducible.
+
+#include "core/surfnet.h"
+
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+namespace surfnet::core {
+namespace {
+
+using DesignParam = std::tuple<FacilityLevel, ConnectionQuality,
+                               NetworkDesign>;
+
+class EndToEndTest : public ::testing::TestWithParam<DesignParam> {};
+
+TEST_P(EndToEndTest, TrialProducesWellFormedMetrics) {
+  const auto& [level, quality, design] = GetParam();
+  const auto params = make_scenario(level, quality);
+  const auto metrics = run_trial(params, design, 12345);
+  EXPECT_GE(metrics.fidelity, 0.0);
+  EXPECT_LE(metrics.fidelity, 1.0);
+  EXPECT_GE(metrics.throughput, 0.0);
+  EXPECT_LE(metrics.throughput, 1.0 + 1e-9);
+  EXPECT_GE(metrics.latency, 0.0);
+  EXPECT_GE(metrics.codes_scheduled, metrics.codes_delivered);
+}
+
+TEST_P(EndToEndTest, TrialsAreReproducible) {
+  const auto& [level, quality, design] = GetParam();
+  const auto params = make_scenario(level, quality);
+  const auto a = run_trial(params, design, 777);
+  const auto b = run_trial(params, design, 777);
+  EXPECT_DOUBLE_EQ(a.fidelity, b.fidelity);
+  EXPECT_DOUBLE_EQ(a.latency, b.latency);
+  EXPECT_DOUBLE_EQ(a.throughput, b.throughput);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllScenarios, EndToEndTest,
+    ::testing::Combine(
+        ::testing::Values(FacilityLevel::Abundant, FacilityLevel::Sufficient,
+                          FacilityLevel::Insufficient),
+        ::testing::Values(ConnectionQuality::Good, ConnectionQuality::Poor),
+        ::testing::Values(NetworkDesign::SurfNet, NetworkDesign::Raw,
+                          NetworkDesign::Purification1,
+                          NetworkDesign::Purification2,
+                          NetworkDesign::Purification9)));
+
+TEST(Experiment, AggregateCountsTrials) {
+  const auto params =
+      make_scenario(FacilityLevel::Abundant, ConnectionQuality::Good);
+  const auto agg = run_trials(params, NetworkDesign::SurfNet, 5, 99);
+  EXPECT_EQ(agg.throughput.count(), 5u);
+  EXPECT_LE(agg.fidelity.count(), 5u);
+  EXPECT_GE(agg.fidelity.mean(), 0.0);
+  EXPECT_LE(agg.fidelity.mean(), 1.0);
+}
+
+TEST(Experiment, SurfNetBeatsPurification1OnFidelity) {
+  // The paper's headline (Fig. 7): SurfNet achieves higher average
+  // communication fidelity than the single-round purification network.
+  const auto params =
+      make_scenario(FacilityLevel::Abundant, ConnectionQuality::Good);
+  const auto surfnet = run_trials(params, NetworkDesign::SurfNet, 25, 4);
+  const auto purif = run_trials(params, NetworkDesign::Purification1, 25, 4);
+  EXPECT_GT(surfnet.fidelity.mean(), purif.fidelity.mean());
+}
+
+TEST(Experiment, ScenarioNamesRoundTrip) {
+  EXPECT_EQ(to_string(FacilityLevel::Abundant), "abundant");
+  EXPECT_EQ(to_string(ConnectionQuality::Poor), "poor");
+  EXPECT_EQ(to_string(NetworkDesign::Purification9), "Purification N=9");
+}
+
+TEST(Experiment, ScenarioDefaultsMatchPaperExample) {
+  const auto params =
+      make_scenario(FacilityLevel::Sufficient, ConnectionQuality::Good);
+  // 25-qubit distance-4 code with a 7-qubit Core (paper Sec. V-A).
+  EXPECT_EQ(params.simulation.code_distance, 4);
+  EXPECT_EQ(params.routing.core_qubits, 7);
+  EXPECT_EQ(params.routing.support_qubits, 18);
+  EXPECT_GT(params.topology.num_nodes, 20);  // paper: over 20 nodes
+}
+
+
+TEST(Experiment, ParallelMatchesSequential) {
+  const auto params =
+      make_scenario(FacilityLevel::Sufficient, ConnectionQuality::Good);
+  const auto serial = run_trials(params, NetworkDesign::SurfNet, 8, 5);
+  const auto parallel =
+      run_trials_parallel(params, NetworkDesign::SurfNet, 8, 5, 4);
+  EXPECT_DOUBLE_EQ(parallel.fidelity.mean(), serial.fidelity.mean());
+  EXPECT_DOUBLE_EQ(parallel.latency.mean(), serial.latency.mean());
+  EXPECT_DOUBLE_EQ(parallel.throughput.mean(), serial.throughput.mean());
+  EXPECT_EQ(parallel.fidelity.count(), serial.fidelity.count());
+}
+
+}  // namespace
+}  // namespace surfnet::core

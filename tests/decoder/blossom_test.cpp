@@ -1,0 +1,215 @@
+#include "decoder/blossom.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <vector>
+
+#include "util/rng.h"
+
+namespace surfnet::decoder {
+namespace {
+
+/// Exhaustive minimum-weight perfect matching for small n (O(n!!)).
+double brute_force(int n, const std::vector<std::vector<double>>& w) {
+  std::vector<int> vertices(static_cast<std::size_t>(n));
+  std::iota(vertices.begin(), vertices.end(), 0);
+  double best = kNoEdge;
+  // Recursive pairing of the first unpaired vertex.
+  std::vector<char> used(static_cast<std::size_t>(n), 0);
+  auto rec = [&](auto&& self, double acc, int paired) -> void {
+    if (paired == n) {
+      best = std::min(best, acc);
+      return;
+    }
+    int u = 0;
+    while (used[static_cast<std::size_t>(u)]) ++u;
+    used[static_cast<std::size_t>(u)] = 1;
+    for (int v = u + 1; v < n; ++v) {
+      if (used[static_cast<std::size_t>(v)]) continue;
+      const double wuv =
+          w[static_cast<std::size_t>(u)][static_cast<std::size_t>(v)];
+      if (wuv == kNoEdge) continue;
+      used[static_cast<std::size_t>(v)] = 1;
+      self(self, acc + wuv, paired + 2);
+      used[static_cast<std::size_t>(v)] = 0;
+    }
+    used[static_cast<std::size_t>(u)] = 0;
+  };
+  rec(rec, 0.0, 0);
+  return best;
+}
+
+std::vector<std::vector<double>> random_complete(int n, util::Rng& rng) {
+  std::vector<std::vector<double>> w(
+      static_cast<std::size_t>(n),
+      std::vector<double>(static_cast<std::size_t>(n), kNoEdge));
+  for (int i = 0; i < n; ++i)
+    for (int j = i + 1; j < n; ++j) {
+      const double x = rng.uniform(0.0, 10.0);
+      w[static_cast<std::size_t>(i)][static_cast<std::size_t>(j)] = x;
+      w[static_cast<std::size_t>(j)][static_cast<std::size_t>(i)] = x;
+    }
+  return w;
+}
+
+void check_is_perfect_matching(int n, const MatchingResult& result) {
+  ASSERT_EQ(result.mate.size(), static_cast<std::size_t>(n));
+  for (int v = 0; v < n; ++v) {
+    const int m = result.mate[static_cast<std::size_t>(v)];
+    ASSERT_GE(m, 0);
+    ASSERT_LT(m, n);
+    ASSERT_NE(m, v);
+    EXPECT_EQ(result.mate[static_cast<std::size_t>(m)], v);
+  }
+}
+
+TEST(Blossom, TrivialPair) {
+  std::vector<std::vector<double>> w{{kNoEdge, 3.5}, {3.5, kNoEdge}};
+  const auto result = min_weight_perfect_matching(2, w);
+  check_is_perfect_matching(2, result);
+  EXPECT_NEAR(result.total_weight, 3.5, 1e-6);
+}
+
+TEST(Blossom, FourVerticesPicksCheapPairing) {
+  // Pairings: (01)(23)=2, (02)(13)=20, (03)(12)=20.
+  std::vector<std::vector<double>> w(4, std::vector<double>(4, 10.0));
+  w[0][1] = w[1][0] = 1.0;
+  w[2][3] = w[3][2] = 1.0;
+  const auto result = min_weight_perfect_matching(4, w);
+  check_is_perfect_matching(4, result);
+  EXPECT_NEAR(result.total_weight, 2.0, 1e-6);
+  EXPECT_EQ(result.mate[0], 1);
+  EXPECT_EQ(result.mate[2], 3);
+}
+
+TEST(Blossom, GreedyIsNotOptimalHere) {
+  // Greedy would take the 0-weight edge (1,2) and be forced into the two
+  // expensive edges; optimal avoids it.
+  std::vector<std::vector<double>> w(4, std::vector<double>(4, kNoEdge));
+  auto set = [&](int i, int j, double x) {
+    w[static_cast<std::size_t>(i)][static_cast<std::size_t>(j)] = x;
+    w[static_cast<std::size_t>(j)][static_cast<std::size_t>(i)] = x;
+  };
+  set(1, 2, 0.0);
+  set(0, 1, 1.0);
+  set(2, 3, 1.0);
+  set(0, 3, 100.0);
+  const auto result = min_weight_perfect_matching(4, w);
+  check_is_perfect_matching(4, result);
+  EXPECT_NEAR(result.total_weight, 2.0, 1e-6);
+}
+
+TEST(Blossom, RejectsOddVertexCount) {
+  std::vector<std::vector<double>> w(3, std::vector<double>(3, 1.0));
+  EXPECT_THROW(min_weight_perfect_matching(3, w), std::invalid_argument);
+}
+
+TEST(Blossom, ThrowsWhenNoPerfectMatching) {
+  // A path 0-1 2-3 with only edges (0,1) and (1,2): vertex 3 is isolated.
+  std::vector<std::vector<double>> w(4, std::vector<double>(4, kNoEdge));
+  w[0][1] = w[1][0] = 1.0;
+  w[1][2] = w[2][1] = 1.0;
+  EXPECT_THROW(min_weight_perfect_matching(4, w), std::runtime_error);
+}
+
+TEST(Blossom, EmptyGraph) {
+  const auto result = min_weight_perfect_matching(0, {});
+  EXPECT_TRUE(result.mate.empty());
+  EXPECT_DOUBLE_EQ(result.total_weight, 0.0);
+}
+
+class BlossomRandomTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(BlossomRandomTest, MatchesBruteForceOnCompleteGraphs) {
+  const int n = GetParam();
+  util::Rng rng(1000 + static_cast<unsigned>(n));
+  for (int trial = 0; trial < 30; ++trial) {
+    const auto w = random_complete(n, rng);
+    const auto result = min_weight_perfect_matching(n, w);
+    check_is_perfect_matching(n, result);
+    const double expected = brute_force(n, w);
+    EXPECT_NEAR(result.total_weight, expected, 1e-4)
+        << "n=" << n << " trial=" << trial;
+  }
+}
+
+TEST_P(BlossomRandomTest, MatchesBruteForceOnSparseGraphs) {
+  const int n = GetParam();
+  util::Rng rng(2000 + static_cast<unsigned>(n));
+  for (int trial = 0; trial < 30; ++trial) {
+    auto w = random_complete(n, rng);
+    // Remove ~40% of edges but keep a guaranteed perfect matching
+    // (consecutive pairs).
+    for (int i = 0; i < n; ++i)
+      for (int j = i + 1; j < n; ++j) {
+        const bool protected_edge = (j == i + 1 && i % 2 == 0);
+        if (!protected_edge && rng.bernoulli(0.4)) {
+          w[static_cast<std::size_t>(i)][static_cast<std::size_t>(j)] = kNoEdge;
+          w[static_cast<std::size_t>(j)][static_cast<std::size_t>(i)] = kNoEdge;
+        }
+      }
+    const auto result = min_weight_perfect_matching(n, w);
+    check_is_perfect_matching(n, result);
+    EXPECT_NEAR(result.total_weight, brute_force(n, w), 1e-4)
+        << "n=" << n << " trial=" << trial;
+  }
+}
+
+TEST_P(BlossomRandomTest, IntegerWeightsExact) {
+  const int n = GetParam();
+  util::Rng rng(3000 + static_cast<unsigned>(n));
+  for (int trial = 0; trial < 20; ++trial) {
+    std::vector<std::vector<double>> w(
+        static_cast<std::size_t>(n),
+        std::vector<double>(static_cast<std::size_t>(n), kNoEdge));
+    for (int i = 0; i < n; ++i)
+      for (int j = i + 1; j < n; ++j) {
+        const double x = static_cast<double>(rng.below(100));
+        w[static_cast<std::size_t>(i)][static_cast<std::size_t>(j)] = x;
+        w[static_cast<std::size_t>(j)][static_cast<std::size_t>(i)] = x;
+      }
+    const auto result = min_weight_perfect_matching(n, w);
+    check_is_perfect_matching(n, result);
+    EXPECT_DOUBLE_EQ(result.total_weight, brute_force(n, w));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(SmallEvenSizes, BlossomRandomTest,
+                         ::testing::Values(2, 4, 6, 8, 10));
+
+TEST(Blossom, LargerInstanceRunsAndIsConsistent) {
+  // No brute force at n=40; check perfect-matching structure and that the
+  // total weight is not worse than a greedy pairing.
+  const int n = 40;
+  util::Rng rng(555);
+  const auto w = random_complete(n, rng);
+  const auto result = min_weight_perfect_matching(n, w);
+  check_is_perfect_matching(n, result);
+  // Greedy: repeatedly take globally lightest edge among unused vertices.
+  std::vector<char> used(static_cast<std::size_t>(n), 0);
+  double greedy = 0.0;
+  for (int pair = 0; pair < n / 2; ++pair) {
+    double best = kNoEdge;
+    int bi = -1, bj = -1;
+    for (int i = 0; i < n; ++i)
+      for (int j = i + 1; j < n; ++j)
+        if (!used[static_cast<std::size_t>(i)] &&
+            !used[static_cast<std::size_t>(j)] &&
+            w[static_cast<std::size_t>(i)][static_cast<std::size_t>(j)] <
+                best) {
+          best = w[static_cast<std::size_t>(i)][static_cast<std::size_t>(j)];
+          bi = i;
+          bj = j;
+        }
+    used[static_cast<std::size_t>(bi)] = 1;
+    used[static_cast<std::size_t>(bj)] = 1;
+    greedy += best;
+  }
+  EXPECT_LE(result.total_weight, greedy + 1e-6);
+}
+
+}  // namespace
+}  // namespace surfnet::decoder

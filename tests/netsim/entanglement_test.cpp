@@ -1,0 +1,104 @@
+#include "netsim/entanglement.h"
+
+#include <gtest/gtest.h>
+
+#include "netsim/channel.h"
+#include "util/rng.h"
+
+namespace surfnet::netsim {
+namespace {
+
+TEST(Purify, PaperFormula) {
+  // rho' = r1 r2 / (r1 r2 + (1 - r1)(1 - r2))
+  EXPECT_NEAR(purify(0.9, 0.9), 0.81 / (0.81 + 0.01), 1e-12);
+  EXPECT_NEAR(purify(0.5, 0.5), 0.5, 1e-12);
+  EXPECT_NEAR(purify(1.0, 0.7), 1.0, 1e-12);
+}
+
+TEST(Purify, ImprovesAboveOneHalf) {
+  for (double rho : {0.6, 0.75, 0.9, 0.99})
+    EXPECT_GT(purify(rho, rho), rho);
+}
+
+TEST(Purify, DegradesBelowOneHalf) {
+  // Below 1/2 the recurrence protocol makes pairs worse — the fixed points
+  // are 0, 1/2 and 1.
+  for (double rho : {0.2, 0.4, 0.49}) EXPECT_LT(purify(rho, rho), rho);
+}
+
+TEST(PurifiedFidelity, MonotoneInRounds) {
+  double prev = 0.8;
+  for (int n = 1; n <= 9; ++n) {
+    const double cur = purified_fidelity(0.8, n);
+    EXPECT_GT(cur, prev);
+    prev = cur;
+  }
+  EXPECT_NEAR(purified_fidelity(0.8, 0), 0.8, 1e-12);
+  // N = 9 on a decent pair approaches 1 (paper's Purification N=9).
+  EXPECT_GT(purified_fidelity(0.8, 9), 0.999);
+}
+
+TEST(SwappedFidelity, ProductRule) {
+  EXPECT_NEAR(swapped_fidelity({0.9, 0.8, 0.95}), 0.9 * 0.8 * 0.95, 1e-12);
+  EXPECT_DOUBLE_EQ(swapped_fidelity({}), 1.0);
+}
+
+TEST(EntanglementPool, GenerationAndConsumption) {
+  EntanglementPool pool(3, 1.0, 5);  // deterministic: one pair per tick
+  util::Rng rng(3);
+  EXPECT_EQ(pool.available(0), 0);
+  for (int t = 0; t < 10; ++t) pool.tick(rng);
+  EXPECT_EQ(pool.available(0), 5);  // capped at capacity
+  EXPECT_TRUE(pool.consume(0, 3));
+  EXPECT_EQ(pool.available(0), 2);
+  EXPECT_FALSE(pool.consume(0, 3));  // insufficient: nothing consumed
+  EXPECT_EQ(pool.available(0), 2);
+  pool.fill();
+  EXPECT_EQ(pool.available(1), 5);
+}
+
+TEST(EntanglementPool, RateZeroNeverGenerates) {
+  EntanglementPool pool(2, 0.0, 5);
+  util::Rng rng(4);
+  for (int t = 0; t < 50; ++t) pool.tick(rng);
+  EXPECT_EQ(pool.available(0), 0);
+}
+
+TEST(EntanglementPool, RejectsBadArguments) {
+  EXPECT_THROW(EntanglementPool(2, -0.5, 5), std::invalid_argument);
+  EXPECT_THROW(EntanglementPool(2, 1.5, 5), std::invalid_argument);
+  EXPECT_THROW(EntanglementPool(2, 0.5, -1), std::invalid_argument);
+}
+
+TEST(Channel, NoiseFidelityRoundTrip) {
+  for (double gamma : {0.5, 0.75, 0.9, 0.99}) {
+    EXPECT_NEAR(fidelity_of_noise(noise_of_fidelity(gamma)), gamma, 1e-12);
+  }
+  EXPECT_DOUBLE_EQ(noise_of_fidelity(1.0), 0.0);
+}
+
+TEST(Channel, PathNoiseIsAdditive) {
+  std::vector<Node> nodes(4);
+  const Topology topo(std::move(nodes),
+                      {{0, 1, 0.9, 1}, {1, 2, 0.8, 1}, {2, 3, 0.95, 1}});
+  const double mu = path_noise(topo, {0, 1, 2, 3});
+  EXPECT_NEAR(mu, noise_of_fidelity(0.9) + noise_of_fidelity(0.8) +
+                      noise_of_fidelity(0.95),
+              1e-12);
+  EXPECT_NEAR(fidelity_of_noise(mu), 0.9 * 0.8 * 0.95, 1e-12);
+  EXPECT_THROW(path_noise(topo, {0, 2}), std::invalid_argument);
+}
+
+TEST(Channel, ErasureRateCompounds) {
+  EXPECT_DOUBLE_EQ(erasure_rate(0.1, 0), 0.0);
+  EXPECT_NEAR(erasure_rate(0.1, 1), 0.1, 1e-12);
+  EXPECT_NEAR(erasure_rate(0.1, 2), 0.19, 1e-12);
+}
+
+TEST(Channel, PauliRateOfNoise) {
+  EXPECT_DOUBLE_EQ(pauli_rate_of_noise(0.0), 0.0);
+  EXPECT_NEAR(pauli_rate_of_noise(noise_of_fidelity(0.9)), 0.1, 1e-12);
+}
+
+}  // namespace
+}  // namespace surfnet::netsim

@@ -1,0 +1,96 @@
+#include "netsim/io.h"
+
+#include <gtest/gtest.h>
+
+#include "routing/lp_router.h"
+#include "util/rng.h"
+
+namespace surfnet::netsim {
+namespace {
+
+TEST(TopologyIo, RoundTripPreservesEverything) {
+  util::Rng rng(101);
+  TopologySpec spec;
+  const auto original = make_random_topology(spec, rng);
+  const auto restored =
+      topology_from_string(topology_to_string(original));
+  ASSERT_EQ(restored.num_nodes(), original.num_nodes());
+  ASSERT_EQ(restored.num_fibers(), original.num_fibers());
+  for (int v = 0; v < original.num_nodes(); ++v) {
+    EXPECT_EQ(restored.node(v).role, original.node(v).role);
+    EXPECT_EQ(restored.node(v).storage_capacity,
+              original.node(v).storage_capacity);
+  }
+  for (int e = 0; e < original.num_fibers(); ++e) {
+    EXPECT_EQ(restored.fiber(e).a, original.fiber(e).a);
+    EXPECT_EQ(restored.fiber(e).b, original.fiber(e).b);
+    EXPECT_DOUBLE_EQ(restored.fiber(e).fidelity,
+                     original.fiber(e).fidelity);
+    EXPECT_EQ(restored.fiber(e).entanglement_capacity,
+              original.fiber(e).entanglement_capacity);
+  }
+}
+
+TEST(TopologyIo, WriterIsDeterministic) {
+  util::Rng rng(102);
+  const auto topo = make_random_topology(TopologySpec{}, rng);
+  EXPECT_EQ(topology_to_string(topo), topology_to_string(topo));
+}
+
+TEST(TopologyIo, RejectsMalformedInput) {
+  EXPECT_THROW(topology_from_string("not a topology"),
+               std::invalid_argument);
+  EXPECT_THROW(topology_from_string("surfnet-topology v1\nnode 5 user 0\n"),
+               std::invalid_argument);  // non-dense ids
+  EXPECT_THROW(
+      topology_from_string("surfnet-topology v1\nnode 0 wizard 0\n"),
+      std::invalid_argument);  // unknown role
+  EXPECT_THROW(
+      topology_from_string("surfnet-topology v1\nfrobnicate 1 2\n"),
+      std::invalid_argument);  // unknown record
+}
+
+TEST(ScheduleIo, RoundTripThroughRealRouter) {
+  util::Rng rng(103);
+  const auto topo = make_random_topology(TopologySpec{}, rng);
+  const auto requests = random_requests(topo, 5, 3, rng);
+  routing::RoutingParams params;
+  params.core_noise_threshold = 0.5;
+  params.total_noise_threshold = 0.6;
+  const auto schedule =
+      routing::route_lp(topo, requests, params, rng).schedule;
+
+  const auto restored =
+      schedule_from_string(schedule_to_string(schedule));
+  EXPECT_EQ(restored.requested_codes, schedule.requested_codes);
+  ASSERT_EQ(restored.scheduled.size(), schedule.scheduled.size());
+  for (std::size_t i = 0; i < schedule.scheduled.size(); ++i) {
+    const auto& a = schedule.scheduled[i];
+    const auto& b = restored.scheduled[i];
+    EXPECT_EQ(b.request_index, a.request_index);
+    EXPECT_EQ(b.codes, a.codes);
+    EXPECT_EQ(b.code_distance, a.code_distance);
+    EXPECT_EQ(b.support_path, a.support_path);
+    EXPECT_EQ(b.core_path, a.core_path);
+    EXPECT_EQ(b.ec_servers, a.ec_servers);
+  }
+  EXPECT_DOUBLE_EQ(restored.throughput(), schedule.throughput());
+}
+
+TEST(ScheduleIo, EmptyScheduleRoundTrips) {
+  Schedule empty;
+  empty.requested_codes = 7;
+  const auto restored = schedule_from_string(schedule_to_string(empty));
+  EXPECT_EQ(restored.requested_codes, 7);
+  EXPECT_TRUE(restored.scheduled.empty());
+}
+
+TEST(ScheduleIo, RejectsMalformedInput) {
+  EXPECT_THROW(schedule_from_string("garbage"), std::invalid_argument);
+  EXPECT_THROW(schedule_from_string(
+                   "surfnet-schedule v1\nrequest 0 1 0 support 2 0\n"),
+               std::invalid_argument);  // truncated node list
+}
+
+}  // namespace
+}  // namespace surfnet::netsim

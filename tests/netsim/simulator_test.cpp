@@ -1,0 +1,245 @@
+#include "netsim/simulator.h"
+
+#include <gtest/gtest.h>
+
+#include "decoder/surfnet_decoder.h"
+#include "netsim/schedule.h"
+#include "util/rng.h"
+
+namespace surfnet::netsim {
+namespace {
+
+/// Line network: user(0) - switch(1) - server(2) - switch(3) - user(4).
+Topology line_topology(double fidelity, int pair_capacity = 50) {
+  std::vector<Node> nodes(5);
+  nodes[1] = {NodeRole::Switch, 1000};
+  nodes[2] = {NodeRole::Server, 1000};
+  nodes[3] = {NodeRole::Switch, 1000};
+  std::vector<Fiber> fibers;
+  for (int i = 0; i < 4; ++i)
+    fibers.push_back({i, i + 1, fidelity, pair_capacity});
+  return Topology(std::move(nodes), std::move(fibers));
+}
+
+Schedule line_schedule(int codes, bool dual, bool with_ec = true) {
+  Schedule schedule;
+  schedule.requested_codes = codes;
+  ScheduledRequest s;
+  s.request_index = 0;
+  s.codes = codes;
+  s.support_path = {0, 1, 2, 3, 4};
+  if (dual) s.core_path = {0, 1, 2, 3, 4};
+  if (with_ec) s.ec_servers = {2};
+  schedule.scheduled.push_back(s);
+  return schedule;
+}
+
+TEST(Simulator, EmptyScheduleIsNoop) {
+  const auto topo = line_topology(0.95);
+  const decoder::SurfNetDecoder dec;
+  util::Rng rng(1);
+  const auto result =
+      simulate_surfnet(topo, Schedule{}, SimulationParams{}, dec, rng);
+  EXPECT_EQ(result.codes_scheduled, 0);
+  EXPECT_EQ(result.codes_delivered, 0);
+  EXPECT_DOUBLE_EQ(result.fidelity(), 0.0);
+}
+
+TEST(Simulator, PerfectFibersGivePerfectFidelity) {
+  const auto topo = line_topology(1.0);
+  const decoder::SurfNetDecoder dec;
+  util::Rng rng(2);
+  SimulationParams params;
+  params.loss_per_hop = 0.0;
+  params.teleport_op_noise = 0.0;
+  const auto result =
+      simulate_surfnet(topo, line_schedule(8, true), params, dec, rng);
+  EXPECT_EQ(result.codes_delivered, 8);
+  EXPECT_DOUBLE_EQ(result.fidelity(), 1.0);
+}
+
+TEST(Simulator, AllCodesDeliveredAndLatencyPositive) {
+  const auto topo = line_topology(0.95);
+  const decoder::SurfNetDecoder dec;
+  util::Rng rng(3);
+  const auto result = simulate_surfnet(topo, line_schedule(5, true),
+                                       SimulationParams{}, dec, rng);
+  EXPECT_EQ(result.codes_scheduled, 5);
+  EXPECT_EQ(result.codes_delivered, 5);
+  // 4 hops at one per slot is the lower bound for the support part.
+  EXPECT_GE(result.avg_latency(), 4.0);
+}
+
+TEST(Simulator, VeryNoisyFibersCorruptCodes) {
+  const auto topo = line_topology(0.45);
+  const decoder::SurfNetDecoder dec;
+  util::Rng rng(4);
+  SimulationParams params;
+  params.noise_scale = 1.0;  // full infidelity as Pauli noise
+  params.loss_per_hop = 0.3;
+  const auto result =
+      simulate_surfnet(topo, line_schedule(30, true), params, dec, rng);
+  EXPECT_EQ(result.codes_delivered, 30);
+  EXPECT_LT(result.fidelity(), 0.6);
+}
+
+TEST(Simulator, RawModeRunsWithoutEntanglement) {
+  const auto topo = line_topology(0.95, /*pair_capacity=*/0);
+  const decoder::SurfNetDecoder dec;
+  util::Rng rng(5);
+  SimulationParams params;
+  params.entanglement_rate = 0.0;  // raw mode must not need pairs
+  const auto result = simulate_surfnet(topo, line_schedule(4, false),
+                                       params, dec, rng);
+  EXPECT_EQ(result.codes_delivered, 4);
+}
+
+TEST(Simulator, DualChannelStarvesWithoutEntanglement) {
+  const auto topo = line_topology(0.95, /*pair_capacity=*/0);
+  const decoder::SurfNetDecoder dec;
+  util::Rng rng(6);
+  SimulationParams params;
+  params.entanglement_rate = 0.0;
+  params.max_slots = 300;
+  const auto result = simulate_surfnet(topo, line_schedule(2, true),
+                                       params, dec, rng);
+  // The core part can never move: nothing is delivered before the cap.
+  EXPECT_EQ(result.codes_delivered, 0);
+}
+
+TEST(Simulator, ErrorCorrectionAtServerImprovesFidelity) {
+  // Same path, with and without the mid-path EC server: correcting at the
+  // server splits the accumulated noise and must improve fidelity.
+  const auto topo = line_topology(0.88);
+  const decoder::SurfNetDecoder dec;
+  SimulationParams params;
+  params.noise_scale = 0.5;
+  params.loss_per_hop = 0.05;
+  util::Rng rng1(7), rng2(7);
+  const auto with_ec = simulate_surfnet(topo, line_schedule(400, true, true),
+                                        params, dec, rng1);
+  const auto without_ec = simulate_surfnet(
+      topo, line_schedule(400, true, false), params, dec, rng2);
+  EXPECT_GT(with_ec.fidelity(), without_ec.fidelity() + 0.02);
+}
+
+TEST(Simulator, CoreHalvingBeatsRaw) {
+  // Identical path and noise: the dual-channel design (purified Core,
+  // loss-free teleportation) must outperform sending everything raw.
+  const auto topo = line_topology(0.85);
+  const decoder::SurfNetDecoder dec;
+  SimulationParams params;
+  params.noise_scale = 0.5;
+  params.loss_per_hop = 0.08;
+  params.teleport_op_noise = 0.005;
+  util::Rng rng1(8), rng2(8);
+  const auto dual = simulate_surfnet(topo, line_schedule(400, true), params,
+                                     dec, rng1);
+  const auto raw = simulate_surfnet(topo, line_schedule(400, false), params,
+                                    dec, rng2);
+  EXPECT_GT(dual.fidelity(), raw.fidelity() + 0.02);
+}
+
+TEST(Simulator, PurificationDeliversWithBudget) {
+  const auto topo = line_topology(0.9);
+  util::Rng rng(9);
+  SimulationParams params;
+  const auto result = simulate_purification(topo, line_schedule(5, true), 2,
+                                            params, rng);
+  EXPECT_EQ(result.codes_delivered, 5);
+  EXPECT_GT(result.fidelity(), 0.5);
+  EXPECT_GE(result.avg_latency(), 4.0);
+}
+
+TEST(Simulator, PurificationMoreRoundsHigherFidelity) {
+  const auto topo = line_topology(0.8);
+  SimulationParams params;
+  params.teleport_op_noise = 0.0;
+  double prev = 0.0;
+  for (int n : {0, 2, 9}) {
+    util::Rng rng(10);
+    const auto result = simulate_purification(
+        topo, line_schedule(2000, true), n, params, rng);
+    EXPECT_GE(result.fidelity(), prev - 0.02) << "N=" << n;
+    prev = result.fidelity();
+  }
+}
+
+TEST(Simulator, LatencyGrowsWithScarcity) {
+  // Fewer pairs per slot means the core waits longer.
+  const auto topo = line_topology(0.95);
+  const decoder::SurfNetDecoder dec;
+  double fast_latency = 0.0, slow_latency = 0.0;
+  {
+    util::Rng rng(11);
+    SimulationParams params;
+    params.entanglement_rate = 8.0;
+    fast_latency = simulate_surfnet(topo, line_schedule(20, true), params,
+                                    dec, rng)
+                       .avg_latency();
+  }
+  {
+    util::Rng rng(11);
+    SimulationParams params;
+    params.entanglement_rate = 0.8;
+    slow_latency = simulate_surfnet(topo, line_schedule(20, true), params,
+                                    dec, rng)
+                       .avg_latency();
+  }
+  EXPECT_GT(slow_latency, fast_latency);
+}
+
+TEST(Simulator, RejectsBrokenSchedules) {
+  const auto topo = line_topology(0.95);
+  const decoder::SurfNetDecoder dec;
+  util::Rng rng(12);
+  Schedule schedule;
+  schedule.requested_codes = 1;
+  ScheduledRequest s;
+  s.request_index = 0;
+  s.codes = 1;
+  s.support_path = {0, 2, 4};  // non-adjacent hops
+  schedule.scheduled.push_back(s);
+  EXPECT_THROW(
+      simulate_surfnet(topo, schedule, SimulationParams{}, dec, rng),
+      std::invalid_argument);
+
+  Schedule bad_ec = line_schedule(1, true);
+  bad_ec.scheduled[0].ec_servers = {3};  // not a barrier on... node 3 is on
+  bad_ec.scheduled[0].ec_servers = {1};  // switch 1 is on the path; allowed
+  // EC server not on the path at all:
+  bad_ec.scheduled[0].ec_servers = {42};
+  EXPECT_THROW(
+      simulate_surfnet(topo, bad_ec, SimulationParams{}, dec, rng),
+      std::invalid_argument);
+}
+
+TEST(Schedule, ThroughputDefinition) {
+  Schedule schedule;
+  schedule.requested_codes = 10;
+  ScheduledRequest s;
+  s.codes = 4;
+  schedule.scheduled.push_back(s);
+  s.codes = 2;
+  schedule.scheduled.push_back(s);
+  EXPECT_EQ(schedule.scheduled_codes(), 6);
+  EXPECT_DOUBLE_EQ(schedule.throughput(), 0.6);
+}
+
+TEST(Requests, RandomRequestsAreValid) {
+  util::Rng rng(13);
+  TopologySpec spec;
+  const auto topo = make_random_topology(spec, rng);
+  const auto requests = random_requests(topo, 50, 4, rng);
+  ASSERT_EQ(requests.size(), 50u);
+  for (const auto& r : requests) {
+    EXPECT_TRUE(topo.is_user(r.src));
+    EXPECT_TRUE(topo.is_user(r.dst));
+    EXPECT_NE(r.src, r.dst);
+    EXPECT_GE(r.codes, 1);
+    EXPECT_LE(r.codes, 4);
+  }
+}
+
+}  // namespace
+}  // namespace surfnet::netsim

@@ -1,0 +1,143 @@
+#include "netsim/topology.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/rng.h"
+
+namespace surfnet::netsim {
+namespace {
+
+TopologySpec default_spec() {
+  TopologySpec spec;
+  spec.num_nodes = 24;
+  spec.attach_edges = 2;
+  spec.num_servers = 3;
+  spec.num_switches = 8;
+  spec.storage_capacity = 50;
+  spec.entanglement_capacity = 10;
+  return spec;
+}
+
+TEST(Topology, HandBuiltGraphBasics) {
+  std::vector<Node> nodes(3);
+  nodes[1].role = NodeRole::Switch;
+  nodes[1].storage_capacity = 5;
+  std::vector<Fiber> fibers{{0, 1, 0.9, 4}, {1, 2, 0.8, 4}};
+  const Topology topo(std::move(nodes), std::move(fibers));
+  EXPECT_EQ(topo.num_nodes(), 3);
+  EXPECT_EQ(topo.num_fibers(), 2);
+  EXPECT_TRUE(topo.is_user(0));
+  EXPECT_TRUE(topo.is_switch_or_server(1));
+  EXPECT_FALSE(topo.is_server(1));
+  EXPECT_EQ(topo.other_end(0, 0), 1);
+  EXPECT_EQ(topo.other_end(0, 1), 0);
+  EXPECT_EQ(topo.fiber_between(0, 1), 0);
+  EXPECT_EQ(topo.fiber_between(0, 2), -1);
+  EXPECT_TRUE(topo.connected());
+  EXPECT_NEAR(topo.fiber_noise(0), std::log(1.0 / 0.9), 1e-12);
+}
+
+TEST(Topology, RejectsBadFibers) {
+  std::vector<Node> nodes(2);
+  EXPECT_THROW(Topology(nodes, {{0, 0, 0.9, 1}}), std::invalid_argument);
+  EXPECT_THROW(Topology(nodes, {{0, 5, 0.9, 1}}), std::invalid_argument);
+  EXPECT_THROW(Topology(nodes, {{0, 1, 1.5, 1}}), std::invalid_argument);
+}
+
+TEST(Topology, DisconnectedGraphDetected) {
+  std::vector<Node> nodes(4);
+  const Topology topo(std::move(nodes), {{0, 1, 0.9, 1}, {2, 3, 0.9, 1}});
+  EXPECT_FALSE(topo.connected());
+}
+
+TEST(RandomTopology, GeneratesConnectedGraphWithRequestedCounts) {
+  util::Rng rng(5);
+  for (int trial = 0; trial < 20; ++trial) {
+    const auto spec = default_spec();
+    const auto topo = make_random_topology(spec, rng);
+    EXPECT_EQ(topo.num_nodes(), spec.num_nodes);
+    EXPECT_TRUE(topo.connected());
+    EXPECT_EQ(static_cast<int>(topo.servers().size()), spec.num_servers);
+    EXPECT_EQ(static_cast<int>(topo.switches_and_servers().size()),
+              spec.num_servers + spec.num_switches);
+    EXPECT_EQ(static_cast<int>(topo.users().size()),
+              spec.num_nodes - spec.num_servers - spec.num_switches);
+  }
+}
+
+TEST(RandomTopology, FiberFidelitiesInRange) {
+  util::Rng rng(6);
+  auto spec = default_spec();
+  spec.fidelity_lo = 0.5;
+  const auto topo = make_random_topology(spec, rng);
+  for (int e = 0; e < topo.num_fibers(); ++e) {
+    EXPECT_GE(topo.fiber(e).fidelity, 0.5);
+    EXPECT_LE(topo.fiber(e).fidelity, 1.0);
+    EXPECT_EQ(topo.fiber(e).entanglement_capacity,
+              spec.entanglement_capacity);
+  }
+}
+
+TEST(RandomTopology, ServersAreHighestDegreeNodes) {
+  util::Rng rng(7);
+  const auto topo = make_random_topology(default_spec(), rng);
+  auto degree = [&](int v) { return topo.incident(v).size(); };
+  std::size_t min_server_degree = SIZE_MAX;
+  for (int v : topo.servers())
+    min_server_degree = std::min(min_server_degree, degree(v));
+  std::size_t max_user_degree = 0;
+  for (int v : topo.users())
+    max_user_degree = std::max(max_user_degree, degree(v));
+  EXPECT_GE(min_server_degree, max_user_degree);
+}
+
+TEST(RandomTopology, PreferentialAttachmentSkewsDegrees) {
+  // BA graphs have hubs: the maximum degree should clearly exceed the
+  // attachment parameter m.
+  util::Rng rng(8);
+  auto spec = default_spec();
+  spec.num_nodes = 60;
+  const auto topo = make_random_topology(spec, rng);
+  std::size_t max_degree = 0;
+  for (int v = 0; v < topo.num_nodes(); ++v)
+    max_degree = std::max(max_degree, topo.incident(v).size());
+  EXPECT_GE(max_degree, 8u);
+}
+
+TEST(RandomTopology, UsersHoldNoStorage) {
+  util::Rng rng(9);
+  const auto topo = make_random_topology(default_spec(), rng);
+  for (int v : topo.users()) EXPECT_EQ(topo.node(v).storage_capacity, 0);
+  for (int v : topo.switches_and_servers())
+    EXPECT_EQ(topo.node(v).storage_capacity, 50);
+}
+
+TEST(RandomTopology, RejectsImpossibleSpecs) {
+  util::Rng rng(10);
+  TopologySpec spec;
+  spec.num_nodes = 2;
+  EXPECT_THROW(make_random_topology(spec, rng), std::invalid_argument);
+  spec = TopologySpec{};
+  spec.num_nodes = 10;
+  spec.num_servers = 5;
+  spec.num_switches = 5;
+  EXPECT_THROW(make_random_topology(spec, rng), std::invalid_argument);
+}
+
+TEST(RandomTopology, DeterministicForSameSeed) {
+  util::Rng rng1(42), rng2(42);
+  const auto a = make_random_topology(default_spec(), rng1);
+  const auto b = make_random_topology(default_spec(), rng2);
+  ASSERT_EQ(a.num_fibers(), b.num_fibers());
+  for (int e = 0; e < a.num_fibers(); ++e) {
+    EXPECT_EQ(a.fiber(e).a, b.fiber(e).a);
+    EXPECT_EQ(a.fiber(e).b, b.fiber(e).b);
+    EXPECT_DOUBLE_EQ(a.fiber(e).fidelity, b.fiber(e).fidelity);
+  }
+}
+
+}  // namespace
+}  // namespace surfnet::netsim

@@ -1,0 +1,58 @@
+#include "qec/graph.h"
+
+#include <gtest/gtest.h>
+
+namespace surfnet::qec {
+namespace {
+
+DecodingGraph triangle_with_boundary() {
+  // Vertices 0,1,2 real; 3,4 boundaries. Edges: 0-1, 1-2, 0-3, 2-4.
+  return DecodingGraph(3, {3, 4},
+                       {{0, 1, 0}, {1, 2, 1}, {0, 3, 2}, {2, 4, 3}});
+}
+
+TEST(DecodingGraph, BasicAccessors) {
+  const auto g = triangle_with_boundary();
+  EXPECT_EQ(g.num_real_vertices(), 3);
+  EXPECT_EQ(g.num_vertices(), 5);
+  EXPECT_EQ(g.num_edges(), 4u);
+  EXPECT_FALSE(g.is_boundary(2));
+  EXPECT_TRUE(g.is_boundary(3));
+  EXPECT_TRUE(g.is_boundary(4));
+  EXPECT_EQ(g.boundary().first, 3);
+  EXPECT_EQ(g.boundary().second, 4);
+}
+
+TEST(DecodingGraph, IncidenceIsComplete) {
+  const auto g = triangle_with_boundary();
+  EXPECT_EQ(g.incident(0).size(), 2u);  // edges 0 and 2
+  EXPECT_EQ(g.incident(1).size(), 2u);
+  EXPECT_EQ(g.incident(3).size(), 1u);
+  std::size_t total = 0;
+  for (int v = 0; v < g.num_vertices(); ++v) total += g.incident(v).size();
+  EXPECT_EQ(total, 2 * g.num_edges());
+}
+
+TEST(DecodingGraph, OtherEnd) {
+  const auto g = triangle_with_boundary();
+  EXPECT_EQ(g.other_end(0, 0), 1);
+  EXPECT_EQ(g.other_end(0, 1), 0);
+  EXPECT_THROW(g.other_end(0, 2), std::logic_error);
+}
+
+TEST(DecodingGraph, RejectsMalformedInput) {
+  EXPECT_THROW(DecodingGraph(2, {2, 3}, {{0, 9, 0}}),
+               std::invalid_argument);  // endpoint out of range
+  EXPECT_THROW(DecodingGraph(2, {2, 3}, {{1, 1, 0}}),
+               std::invalid_argument);  // self loop
+  EXPECT_THROW(DecodingGraph(-1, {0, 1}, {}), std::invalid_argument);
+}
+
+TEST(DecodingGraph, EmptyGraphIsValid) {
+  const DecodingGraph g(0, {0, 1}, {});
+  EXPECT_EQ(g.num_edges(), 0u);
+  EXPECT_EQ(g.num_vertices(), 2);
+}
+
+}  // namespace
+}  // namespace surfnet::qec

@@ -1,0 +1,55 @@
+#include "qec/pauli.h"
+
+#include <gtest/gtest.h>
+
+namespace surfnet::qec {
+namespace {
+
+TEST(Pauli, IdentityIsNeutral) {
+  for (auto p : {Pauli::I, Pauli::X, Pauli::Y, Pauli::Z}) {
+    EXPECT_EQ(p * Pauli::I, p);
+    EXPECT_EQ(Pauli::I * p, p);
+  }
+}
+
+TEST(Pauli, SelfInverse) {
+  for (auto p : {Pauli::I, Pauli::X, Pauli::Y, Pauli::Z})
+    EXPECT_EQ(p * p, Pauli::I);
+}
+
+TEST(Pauli, GroupTable) {
+  EXPECT_EQ(Pauli::X * Pauli::Z, Pauli::Y);
+  EXPECT_EQ(Pauli::Z * Pauli::X, Pauli::Y);
+  EXPECT_EQ(Pauli::X * Pauli::Y, Pauli::Z);
+  EXPECT_EQ(Pauli::Y * Pauli::Z, Pauli::X);
+}
+
+TEST(Pauli, Components) {
+  EXPECT_FALSE(has_x(Pauli::I));
+  EXPECT_FALSE(has_z(Pauli::I));
+  EXPECT_TRUE(has_x(Pauli::X));
+  EXPECT_FALSE(has_z(Pauli::X));
+  EXPECT_FALSE(has_x(Pauli::Z));
+  EXPECT_TRUE(has_z(Pauli::Z));
+  EXPECT_TRUE(has_x(Pauli::Y));
+  EXPECT_TRUE(has_z(Pauli::Y));
+}
+
+TEST(Pauli, MakePauliRoundTrip) {
+  for (bool x : {false, true})
+    for (bool z : {false, true}) {
+      const Pauli p = make_pauli(x, z);
+      EXPECT_EQ(has_x(p), x);
+      EXPECT_EQ(has_z(p), z);
+    }
+}
+
+TEST(Pauli, ToString) {
+  EXPECT_EQ(to_string(Pauli::I), "I");
+  EXPECT_EQ(to_string(Pauli::X), "X");
+  EXPECT_EQ(to_string(Pauli::Y), "Y");
+  EXPECT_EQ(to_string(Pauli::Z), "Z");
+}
+
+}  // namespace
+}  // namespace surfnet::qec

@@ -1,0 +1,78 @@
+#include "qec/render.h"
+
+#include <gtest/gtest.h>
+
+#include "qec/lattice.h"
+#include "qec/rotated_lattice.h"
+
+namespace surfnet::qec {
+namespace {
+
+int count_char(const std::string& s, char ch) {
+  int n = 0;
+  for (char c : s)
+    if (c == ch) ++n;
+  return n;
+}
+
+TEST(Render, LatticeShowsAllQubitsAndStabilizers) {
+  const SurfaceCodeLattice lattice(3);
+  const auto art = render_lattice(lattice);
+  EXPECT_EQ(count_char(art, 'o'), lattice.num_data_qubits());
+  EXPECT_EQ(count_char(art, 'Z'), lattice.num_measure_z());
+  EXPECT_EQ(count_char(art, 'X'), lattice.num_measure_x());
+}
+
+TEST(Render, CoreCrossIsMarked) {
+  const SurfaceCodeLattice lattice(4);
+  const auto art = render_core(lattice);
+  EXPECT_EQ(count_char(art, 'C'), 7);  // the paper's 7-qubit Core
+  EXPECT_EQ(count_char(art, 'o'), 18);
+}
+
+TEST(Render, ErrorsAndSyndromesAppear) {
+  const SurfaceCodeLattice lattice(3);
+  ErrorSample sample;
+  sample.error.assign(static_cast<std::size_t>(lattice.num_data_qubits()),
+                      Pauli::I);
+  sample.erased.assign(static_cast<std::size_t>(lattice.num_data_qubits()),
+                       0);
+  const int q = lattice.data_index({1, 1});  // bulk: two Z-syndromes
+  sample.error[static_cast<std::size_t>(q)] = Pauli::X;
+  sample.erased[0] = 1;
+  const auto art = render_errors(lattice, GraphKind::Z, sample);
+  EXPECT_EQ(count_char(art, 'X'), 1);
+  EXPECT_EQ(count_char(art, '#'), 1);
+  EXPECT_EQ(count_char(art, '*'), 2);
+}
+
+TEST(Render, CorrectionMarksAppear) {
+  const SurfaceCodeLattice lattice(3);
+  ErrorSample sample;
+  sample.error.assign(static_cast<std::size_t>(lattice.num_data_qubits()),
+                      Pauli::I);
+  sample.erased.assign(static_cast<std::size_t>(lattice.num_data_qubits()),
+                       0);
+  std::vector<char> correction(
+      static_cast<std::size_t>(lattice.num_data_qubits()), 0);
+  correction[3] = 1;
+  const auto art =
+      render_errors(lattice, GraphKind::Z, sample, &correction);
+  EXPECT_EQ(count_char(art, '+'), 1);
+}
+
+TEST(Render, RotatedLatticeFallsBackToSyndromeList) {
+  const RotatedSurfaceCodeLattice lattice(3);
+  ErrorSample sample;
+  sample.error.assign(static_cast<std::size_t>(lattice.num_data_qubits()),
+                      Pauli::I);
+  sample.erased.assign(static_cast<std::size_t>(lattice.num_data_qubits()),
+                       0);
+  sample.error[4] = Pauli::X;  // central qubit
+  const auto art = render_errors(lattice, GraphKind::Z, sample);
+  EXPECT_NE(art.find("syndromes:"), std::string::npos);
+  EXPECT_EQ(count_char(art, 'X'), 1);
+}
+
+}  // namespace
+}  // namespace surfnet::qec

@@ -1,0 +1,175 @@
+#include "qec/spacetime.h"
+
+#include <gtest/gtest.h>
+
+#include "decoder/surfnet_decoder.h"
+#include "decoder/union_find.h"
+#include "qec/lattice.h"
+#include "qec/rotated_lattice.h"
+#include "util/rng.h"
+
+namespace surfnet::qec {
+namespace {
+
+SpaceTimeSample empty_sample(const CodeLattice& lattice, GraphKind kind,
+                             int rounds) {
+  const auto& base = lattice.graph(kind);
+  SpaceTimeSample sample;
+  sample.window_flips.assign(static_cast<std::size_t>(rounds),
+                             std::vector<char>(base.num_edges(), 0));
+  sample.measurement_flips.assign(
+      static_cast<std::size_t>(rounds),
+      std::vector<char>(static_cast<std::size_t>(base.num_real_vertices()),
+                        0));
+  return sample;
+}
+
+TEST(SpaceTime, GraphShape) {
+  const SurfaceCodeLattice lattice(3);
+  const int rounds = 4;
+  const SpaceTimeGraph graph(lattice, GraphKind::Z, rounds);
+  const auto& base = lattice.graph(GraphKind::Z);
+  EXPECT_EQ(graph.graph().num_real_vertices(),
+            (rounds + 1) * base.num_real_vertices());
+  EXPECT_EQ(graph.graph().num_edges(),
+            static_cast<std::size_t>(rounds) *
+                (base.num_edges() +
+                 static_cast<std::size_t>(base.num_real_vertices())));
+  EXPECT_THROW(SpaceTimeGraph(lattice, GraphKind::Z, 0),
+               std::invalid_argument);
+}
+
+TEST(SpaceTime, NoNoiseNoDetectors) {
+  const SurfaceCodeLattice lattice(3);
+  const SpaceTimeGraph graph(lattice, GraphKind::Z, 3);
+  const auto sample = empty_sample(lattice, GraphKind::Z, 3);
+  for (char d : spacetime_detectors(graph, sample)) EXPECT_EQ(d, 0);
+}
+
+TEST(SpaceTime, SingleMeasurementErrorLightsTwoLayers) {
+  const SurfaceCodeLattice lattice(3);
+  const SpaceTimeGraph graph(lattice, GraphKind::Z, 3);
+  auto sample = empty_sample(lattice, GraphKind::Z, 3);
+  sample.measurement_flips[1][2] = 1;  // round 1, stabilizer 2
+  const auto detectors = spacetime_detectors(graph, sample);
+  int lit = 0;
+  for (char d : detectors) lit += d;
+  EXPECT_EQ(lit, 2);
+  const int base = lattice.graph(GraphKind::Z).num_real_vertices();
+  EXPECT_TRUE(detectors[static_cast<std::size_t>(1 * base + 2)]);
+  EXPECT_TRUE(detectors[static_cast<std::size_t>(2 * base + 2)]);
+}
+
+TEST(SpaceTime, MeasurementErrorAloneNeverCausesLogicalError) {
+  // A decoded lone measurement error must not produce any data-space
+  // residual that crosses the logical cut.
+  const SurfaceCodeLattice lattice(3);
+  const SpaceTimeGraph graph(lattice, GraphKind::Z, 4);
+  const decoder::SurfNetDecoder decoder;
+  const int base = lattice.graph(GraphKind::Z).num_real_vertices();
+  for (int round = 0; round < 4; ++round) {
+    for (int s = 0; s < base; ++s) {
+      auto sample = empty_sample(lattice, GraphKind::Z, 4);
+      sample.measurement_flips[static_cast<std::size_t>(round)]
+                              [static_cast<std::size_t>(s)] = 1;
+      const auto outcome =
+          decode_spacetime(lattice, graph, sample, decoder, 0.01, 0.01);
+      EXPECT_TRUE(outcome.success()) << "round " << round << " stab " << s;
+    }
+  }
+}
+
+TEST(SpaceTime, SingleDataErrorIsCorrected) {
+  const SurfaceCodeLattice lattice(3);
+  const SpaceTimeGraph graph(lattice, GraphKind::Z, 3);
+  const decoder::SurfNetDecoder decoder;
+  const auto& base = lattice.graph(GraphKind::Z);
+  for (std::size_t e = 0; e < base.num_edges(); ++e) {
+    auto sample = empty_sample(lattice, GraphKind::Z, 3);
+    sample.window_flips[1][e] = 1;
+    const auto outcome =
+        decode_spacetime(lattice, graph, sample, decoder, 0.01, 0.01);
+    EXPECT_TRUE(outcome.success()) << "edge " << e;
+  }
+}
+
+class SpaceTimeValidityTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(SpaceTimeValidityTest, DecodersAreValidUnderNoisyMeasurements) {
+  const SurfaceCodeLattice lattice(GetParam());
+  const int rounds = GetParam();
+  const decoder::SurfNetDecoder surfnet;
+  const decoder::UnionFindDecoder union_find;
+  util::Rng rng(41);
+  for (int t = 0; t < 40; ++t) {
+    for (auto kind : {GraphKind::Z, GraphKind::X}) {
+      const SpaceTimeGraph graph(lattice, kind, rounds);
+      const auto sample =
+          sample_spacetime(lattice, kind, rounds, 0.04, 0.04, rng);
+      for (const decoder::Decoder* dec :
+           {static_cast<const decoder::Decoder*>(&surfnet),
+            static_cast<const decoder::Decoder*>(&union_find)}) {
+        const auto outcome =
+            decode_spacetime(lattice, graph, sample, *dec, 0.04, 0.04);
+        EXPECT_TRUE(outcome.valid);
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Distances, SpaceTimeValidityTest,
+                         ::testing::Values(3, 5));
+
+TEST(SpaceTime, DistanceSuppressionBelowThreshold) {
+  // Phenomenological noise at 1.5% (well below the ~3% threshold):
+  // d=5 with 5 rounds must beat d=3 with 3 rounds.
+  const decoder::SurfNetDecoder decoder;
+  double rates[2];
+  int i = 0;
+  for (int d : {3, 5}) {
+    const SurfaceCodeLattice lattice(d);
+    util::Rng rng(43);
+    rates[i++] = spacetime_logical_error_rate(lattice, d, 0.015, 0.015,
+                                              decoder, 800, rng);
+  }
+  EXPECT_LT(rates[1], rates[0] + 0.01);
+}
+
+TEST(SpaceTime, WorksOnRotatedLattice) {
+  const RotatedSurfaceCodeLattice lattice(3);
+  const decoder::SurfNetDecoder decoder;
+  util::Rng rng(44);
+  const double ler = spacetime_logical_error_rate(lattice, 3, 0.02, 0.02,
+                                                  decoder, 300, rng);
+  EXPECT_GE(ler, 0.0);
+  EXPECT_LT(ler, 0.5);
+}
+
+
+TEST(SpaceTime, EdgePriorsMatchEdgeKinds) {
+  const SurfaceCodeLattice lattice(3);
+  const SpaceTimeGraph graph(lattice, GraphKind::X, 2);
+  const auto priors = graph.edge_priors(0.03, 0.07);
+  ASSERT_EQ(priors.size(), graph.graph().num_edges());
+  for (std::size_t e = 0; e < priors.size(); ++e)
+    EXPECT_DOUBLE_EQ(priors[e], graph.is_horizontal(e) ? 0.03 : 0.07);
+}
+
+TEST(SpaceTime, DataErrorRepeatedEveryWindowIsInvisible) {
+  // The same data edge flipped in two consecutive windows lights detectors
+  // at both layers (each window flips its own layer), and decoding must
+  // still succeed.
+  const SurfaceCodeLattice lattice(3);
+  const SpaceTimeGraph graph(lattice, GraphKind::Z, 3);
+  const decoder::SurfNetDecoder decoder;
+  auto sample = empty_sample(lattice, GraphKind::Z, 3);
+  sample.window_flips[0][4] = 1;
+  sample.window_flips[1][4] = 1;
+  const auto outcome =
+      decode_spacetime(lattice, graph, sample, decoder, 0.02, 0.02);
+  EXPECT_TRUE(outcome.valid);
+  EXPECT_TRUE(outcome.success());
+}
+
+}  // namespace
+}  // namespace surfnet::qec

@@ -1,0 +1,386 @@
+// Tests for the routing formulation, the greedy scheduler, the LP router
+// with rounding, and the purification router: schedules must be structurally
+// valid (adjacent hops, user endpoints, EC servers on both paths in order)
+// and respect every capacity and noise constraint.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+
+#include "netsim/channel.h"
+#include "routing/formulation.h"
+#include "routing/greedy.h"
+#include "routing/lp_router.h"
+#include "routing/purification.h"
+#include "util/rng.h"
+
+namespace surfnet::routing {
+namespace {
+
+using netsim::Request;
+using netsim::Schedule;
+using netsim::Topology;
+using netsim::TopologySpec;
+
+TopologySpec spec_for_tests() {
+  TopologySpec spec;
+  spec.num_nodes = 22;
+  spec.num_servers = 3;
+  spec.num_switches = 7;
+  spec.storage_capacity = 100;
+  spec.entanglement_capacity = 30;
+  return spec;
+}
+
+RoutingParams params_for_tests() {
+  RoutingParams params;
+  params.core_noise_threshold = 0.6;
+  params.total_noise_threshold = 0.7;
+  params.ec_reduction = 0.15;
+  return params;
+}
+
+void check_schedule_valid(const Topology& topo,
+                          const std::vector<Request>& requests,
+                          const Schedule& schedule, bool dual) {
+  int total_codes = 0;
+  std::map<int, int> per_request;
+  for (const auto& s : schedule.scheduled) {
+    ASSERT_GE(s.request_index, 0);
+    ASSERT_LT(s.request_index, static_cast<int>(requests.size()));
+    const auto& req = requests[static_cast<std::size_t>(s.request_index)];
+    total_codes += s.codes;
+    per_request[s.request_index] += s.codes;
+
+    // Support path: valid, endpoints match, hops adjacent, transit nodes
+    // are switches/servers.
+    ASSERT_GE(s.support_path.size(), 2u);
+    EXPECT_EQ(s.support_path.front(), req.src);
+    EXPECT_EQ(s.support_path.back(), req.dst);
+    for (std::size_t i = 0; i + 1 < s.support_path.size(); ++i)
+      EXPECT_GE(topo.fiber_between(s.support_path[i], s.support_path[i + 1]),
+                0);
+    for (std::size_t i = 1; i + 1 < s.support_path.size(); ++i)
+      EXPECT_TRUE(topo.is_switch_or_server(s.support_path[i]));
+
+    if (dual) {
+      ASSERT_GE(s.core_path.size(), 2u);
+      EXPECT_EQ(s.core_path.front(), req.src);
+      EXPECT_EQ(s.core_path.back(), req.dst);
+      for (std::size_t i = 0; i + 1 < s.core_path.size(); ++i)
+        EXPECT_GE(topo.fiber_between(s.core_path[i], s.core_path[i + 1]), 0);
+    } else {
+      EXPECT_TRUE(s.core_path.empty());
+    }
+
+    // EC servers appear on both paths, in order.
+    std::size_t sup_cursor = 0, core_cursor = 0;
+    for (int server : s.ec_servers) {
+      EXPECT_TRUE(topo.is_server(server));
+      const auto sup_it =
+          std::find(s.support_path.begin() +
+                        static_cast<std::ptrdiff_t>(sup_cursor),
+                    s.support_path.end(), server);
+      ASSERT_NE(sup_it, s.support_path.end());
+      sup_cursor =
+          static_cast<std::size_t>(sup_it - s.support_path.begin()) + 1;
+      if (dual) {
+        const auto core_it =
+            std::find(s.core_path.begin() +
+                          static_cast<std::ptrdiff_t>(core_cursor),
+                      s.core_path.end(), server);
+        ASSERT_NE(core_it, s.core_path.end());
+        core_cursor =
+            static_cast<std::size_t>(core_it - s.core_path.begin()) + 1;
+      }
+    }
+  }
+  EXPECT_EQ(total_codes, schedule.scheduled_codes());
+  for (const auto& [k, codes] : per_request)
+    EXPECT_LE(codes, requests[static_cast<std::size_t>(k)].codes);
+}
+
+void check_capacities(const Topology& topo, const Schedule& schedule,
+                      const RoutingParams& params) {
+  std::map<int, double> node_usage;
+  std::map<int, double> fiber_usage;
+  for (const auto& s : schedule.scheduled) {
+    const double support_demand =
+        params.dual_channel ? params.support_qubits : params.total_qubits();
+    for (std::size_t i = 1; i + 1 < s.support_path.size(); ++i)
+      node_usage[s.support_path[i]] += support_demand * s.codes;
+    for (std::size_t i = 1; i + 1 < s.core_path.size(); ++i)
+      node_usage[s.core_path[i]] += params.core_qubits * s.codes;
+    for (std::size_t i = 0; i + 1 < s.core_path.size(); ++i)
+      fiber_usage[topo.fiber_between(s.core_path[i], s.core_path[i + 1])] +=
+          params.core_qubits * s.codes;
+  }
+  const double bonus =
+      params.dual_channel ? 1.0 : params.raw_capacity_bonus;
+  for (const auto& [node, usage] : node_usage)
+    EXPECT_LE(usage, bonus * topo.node(node).storage_capacity + 1e-6)
+        << "node " << node;
+  for (const auto& [fiber, usage] : fiber_usage)
+    EXPECT_LE(usage, topo.fiber(fiber).entanglement_capacity + 1e-6)
+        << "fiber " << fiber;
+}
+
+class RouterPropertyTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(RouterPropertyTest, GreedyScheduleIsValidAndWithinCapacity) {
+  util::Rng rng(static_cast<unsigned>(GetParam()));
+  const auto topo = netsim::make_random_topology(spec_for_tests(), rng);
+  const auto requests = netsim::random_requests(topo, 6, 3, rng);
+  const auto params = params_for_tests();
+  const auto schedule = route_greedy(topo, requests, params, rng);
+  check_schedule_valid(topo, requests, schedule, /*dual=*/true);
+  check_capacities(topo, schedule, params);
+}
+
+TEST_P(RouterPropertyTest, LpScheduleIsValidAndWithinCapacity) {
+  util::Rng rng(static_cast<unsigned>(GetParam()) + 1000);
+  const auto topo = netsim::make_random_topology(spec_for_tests(), rng);
+  const auto requests = netsim::random_requests(topo, 6, 3, rng);
+  const auto params = params_for_tests();
+  const auto result = route_lp(topo, requests, params, rng);
+  check_schedule_valid(topo, requests, result.schedule, /*dual=*/true);
+  check_capacities(topo, result.schedule, params);
+  // Integral schedules cannot beat the LP relaxation.
+  if (result.status == LpStatus::Optimal) {
+    EXPECT_LE(result.schedule.scheduled_codes(), result.lp_objective + 1e-4);
+  }
+}
+
+TEST_P(RouterPropertyTest, RawLpScheduleIsValid) {
+  util::Rng rng(static_cast<unsigned>(GetParam()) + 2000);
+  const auto topo = netsim::make_random_topology(spec_for_tests(), rng);
+  const auto requests = netsim::random_requests(topo, 6, 3, rng);
+  auto params = params_for_tests();
+  params.dual_channel = false;
+  const auto result = route_lp(topo, requests, params, rng);
+  check_schedule_valid(topo, requests, result.schedule, /*dual=*/false);
+  check_capacities(topo, result.schedule, params);
+}
+
+TEST_P(RouterPropertyTest, PurificationScheduleRespectsPairBudget) {
+  util::Rng rng(static_cast<unsigned>(GetParam()) + 3000);
+  const auto topo = netsim::make_random_topology(spec_for_tests(), rng);
+  const auto requests = netsim::random_requests(topo, 8, 3, rng);
+  PurificationParams params;
+  params.extra_pairs = 2;
+  const auto schedule = route_purification(topo, requests, params, rng);
+  std::map<int, double> fiber_usage;
+  for (const auto& s : schedule.scheduled) {
+    ASSERT_GE(s.core_path.size(), 2u);
+    const auto& req = requests[static_cast<std::size_t>(s.request_index)];
+    EXPECT_EQ(s.core_path.front(), req.src);
+    EXPECT_EQ(s.core_path.back(), req.dst);
+    for (std::size_t i = 0; i + 1 < s.core_path.size(); ++i) {
+      const int e = topo.fiber_between(s.core_path[i], s.core_path[i + 1]);
+      ASSERT_GE(e, 0);
+      fiber_usage[e] += (1 + params.extra_pairs) * s.codes;
+    }
+  }
+  for (const auto& [fiber, usage] : fiber_usage)
+    EXPECT_LE(usage, topo.fiber(fiber).entanglement_capacity + 1e-6);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RouterPropertyTest,
+                         ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8));
+
+TEST(Greedy, NoCapacityMeansNothingScheduled) {
+  util::Rng rng(50);
+  auto spec = spec_for_tests();
+  spec.storage_capacity = 0;
+  const auto topo = netsim::make_random_topology(spec, rng);
+  const auto requests = netsim::random_requests(topo, 5, 2, rng);
+  const auto schedule =
+      route_greedy(topo, requests, params_for_tests(), rng);
+  EXPECT_EQ(schedule.scheduled_codes(), 0);
+  EXPECT_DOUBLE_EQ(schedule.throughput(), 0.0);
+}
+
+TEST(Greedy, TightThresholdBlocksLongRoutes) {
+  util::Rng rng(51);
+  const auto topo = netsim::make_random_topology(spec_for_tests(), rng);
+  const auto requests = netsim::random_requests(topo, 5, 2, rng);
+  auto params = params_for_tests();
+  params.core_noise_threshold = 1e-6;
+  params.total_noise_threshold = 1e-6;
+  const auto schedule = route_greedy(topo, requests, params, rng);
+  // Only zero-noise routes (if any perfect-fidelity path exists) pass.
+  for (const auto& s : schedule.scheduled)
+    EXPECT_LE(netsim::path_noise(topo, s.support_path), 1e-5);
+}
+
+TEST(Formulation, VariableCountsAndPruning) {
+  util::Rng rng(52);
+  const auto topo = netsim::make_random_topology(spec_for_tests(), rng);
+  const auto requests = netsim::random_requests(topo, 3, 2, rng);
+  const RoutingFormulation formulation(topo, requests,
+                                       params_for_tests());
+  EXPECT_EQ(formulation.num_requests(), 3);
+  for (int k = 0; k < 3; ++k) {
+    const auto& v = formulation.vars(k);
+    EXPECT_GE(v.y, 0);
+    EXPECT_EQ(v.x.size(), topo.servers().size());
+    // Edges into the source and out of the destination are pruned.
+    const auto& req = requests[static_cast<std::size_t>(k)];
+    for (int de = 0; de < formulation.num_directed_edges(); ++de) {
+      if (formulation.edge_head(de) == req.src) {
+        EXPECT_EQ(v.a[static_cast<std::size_t>(de)], -1);
+      }
+      if (formulation.edge_tail(de) == req.dst) {
+        EXPECT_EQ(v.b[static_cast<std::size_t>(de)], -1);
+      }
+    }
+  }
+}
+
+TEST(Formulation, LpSolutionRespectsYBounds) {
+  util::Rng rng(53);
+  const auto topo = netsim::make_random_topology(spec_for_tests(), rng);
+  const auto requests = netsim::random_requests(topo, 4, 3, rng);
+  const RoutingFormulation formulation(topo, requests, params_for_tests());
+  const auto sol = solve_lp(formulation.problem());
+  ASSERT_EQ(sol.status, LpStatus::Optimal);
+  for (int k = 0; k < formulation.num_requests(); ++k) {
+    const double y =
+        sol.x[static_cast<std::size_t>(formulation.vars(k).y)];
+    EXPECT_GE(y, -1e-6);
+    EXPECT_LE(y, requests[static_cast<std::size_t>(k)].codes + 1e-6);
+  }
+}
+
+TEST(Formulation, RejectsNonUserEndpoints) {
+  util::Rng rng(54);
+  const auto topo = netsim::make_random_topology(spec_for_tests(), rng);
+  const int server = topo.servers().front();
+  const int user = topo.users().front();
+  std::vector<Request> bad{{server, user, 1}};
+  EXPECT_THROW(RoutingFormulation(topo, bad, params_for_tests()),
+               std::invalid_argument);
+}
+
+TEST(CapacityTrackerTest, CommitDecrements) {
+  util::Rng rng(55);
+  const auto topo = netsim::make_random_topology(spec_for_tests(), rng);
+  const auto params = params_for_tests();
+  CapacityTracker tracker(topo, params);
+  // Find any user-switch-...: use greedy plan for a request.
+  const auto users = topo.users();
+  const auto plan =
+      plan_code(topo, tracker, params, users[0], users[1]);
+  ASSERT_TRUE(plan.has_value());
+  const double before = tracker.node_remaining(plan->path[1]);
+  tracker.commit(plan->path);
+  EXPECT_NEAR(tracker.node_remaining(plan->path[1]),
+              before - params.total_qubits(), 1e-9);
+}
+
+
+TEST(AdaptiveDistance, BandsEscalateWithResidualNoise) {
+  EXPECT_EQ(adaptive_distance(0.0), 3);
+  EXPECT_EQ(adaptive_distance(0.10), 3);
+  EXPECT_EQ(adaptive_distance(0.2), 4);
+  EXPECT_EQ(adaptive_distance(0.30), 4);
+  EXPECT_EQ(adaptive_distance(0.5), 5);
+}
+
+TEST(AdaptiveDistance, QubitCountFormulas) {
+  EXPECT_EQ(RoutingParams::core_qubits_for(3), 5);
+  EXPECT_EQ(RoutingParams::total_qubits_for(3), 13);
+  EXPECT_EQ(RoutingParams::core_qubits_for(4), 7);
+  EXPECT_EQ(RoutingParams::total_qubits_for(4), 25);
+  EXPECT_EQ(RoutingParams::core_qubits_for(5), 9);
+  EXPECT_EQ(RoutingParams::total_qubits_for(5), 41);
+}
+
+TEST(AdaptiveDistance, GreedySchedulerAssignsDistances) {
+  util::Rng rng(60);
+  const auto topo = netsim::make_random_topology(spec_for_tests(), rng);
+  const auto requests = netsim::random_requests(topo, 8, 2, rng);
+  auto params = params_for_tests();
+  params.adaptive_code_distance = true;
+  const auto schedule = route_greedy(topo, requests, params, rng);
+  ASSERT_GT(schedule.scheduled_codes(), 0);
+  for (const auto& s : schedule.scheduled) {
+    EXPECT_GE(s.code_distance, 3);
+    EXPECT_LE(s.code_distance, 5);
+  }
+}
+
+TEST(AdaptiveDistance, AdaptiveExecutesAtLeastAsMuchAsFixed) {
+  // Threshold scaling lets noisy routes run on bigger codes, so the
+  // adaptive scheduler should never execute fewer codes.
+  util::Rng rng(61);
+  const auto topo = netsim::make_random_topology(spec_for_tests(), rng);
+  const auto requests = netsim::random_requests(topo, 8, 2, rng);
+  auto fixed = params_for_tests();
+  fixed.core_noise_threshold = 0.25;
+  fixed.total_noise_threshold = 0.3;
+  auto adaptive = fixed;
+  adaptive.adaptive_code_distance = true;
+  util::Rng rng1(62), rng2(62);
+  const auto fixed_schedule = route_greedy(topo, requests, fixed, rng1);
+  const auto adaptive_schedule = route_greedy(topo, requests, adaptive, rng2);
+  EXPECT_GE(adaptive_schedule.scheduled_codes(),
+            fixed_schedule.scheduled_codes());
+}
+
+
+TEST(Formulation, LpFlowsSatisfyConservationAndCoupling) {
+  // Property on the raw LP solution: Eq. (4) conservation at every
+  // switch/server and the server EC coupling x_r = inflow/n hold within
+  // solver tolerance, for both Core and Support flows.
+  util::Rng rng(70);
+  const auto topo = netsim::make_random_topology(spec_for_tests(), rng);
+  const auto requests = netsim::random_requests(topo, 4, 3, rng);
+  const auto params = params_for_tests();
+  const RoutingFormulation formulation(topo, requests, params);
+  const auto sol = solve_lp(formulation.problem());
+  ASSERT_EQ(sol.status, LpStatus::Optimal);
+
+  auto flow_sum = [&](const std::vector<int>& vars, auto keep) {
+    double total = 0.0;
+    for (int de = 0; de < formulation.num_directed_edges(); ++de) {
+      const int var = vars[static_cast<std::size_t>(de)];
+      if (var >= 0 && keep(de)) total += sol.x[static_cast<std::size_t>(var)];
+    }
+    return total;
+  };
+
+  for (int k = 0; k < formulation.num_requests(); ++k) {
+    const auto& v = formulation.vars(k);
+    for (int node : topo.switches_and_servers()) {
+      const double a_in = flow_sum(
+          v.a, [&](int de) { return formulation.edge_head(de) == node; });
+      const double a_out = flow_sum(
+          v.a, [&](int de) { return formulation.edge_tail(de) == node; });
+      EXPECT_NEAR(a_in, a_out, 1e-5);
+      const double b_in = flow_sum(
+          v.b, [&](int de) { return formulation.edge_head(de) == node; });
+      const double b_out = flow_sum(
+          v.b, [&](int de) { return formulation.edge_tail(de) == node; });
+      EXPECT_NEAR(b_in, b_out, 1e-5);
+    }
+    const auto& servers = formulation.servers();
+    for (std::size_t r = 0; r < servers.size(); ++r) {
+      const int node = servers[r];
+      const double a_in = flow_sum(
+          v.a, [&](int de) { return formulation.edge_head(de) == node; });
+      const double x = sol.x[static_cast<std::size_t>(v.x[r])];
+      EXPECT_NEAR(a_in, params.core_qubits * x, 1e-4);
+    }
+    // Eq. (3): source outflow equals n * Y.
+    const auto& req = requests[static_cast<std::size_t>(k)];
+    const double y = sol.x[static_cast<std::size_t>(v.y)];
+    const double src_out = flow_sum(
+        v.a, [&](int de) { return formulation.edge_tail(de) == req.src; });
+    EXPECT_NEAR(src_out, params.core_qubits * y, 1e-4);
+  }
+}
+
+}  // namespace
+}  // namespace surfnet::routing

@@ -1,0 +1,159 @@
+#include "routing/simplex.h"
+
+#include <gtest/gtest.h>
+
+#include "util/rng.h"
+
+namespace surfnet::routing {
+namespace {
+
+TEST(Simplex, SimpleTwoVariableMaximum) {
+  // max 3x + 2y s.t. x + y <= 4, x + 3y <= 6 -> x=4, y=0, obj=12.
+  LpProblem lp;
+  const int x = lp.add_variable(3.0);
+  const int y = lp.add_variable(2.0);
+  lp.add_constraint({{{x, 1.0}, {y, 1.0}}, ConstraintType::LessEqual, 4.0});
+  lp.add_constraint({{{x, 1.0}, {y, 3.0}}, ConstraintType::LessEqual, 6.0});
+  const auto sol = solve_lp(lp);
+  ASSERT_EQ(sol.status, LpStatus::Optimal);
+  EXPECT_NEAR(sol.objective, 12.0, 1e-5);
+  EXPECT_NEAR(sol.x[static_cast<std::size_t>(x)], 4.0, 1e-5);
+  EXPECT_NEAR(sol.x[static_cast<std::size_t>(y)], 0.0, 1e-5);
+}
+
+TEST(Simplex, InteriorOptimum) {
+  // max x + y s.t. 2x + y <= 4, x + 2y <= 4 -> x=y=4/3, obj=8/3.
+  LpProblem lp;
+  const int x = lp.add_variable(1.0);
+  const int y = lp.add_variable(1.0);
+  lp.add_constraint({{{x, 2.0}, {y, 1.0}}, ConstraintType::LessEqual, 4.0});
+  lp.add_constraint({{{x, 1.0}, {y, 2.0}}, ConstraintType::LessEqual, 4.0});
+  const auto sol = solve_lp(lp);
+  ASSERT_EQ(sol.status, LpStatus::Optimal);
+  EXPECT_NEAR(sol.objective, 8.0 / 3.0, 1e-5);
+}
+
+TEST(Simplex, EqualityConstraint) {
+  // max x + 2y s.t. x + y = 3, y <= 2 -> x=1, y=2, obj=5.
+  LpProblem lp;
+  const int x = lp.add_variable(1.0);
+  const int y = lp.add_variable(2.0, 2.0);
+  lp.add_constraint({{{x, 1.0}, {y, 1.0}}, ConstraintType::Equal, 3.0});
+  const auto sol = solve_lp(lp);
+  ASSERT_EQ(sol.status, LpStatus::Optimal);
+  EXPECT_NEAR(sol.objective, 5.0, 1e-5);
+  EXPECT_NEAR(sol.x[static_cast<std::size_t>(x)], 1.0, 1e-5);
+  EXPECT_NEAR(sol.x[static_cast<std::size_t>(y)], 2.0, 1e-5);
+}
+
+TEST(Simplex, GreaterEqualConstraint) {
+  // max -x s.t. x >= 2  ->  x = 2 (minimize x with a floor).
+  LpProblem lp;
+  const int x = lp.add_variable(-1.0);
+  lp.add_constraint({{{x, 1.0}}, ConstraintType::GreaterEqual, 2.0});
+  const auto sol = solve_lp(lp);
+  ASSERT_EQ(sol.status, LpStatus::Optimal);
+  EXPECT_NEAR(sol.x[static_cast<std::size_t>(x)], 2.0, 1e-5);
+}
+
+TEST(Simplex, DetectsInfeasible) {
+  LpProblem lp;
+  const int x = lp.add_variable(1.0);
+  lp.add_constraint({{{x, 1.0}}, ConstraintType::LessEqual, 1.0});
+  lp.add_constraint({{{x, 1.0}}, ConstraintType::GreaterEqual, 2.0});
+  EXPECT_EQ(solve_lp(lp).status, LpStatus::Infeasible);
+}
+
+TEST(Simplex, DetectsUnbounded) {
+  LpProblem lp;
+  const int x = lp.add_variable(1.0);
+  lp.add_constraint({{{x, -1.0}}, ConstraintType::LessEqual, 1.0});
+  EXPECT_EQ(solve_lp(lp).status, LpStatus::Unbounded);
+}
+
+TEST(Simplex, UpperBoundsAreRespected) {
+  LpProblem lp;
+  const int x = lp.add_variable(1.0, 2.5);
+  const int y = lp.add_variable(1.0, 1.5);
+  lp.add_constraint({{{x, 1.0}, {y, 1.0}}, ConstraintType::LessEqual, 10.0});
+  const auto sol = solve_lp(lp);
+  ASSERT_EQ(sol.status, LpStatus::Optimal);
+  EXPECT_NEAR(sol.x[static_cast<std::size_t>(x)], 2.5, 1e-5);
+  EXPECT_NEAR(sol.x[static_cast<std::size_t>(y)], 1.5, 1e-5);
+}
+
+TEST(Simplex, ZeroObjectiveIsFeasibilityCheck) {
+  LpProblem lp;
+  const int x = lp.add_variable(0.0);
+  lp.add_constraint({{{x, 1.0}}, ConstraintType::Equal, 7.0});
+  const auto sol = solve_lp(lp);
+  ASSERT_EQ(sol.status, LpStatus::Optimal);
+  EXPECT_NEAR(sol.x[static_cast<std::size_t>(x)], 7.0, 1e-5);
+}
+
+TEST(Simplex, DegenerateProblemTerminates) {
+  // Many redundant constraints through the same vertex.
+  LpProblem lp;
+  const int x = lp.add_variable(1.0);
+  const int y = lp.add_variable(1.0);
+  for (int i = 0; i < 30; ++i)
+    lp.add_constraint(
+        {{{x, 1.0 + i * 0.0}, {y, 1.0}}, ConstraintType::LessEqual, 2.0});
+  lp.add_constraint({{{x, 1.0}}, ConstraintType::LessEqual, 2.0});
+  const auto sol = solve_lp(lp);
+  ASSERT_EQ(sol.status, LpStatus::Optimal);
+  EXPECT_NEAR(sol.objective, 2.0, 1e-4);
+}
+
+TEST(Simplex, RandomProblemsSatisfyConstraints) {
+  // Property: on random bounded-feasible LPs the returned point satisfies
+  // every constraint and achieves at least the objective of the origin.
+  util::Rng rng(99);
+  for (int trial = 0; trial < 50; ++trial) {
+    LpProblem lp;
+    const int nv = 2 + static_cast<int>(rng.below(6));
+    for (int v = 0; v < nv; ++v)
+      lp.add_variable(rng.uniform(-1.0, 2.0), rng.uniform(0.5, 5.0));
+    const int rows = 1 + static_cast<int>(rng.below(6));
+    for (int r = 0; r < rows; ++r) {
+      Constraint c;
+      for (int v = 0; v < nv; ++v)
+        if (rng.bernoulli(0.7))
+          c.terms.emplace_back(v, rng.uniform(0.1, 2.0));
+      if (c.terms.empty()) c.terms.emplace_back(0, 1.0);
+      c.type = ConstraintType::LessEqual;
+      c.rhs = rng.uniform(1.0, 8.0);
+      lp.add_constraint(std::move(c));
+    }
+    const auto sol = solve_lp(lp);
+    ASSERT_EQ(sol.status, LpStatus::Optimal) << "trial " << trial;
+    for (const auto& c : lp.constraints) {
+      double lhs = 0.0;
+      for (const auto& [v, coeff] : c.terms)
+        lhs += coeff * sol.x[static_cast<std::size_t>(v)];
+      EXPECT_LE(lhs, c.rhs + 1e-5) << "trial " << trial;
+    }
+    for (int v = 0; v < nv; ++v) {
+      EXPECT_GE(sol.x[static_cast<std::size_t>(v)], -1e-6);
+      EXPECT_LE(sol.x[static_cast<std::size_t>(v)],
+                lp.upper_bound[static_cast<std::size_t>(v)] + 1e-5);
+    }
+    EXPECT_GE(sol.objective, -1e-6);  // origin is feasible with objective 0
+  }
+}
+
+TEST(Simplex, RejectsMalformedProblems) {
+  LpProblem lp;
+  lp.num_vars = 2;
+  lp.objective = {1.0};  // wrong size
+  EXPECT_THROW(solve_lp(lp), std::invalid_argument);
+
+  LpProblem lp2;
+  const int x = lp2.add_variable(1.0);
+  (void)x;
+  lp2.add_constraint({{{5, 1.0}}, ConstraintType::LessEqual, 1.0});
+  EXPECT_THROW(solve_lp(lp2), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace surfnet::routing
