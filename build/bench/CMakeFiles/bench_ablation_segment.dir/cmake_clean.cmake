@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_segment.dir/bench_ablation_segment.cpp.o"
+  "CMakeFiles/bench_ablation_segment.dir/bench_ablation_segment.cpp.o.d"
+  "bench_ablation_segment"
+  "bench_ablation_segment.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_segment.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

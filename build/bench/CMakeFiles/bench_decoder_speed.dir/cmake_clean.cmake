@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_decoder_speed.dir/bench_decoder_speed.cpp.o"
+  "CMakeFiles/bench_decoder_speed.dir/bench_decoder_speed.cpp.o.d"
+  "bench_decoder_speed"
+  "bench_decoder_speed.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_decoder_speed.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_fig6a.cpp" "bench/CMakeFiles/bench_fig6a.dir/bench_fig6a.cpp.o" "gcc" "bench/CMakeFiles/bench_fig6a.dir/bench_fig6a.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/surfnet_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/routing/CMakeFiles/surfnet_routing.dir/DependInfo.cmake"
+  "/root/repo/build/src/netsim/CMakeFiles/surfnet_netsim.dir/DependInfo.cmake"
+  "/root/repo/build/src/decoder/CMakeFiles/surfnet_decoder.dir/DependInfo.cmake"
+  "/root/repo/build/src/qec/CMakeFiles/surfnet_qec.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/surfnet_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_spacetime.dir/bench_spacetime.cpp.o"
+  "CMakeFiles/bench_spacetime.dir/bench_spacetime.cpp.o.d"
+  "bench_spacetime"
+  "bench_spacetime.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_spacetime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

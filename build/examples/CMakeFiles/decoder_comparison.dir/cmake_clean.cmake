@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/decoder_comparison.dir/decoder_comparison.cpp.o"
+  "CMakeFiles/decoder_comparison.dir/decoder_comparison.cpp.o.d"
+  "decoder_comparison"
+  "decoder_comparison.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/decoder_comparison.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

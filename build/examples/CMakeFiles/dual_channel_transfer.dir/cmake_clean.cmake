@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dual_channel_transfer.dir/dual_channel_transfer.cpp.o"
+  "CMakeFiles/dual_channel_transfer.dir/dual_channel_transfer.cpp.o.d"
+  "dual_channel_transfer"
+  "dual_channel_transfer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dual_channel_transfer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

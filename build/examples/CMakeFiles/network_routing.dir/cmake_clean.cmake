@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/network_routing.dir/network_routing.cpp.o"
+  "CMakeFiles/network_routing.dir/network_routing.cpp.o.d"
+  "network_routing"
+  "network_routing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/network_routing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/surfnet_cli.dir/surfnet_cli.cpp.o"
+  "CMakeFiles/surfnet_cli.dir/surfnet_cli.cpp.o.d"
+  "surfnet_cli"
+  "surfnet_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/surfnet_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

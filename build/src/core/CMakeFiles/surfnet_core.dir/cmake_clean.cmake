@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/surfnet_core.dir/surfnet.cpp.o"
+  "CMakeFiles/surfnet_core.dir/surfnet.cpp.o.d"
+  "libsurfnet_core.a"
+  "libsurfnet_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/surfnet_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/decoder/blossom.cpp" "src/decoder/CMakeFiles/surfnet_decoder.dir/blossom.cpp.o" "gcc" "src/decoder/CMakeFiles/surfnet_decoder.dir/blossom.cpp.o.d"
+  "/root/repo/src/decoder/cluster_growth.cpp" "src/decoder/CMakeFiles/surfnet_decoder.dir/cluster_growth.cpp.o" "gcc" "src/decoder/CMakeFiles/surfnet_decoder.dir/cluster_growth.cpp.o.d"
+  "/root/repo/src/decoder/code_trial.cpp" "src/decoder/CMakeFiles/surfnet_decoder.dir/code_trial.cpp.o" "gcc" "src/decoder/CMakeFiles/surfnet_decoder.dir/code_trial.cpp.o.d"
+  "/root/repo/src/decoder/decoder.cpp" "src/decoder/CMakeFiles/surfnet_decoder.dir/decoder.cpp.o" "gcc" "src/decoder/CMakeFiles/surfnet_decoder.dir/decoder.cpp.o.d"
+  "/root/repo/src/decoder/erasure_decoder.cpp" "src/decoder/CMakeFiles/surfnet_decoder.dir/erasure_decoder.cpp.o" "gcc" "src/decoder/CMakeFiles/surfnet_decoder.dir/erasure_decoder.cpp.o.d"
+  "/root/repo/src/decoder/mwpm.cpp" "src/decoder/CMakeFiles/surfnet_decoder.dir/mwpm.cpp.o" "gcc" "src/decoder/CMakeFiles/surfnet_decoder.dir/mwpm.cpp.o.d"
+  "/root/repo/src/decoder/peeling.cpp" "src/decoder/CMakeFiles/surfnet_decoder.dir/peeling.cpp.o" "gcc" "src/decoder/CMakeFiles/surfnet_decoder.dir/peeling.cpp.o.d"
+  "/root/repo/src/decoder/surfnet_decoder.cpp" "src/decoder/CMakeFiles/surfnet_decoder.dir/surfnet_decoder.cpp.o" "gcc" "src/decoder/CMakeFiles/surfnet_decoder.dir/surfnet_decoder.cpp.o.d"
+  "/root/repo/src/decoder/union_find.cpp" "src/decoder/CMakeFiles/surfnet_decoder.dir/union_find.cpp.o" "gcc" "src/decoder/CMakeFiles/surfnet_decoder.dir/union_find.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/qec/CMakeFiles/surfnet_qec.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/surfnet_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

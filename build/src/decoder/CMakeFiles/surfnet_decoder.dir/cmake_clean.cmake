@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/surfnet_decoder.dir/blossom.cpp.o"
+  "CMakeFiles/surfnet_decoder.dir/blossom.cpp.o.d"
+  "CMakeFiles/surfnet_decoder.dir/cluster_growth.cpp.o"
+  "CMakeFiles/surfnet_decoder.dir/cluster_growth.cpp.o.d"
+  "CMakeFiles/surfnet_decoder.dir/code_trial.cpp.o"
+  "CMakeFiles/surfnet_decoder.dir/code_trial.cpp.o.d"
+  "CMakeFiles/surfnet_decoder.dir/decoder.cpp.o"
+  "CMakeFiles/surfnet_decoder.dir/decoder.cpp.o.d"
+  "CMakeFiles/surfnet_decoder.dir/erasure_decoder.cpp.o"
+  "CMakeFiles/surfnet_decoder.dir/erasure_decoder.cpp.o.d"
+  "CMakeFiles/surfnet_decoder.dir/mwpm.cpp.o"
+  "CMakeFiles/surfnet_decoder.dir/mwpm.cpp.o.d"
+  "CMakeFiles/surfnet_decoder.dir/peeling.cpp.o"
+  "CMakeFiles/surfnet_decoder.dir/peeling.cpp.o.d"
+  "CMakeFiles/surfnet_decoder.dir/surfnet_decoder.cpp.o"
+  "CMakeFiles/surfnet_decoder.dir/surfnet_decoder.cpp.o.d"
+  "CMakeFiles/surfnet_decoder.dir/union_find.cpp.o"
+  "CMakeFiles/surfnet_decoder.dir/union_find.cpp.o.d"
+  "libsurfnet_decoder.a"
+  "libsurfnet_decoder.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/surfnet_decoder.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/netsim/channel.cpp" "src/netsim/CMakeFiles/surfnet_netsim.dir/channel.cpp.o" "gcc" "src/netsim/CMakeFiles/surfnet_netsim.dir/channel.cpp.o.d"
+  "/root/repo/src/netsim/dot.cpp" "src/netsim/CMakeFiles/surfnet_netsim.dir/dot.cpp.o" "gcc" "src/netsim/CMakeFiles/surfnet_netsim.dir/dot.cpp.o.d"
+  "/root/repo/src/netsim/entanglement.cpp" "src/netsim/CMakeFiles/surfnet_netsim.dir/entanglement.cpp.o" "gcc" "src/netsim/CMakeFiles/surfnet_netsim.dir/entanglement.cpp.o.d"
+  "/root/repo/src/netsim/io.cpp" "src/netsim/CMakeFiles/surfnet_netsim.dir/io.cpp.o" "gcc" "src/netsim/CMakeFiles/surfnet_netsim.dir/io.cpp.o.d"
+  "/root/repo/src/netsim/schedule.cpp" "src/netsim/CMakeFiles/surfnet_netsim.dir/schedule.cpp.o" "gcc" "src/netsim/CMakeFiles/surfnet_netsim.dir/schedule.cpp.o.d"
+  "/root/repo/src/netsim/simulator.cpp" "src/netsim/CMakeFiles/surfnet_netsim.dir/simulator.cpp.o" "gcc" "src/netsim/CMakeFiles/surfnet_netsim.dir/simulator.cpp.o.d"
+  "/root/repo/src/netsim/topology.cpp" "src/netsim/CMakeFiles/surfnet_netsim.dir/topology.cpp.o" "gcc" "src/netsim/CMakeFiles/surfnet_netsim.dir/topology.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/decoder/CMakeFiles/surfnet_decoder.dir/DependInfo.cmake"
+  "/root/repo/build/src/qec/CMakeFiles/surfnet_qec.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/surfnet_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

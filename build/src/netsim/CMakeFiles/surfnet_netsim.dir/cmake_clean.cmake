@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/surfnet_netsim.dir/channel.cpp.o"
+  "CMakeFiles/surfnet_netsim.dir/channel.cpp.o.d"
+  "CMakeFiles/surfnet_netsim.dir/dot.cpp.o"
+  "CMakeFiles/surfnet_netsim.dir/dot.cpp.o.d"
+  "CMakeFiles/surfnet_netsim.dir/entanglement.cpp.o"
+  "CMakeFiles/surfnet_netsim.dir/entanglement.cpp.o.d"
+  "CMakeFiles/surfnet_netsim.dir/io.cpp.o"
+  "CMakeFiles/surfnet_netsim.dir/io.cpp.o.d"
+  "CMakeFiles/surfnet_netsim.dir/schedule.cpp.o"
+  "CMakeFiles/surfnet_netsim.dir/schedule.cpp.o.d"
+  "CMakeFiles/surfnet_netsim.dir/simulator.cpp.o"
+  "CMakeFiles/surfnet_netsim.dir/simulator.cpp.o.d"
+  "CMakeFiles/surfnet_netsim.dir/topology.cpp.o"
+  "CMakeFiles/surfnet_netsim.dir/topology.cpp.o.d"
+  "libsurfnet_netsim.a"
+  "libsurfnet_netsim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/surfnet_netsim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/qec/core_support.cpp" "src/qec/CMakeFiles/surfnet_qec.dir/core_support.cpp.o" "gcc" "src/qec/CMakeFiles/surfnet_qec.dir/core_support.cpp.o.d"
+  "/root/repo/src/qec/error_model.cpp" "src/qec/CMakeFiles/surfnet_qec.dir/error_model.cpp.o" "gcc" "src/qec/CMakeFiles/surfnet_qec.dir/error_model.cpp.o.d"
+  "/root/repo/src/qec/graph.cpp" "src/qec/CMakeFiles/surfnet_qec.dir/graph.cpp.o" "gcc" "src/qec/CMakeFiles/surfnet_qec.dir/graph.cpp.o.d"
+  "/root/repo/src/qec/lattice.cpp" "src/qec/CMakeFiles/surfnet_qec.dir/lattice.cpp.o" "gcc" "src/qec/CMakeFiles/surfnet_qec.dir/lattice.cpp.o.d"
+  "/root/repo/src/qec/logical.cpp" "src/qec/CMakeFiles/surfnet_qec.dir/logical.cpp.o" "gcc" "src/qec/CMakeFiles/surfnet_qec.dir/logical.cpp.o.d"
+  "/root/repo/src/qec/render.cpp" "src/qec/CMakeFiles/surfnet_qec.dir/render.cpp.o" "gcc" "src/qec/CMakeFiles/surfnet_qec.dir/render.cpp.o.d"
+  "/root/repo/src/qec/rotated_lattice.cpp" "src/qec/CMakeFiles/surfnet_qec.dir/rotated_lattice.cpp.o" "gcc" "src/qec/CMakeFiles/surfnet_qec.dir/rotated_lattice.cpp.o.d"
+  "/root/repo/src/qec/spacetime.cpp" "src/qec/CMakeFiles/surfnet_qec.dir/spacetime.cpp.o" "gcc" "src/qec/CMakeFiles/surfnet_qec.dir/spacetime.cpp.o.d"
+  "/root/repo/src/qec/syndrome.cpp" "src/qec/CMakeFiles/surfnet_qec.dir/syndrome.cpp.o" "gcc" "src/qec/CMakeFiles/surfnet_qec.dir/syndrome.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/surfnet_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

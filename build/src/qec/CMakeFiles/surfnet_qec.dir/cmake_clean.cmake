@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/surfnet_qec.dir/core_support.cpp.o"
+  "CMakeFiles/surfnet_qec.dir/core_support.cpp.o.d"
+  "CMakeFiles/surfnet_qec.dir/error_model.cpp.o"
+  "CMakeFiles/surfnet_qec.dir/error_model.cpp.o.d"
+  "CMakeFiles/surfnet_qec.dir/graph.cpp.o"
+  "CMakeFiles/surfnet_qec.dir/graph.cpp.o.d"
+  "CMakeFiles/surfnet_qec.dir/lattice.cpp.o"
+  "CMakeFiles/surfnet_qec.dir/lattice.cpp.o.d"
+  "CMakeFiles/surfnet_qec.dir/logical.cpp.o"
+  "CMakeFiles/surfnet_qec.dir/logical.cpp.o.d"
+  "CMakeFiles/surfnet_qec.dir/render.cpp.o"
+  "CMakeFiles/surfnet_qec.dir/render.cpp.o.d"
+  "CMakeFiles/surfnet_qec.dir/rotated_lattice.cpp.o"
+  "CMakeFiles/surfnet_qec.dir/rotated_lattice.cpp.o.d"
+  "CMakeFiles/surfnet_qec.dir/spacetime.cpp.o"
+  "CMakeFiles/surfnet_qec.dir/spacetime.cpp.o.d"
+  "CMakeFiles/surfnet_qec.dir/syndrome.cpp.o"
+  "CMakeFiles/surfnet_qec.dir/syndrome.cpp.o.d"
+  "libsurfnet_qec.a"
+  "libsurfnet_qec.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/surfnet_qec.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/surfnet_routing.dir/formulation.cpp.o"
+  "CMakeFiles/surfnet_routing.dir/formulation.cpp.o.d"
+  "CMakeFiles/surfnet_routing.dir/greedy.cpp.o"
+  "CMakeFiles/surfnet_routing.dir/greedy.cpp.o.d"
+  "CMakeFiles/surfnet_routing.dir/lp_router.cpp.o"
+  "CMakeFiles/surfnet_routing.dir/lp_router.cpp.o.d"
+  "CMakeFiles/surfnet_routing.dir/purification.cpp.o"
+  "CMakeFiles/surfnet_routing.dir/purification.cpp.o.d"
+  "CMakeFiles/surfnet_routing.dir/simplex.cpp.o"
+  "CMakeFiles/surfnet_routing.dir/simplex.cpp.o.d"
+  "libsurfnet_routing.a"
+  "libsurfnet_routing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/surfnet_routing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/surfnet_util.dir/stats.cpp.o"
+  "CMakeFiles/surfnet_util.dir/stats.cpp.o.d"
+  "CMakeFiles/surfnet_util.dir/table.cpp.o"
+  "CMakeFiles/surfnet_util.dir/table.cpp.o.d"
+  "libsurfnet_util.a"
+  "libsurfnet_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/surfnet_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

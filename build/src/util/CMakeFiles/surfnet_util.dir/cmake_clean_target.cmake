@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libsurfnet_util.a"
+)

@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/decoder_tests.dir/decoder/blossom_test.cpp.o"
+  "CMakeFiles/decoder_tests.dir/decoder/blossom_test.cpp.o.d"
+  "CMakeFiles/decoder_tests.dir/decoder/cluster_growth_test.cpp.o"
+  "CMakeFiles/decoder_tests.dir/decoder/cluster_growth_test.cpp.o.d"
+  "CMakeFiles/decoder_tests.dir/decoder/decoders_test.cpp.o"
+  "CMakeFiles/decoder_tests.dir/decoder/decoders_test.cpp.o.d"
+  "CMakeFiles/decoder_tests.dir/decoder/peeling_test.cpp.o"
+  "CMakeFiles/decoder_tests.dir/decoder/peeling_test.cpp.o.d"
+  "decoder_tests"
+  "decoder_tests.pdb"
+  "decoder_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/decoder_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/qec/error_model_test.cpp" "tests/CMakeFiles/qec_tests.dir/qec/error_model_test.cpp.o" "gcc" "tests/CMakeFiles/qec_tests.dir/qec/error_model_test.cpp.o.d"
+  "/root/repo/tests/qec/graph_test.cpp" "tests/CMakeFiles/qec_tests.dir/qec/graph_test.cpp.o" "gcc" "tests/CMakeFiles/qec_tests.dir/qec/graph_test.cpp.o.d"
+  "/root/repo/tests/qec/lattice_test.cpp" "tests/CMakeFiles/qec_tests.dir/qec/lattice_test.cpp.o" "gcc" "tests/CMakeFiles/qec_tests.dir/qec/lattice_test.cpp.o.d"
+  "/root/repo/tests/qec/pauli_test.cpp" "tests/CMakeFiles/qec_tests.dir/qec/pauli_test.cpp.o" "gcc" "tests/CMakeFiles/qec_tests.dir/qec/pauli_test.cpp.o.d"
+  "/root/repo/tests/qec/render_test.cpp" "tests/CMakeFiles/qec_tests.dir/qec/render_test.cpp.o" "gcc" "tests/CMakeFiles/qec_tests.dir/qec/render_test.cpp.o.d"
+  "/root/repo/tests/qec/rotated_lattice_test.cpp" "tests/CMakeFiles/qec_tests.dir/qec/rotated_lattice_test.cpp.o" "gcc" "tests/CMakeFiles/qec_tests.dir/qec/rotated_lattice_test.cpp.o.d"
+  "/root/repo/tests/qec/spacetime_test.cpp" "tests/CMakeFiles/qec_tests.dir/qec/spacetime_test.cpp.o" "gcc" "tests/CMakeFiles/qec_tests.dir/qec/spacetime_test.cpp.o.d"
+  "/root/repo/tests/qec/syndrome_test.cpp" "tests/CMakeFiles/qec_tests.dir/qec/syndrome_test.cpp.o" "gcc" "tests/CMakeFiles/qec_tests.dir/qec/syndrome_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/surfnet_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/routing/CMakeFiles/surfnet_routing.dir/DependInfo.cmake"
+  "/root/repo/build/src/netsim/CMakeFiles/surfnet_netsim.dir/DependInfo.cmake"
+  "/root/repo/build/src/decoder/CMakeFiles/surfnet_decoder.dir/DependInfo.cmake"
+  "/root/repo/build/src/qec/CMakeFiles/surfnet_qec.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/surfnet_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

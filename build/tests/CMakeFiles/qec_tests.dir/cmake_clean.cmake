@@ -1,0 +1,26 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/qec_tests.dir/qec/error_model_test.cpp.o"
+  "CMakeFiles/qec_tests.dir/qec/error_model_test.cpp.o.d"
+  "CMakeFiles/qec_tests.dir/qec/graph_test.cpp.o"
+  "CMakeFiles/qec_tests.dir/qec/graph_test.cpp.o.d"
+  "CMakeFiles/qec_tests.dir/qec/lattice_test.cpp.o"
+  "CMakeFiles/qec_tests.dir/qec/lattice_test.cpp.o.d"
+  "CMakeFiles/qec_tests.dir/qec/pauli_test.cpp.o"
+  "CMakeFiles/qec_tests.dir/qec/pauli_test.cpp.o.d"
+  "CMakeFiles/qec_tests.dir/qec/render_test.cpp.o"
+  "CMakeFiles/qec_tests.dir/qec/render_test.cpp.o.d"
+  "CMakeFiles/qec_tests.dir/qec/rotated_lattice_test.cpp.o"
+  "CMakeFiles/qec_tests.dir/qec/rotated_lattice_test.cpp.o.d"
+  "CMakeFiles/qec_tests.dir/qec/spacetime_test.cpp.o"
+  "CMakeFiles/qec_tests.dir/qec/spacetime_test.cpp.o.d"
+  "CMakeFiles/qec_tests.dir/qec/syndrome_test.cpp.o"
+  "CMakeFiles/qec_tests.dir/qec/syndrome_test.cpp.o.d"
+  "qec_tests"
+  "qec_tests.pdb"
+  "qec_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/qec_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

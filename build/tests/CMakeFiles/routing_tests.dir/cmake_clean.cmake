@@ -1,0 +1,14 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/routing_tests.dir/routing/routers_test.cpp.o"
+  "CMakeFiles/routing_tests.dir/routing/routers_test.cpp.o.d"
+  "CMakeFiles/routing_tests.dir/routing/simplex_test.cpp.o"
+  "CMakeFiles/routing_tests.dir/routing/simplex_test.cpp.o.d"
+  "routing_tests"
+  "routing_tests.pdb"
+  "routing_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/routing_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
