@@ -12,8 +12,8 @@
 #include <iostream>
 
 #include "bench_common.h"
-#include "decoder/code_trial.h"
 #include "decoder/surfnet_decoder.h"
+#include "decoder/trial_runner.h"
 #include "decoder/union_find.h"
 #include "qec/core_support.h"
 #include "qec/syndrome.h"
@@ -48,22 +48,17 @@ qec::CoreSupportPartition wide_core(const qec::SurfaceCodeLattice& lattice,
 double blind_error_rate(const qec::SurfaceCodeLattice& lattice,
                         const qec::NoiseProfile& profile,
                         const decoder::Decoder& decoder, int trials,
-                        util::Rng& rng) {
+                        const decoder::TrialRunnerOptions& opts) {
   const auto prior =
       profile.component_error_prob(qec::PauliChannel::IndependentXZ);
   double mean = 0.0;
   for (double p : prior) mean += p;
   mean /= static_cast<double>(prior.size());
   const std::vector<double> flat(prior.size(), mean);
-  int failures = 0;
-  for (int t = 0; t < trials; ++t) {
-    const auto sample =
-        qec::sample_errors(profile, qec::PauliChannel::IndependentXZ, rng);
-    const auto outcome =
-        decoder::decode_sample(lattice, sample, flat, decoder);
-    if (!outcome.success()) ++failures;
-  }
-  return static_cast<double>(failures) / trials;
+  return decoder::run_logical_error_trials(
+             lattice, profile, qec::PauliChannel::IndependentXZ, flat,
+             decoder, trials, opts)
+      .error_rate();
 }
 
 }  // namespace
@@ -74,9 +69,9 @@ int main(int argc, char** argv) {
   const int distance = 13;
   const double pauli = 0.07, erasure = 0.15;
   std::printf("Ablation: the Core/Support split — distance %d, pauli %.0f%%, "
-              "erasure %.0f%%, %d trials, seed %llu\n\n",
+              "erasure %.0f%%, %d trials, seed %llu, %d thread(s)\n\n",
               distance, pauli * 100, erasure * 100, trials,
-              static_cast<unsigned long long>(args.seed));
+              static_cast<unsigned long long>(args.seed), args.threads);
 
   const qec::SurfaceCodeLattice lattice(distance);
   const auto cross = qec::make_core_support(lattice);
@@ -90,57 +85,34 @@ int main(int argc, char** argv) {
   const auto wide_split =
       qec::NoiseProfile::core_support(wide, pauli, erasure);
 
+  decoder::TrialRunnerOptions opts;
+  opts.threads = args.threads;
+  opts.seed = args.seed;
+  const auto ler = [&](const qec::NoiseProfile& profile,
+                       const decoder::Decoder& dec) {
+    return decoder::run_logical_error_trials(
+               lattice, profile, qec::PauliChannel::IndependentXZ, dec,
+               trials, opts)
+        .error_rate();
+  };
+
   util::Table table({"configuration", "core", "logical error rate"});
-  {
-    util::Rng rng(args.seed);
-    table.add_row({"uniform noise, SurfNet decoder", "0",
-                   util::Table::fmt(
-                       decoder::logical_error_rate(
-                           lattice, uniform,
-                           qec::PauliChannel::IndependentXZ, surfnet, trials,
-                           rng),
-                       4)});
-  }
-  {
-    util::Rng rng(args.seed);
-    table.add_row({"cross Core (paper), SurfNet decoder",
-                   std::to_string(cross.num_core),
-                   util::Table::fmt(
-                       decoder::logical_error_rate(
-                           lattice, split, qec::PauliChannel::IndependentXZ,
-                           surfnet, trials, rng),
-                       4)});
-  }
-  {
-    util::Rng rng(args.seed);
-    table.add_row({"cross Core, decoder BLIND to split",
-                   std::to_string(cross.num_core),
-                   util::Table::fmt(
-                       blind_error_rate(lattice, split, surfnet, trials,
-                                        rng),
-                       4)});
-  }
-  {
-    util::Rng rng(args.seed);
-    table.add_row({"cross Core, Union-Find decoder",
-                   std::to_string(cross.num_core),
-                   util::Table::fmt(
-                       decoder::logical_error_rate(
-                           lattice, split, qec::PauliChannel::IndependentXZ,
-                           union_find, trials, rng),
-                       4)});
-  }
-  {
-    util::Rng rng(args.seed);
-    table.add_row({"3-wide cross Core, SurfNet decoder",
-                   std::to_string(wide.num_core),
-                   util::Table::fmt(
-                       decoder::logical_error_rate(
-                           lattice, wide_split,
-                           qec::PauliChannel::IndependentXZ, surfnet, trials,
-                           rng),
-                       4)});
-  }
+  table.add_row({"uniform noise, SurfNet decoder", "0",
+                 util::Table::fmt(ler(uniform, surfnet), 4)});
+  table.add_row({"cross Core (paper), SurfNet decoder",
+                 std::to_string(cross.num_core),
+                 util::Table::fmt(ler(split, surfnet), 4)});
+  table.add_row({"cross Core, decoder BLIND to split",
+                 std::to_string(cross.num_core),
+                 util::Table::fmt(
+                     blind_error_rate(lattice, split, surfnet, trials, opts),
+                     4)});
+  table.add_row({"cross Core, Union-Find decoder",
+                 std::to_string(cross.num_core),
+                 util::Table::fmt(ler(split, union_find), 4)});
+  table.add_row({"3-wide cross Core, SurfNet decoder",
+                 std::to_string(wide.num_core),
+                 util::Table::fmt(ler(wide_split, surfnet), 4)});
 
   table.print(std::cout);
   std::printf("\nExpected shape: the physical split beats uniform noise; "

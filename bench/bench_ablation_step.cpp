@@ -6,12 +6,11 @@
 // Expected shape: smaller r is more accurate but slower (more growth
 // rounds); the default 2/3 sits near the knee.
 
-#include <chrono>
 #include <iostream>
 
 #include "bench_common.h"
-#include "decoder/code_trial.h"
 #include "decoder/surfnet_decoder.h"
+#include "decoder/trial_runner.h"
 #include "qec/core_support.h"
 #include "util/table.h"
 
@@ -22,9 +21,10 @@ int main(int argc, char** argv) {
   const int trials = bench::resolve_trials(args, 6000, 40000);
   const int distance = 13;
   std::printf("Ablation: SurfNet Decoder step size r — distance %d, "
-              "pauli 7%%, erasure 15%%, %d trials, seed %llu\n\n",
-              distance, trials,
-              static_cast<unsigned long long>(args.seed));
+              "pauli 7%%, erasure 15%%, %d trials, seed %llu, "
+              "%d thread(s)\n\n",
+              distance, trials, static_cast<unsigned long long>(args.seed),
+              args.threads);
 
   const qec::SurfaceCodeLattice lattice(distance);
   const auto partition = qec::make_core_support(lattice);
@@ -34,17 +34,17 @@ int main(int argc, char** argv) {
   util::Table table({"step r", "logical error rate", "us/decode"});
   for (const double r : {2.0, 1.0, 2.0 / 3.0, 0.5, 1.0 / 3.0, 0.2, 0.1}) {
     const decoder::SurfNetDecoder decoder(r);
-    util::Rng rng(args.seed);
-    const auto start = std::chrono::steady_clock::now();
-    const double ler = decoder::logical_error_rate(
+    decoder::TrialRunnerOptions opts;
+    opts.threads = args.threads;
+    opts.seed = args.seed;
+    const auto report = decoder::run_logical_error_trials(
         lattice, profile, qec::PauliChannel::IndependentXZ, decoder, trials,
-        rng);
-    const auto elapsed = std::chrono::duration_cast<std::chrono::microseconds>(
-                             std::chrono::steady_clock::now() - start)
-                             .count();
-    table.add_row({util::Table::fmt(r, 3), util::Table::fmt(ler, 4),
-                   util::Table::fmt(
-                       static_cast<double>(elapsed) / (2.0 * trials), 1)});
+        opts);
+    // Per-decode latency from summed worker busy time; each trial decodes
+    // both graphs.
+    table.add_row({util::Table::fmt(r, 3),
+                   util::Table::fmt(report.error_rate(), 4),
+                   util::Table::fmt(report.ns_per_trial() / 2000.0, 1)});
   }
   table.print(std::cout);
   std::printf("\n(us/decode counts one graph decode; each trial decodes "

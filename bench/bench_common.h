@@ -4,11 +4,16 @@
 // the rows/series of one paper table or figure; pass --trials N to change
 // the Monte-Carlo budget and --seed S to change the base seed. Paper-scale
 // budgets (e.g. the 1080 trials of Fig. 6/7) are available via --full.
+//
+// --threads T fans Monte-Carlo trials out over T worker threads; results
+// are bitwise-identical for every T (per-trial counter-based seeding).
+// --threads 0 resolves to the machine's hardware concurrency.
 
 #include <cstdint>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <thread>
 
 namespace surfnet::bench {
 
@@ -17,7 +22,8 @@ struct BenchArgs {
   std::uint64_t seed = 20240607;
   bool full = false;
   bool csv = false;
-  int threads = 1;  ///< worker threads for trial fan-out
+  bool json = false;  ///< machine-readable output (benches that support it)
+  int threads = 1;    ///< worker threads for trial fan-out (resolved)
 };
 
 inline BenchArgs parse_args(int argc, char** argv) {
@@ -29,13 +35,28 @@ inline BenchArgs parse_args(int argc, char** argv) {
       args.seed = std::strtoull(argv[++i], nullptr, 10);
     } else if (std::strcmp(argv[i], "--threads") == 0 && i + 1 < argc) {
       args.threads = std::atoi(argv[++i]);
+      if (args.threads <= 0) {
+        const unsigned hw = std::thread::hardware_concurrency();
+        args.threads = hw > 0 ? static_cast<int>(hw) : 1;
+      }
     } else if (std::strcmp(argv[i], "--full") == 0) {
       args.full = true;
     } else if (std::strcmp(argv[i], "--csv") == 0) {
       args.csv = true;
+    } else if (std::strcmp(argv[i], "--json") == 0) {
+      args.json = true;
     } else if (std::strcmp(argv[i], "--help") == 0) {
-      std::printf("usage: %s [--trials N] [--seed S] [--threads T] [--full] [--csv]\n",
-                  argv[0]);
+      std::printf(
+          "usage: %s [--trials N] [--seed S] [--threads T] [--full] [--csv] "
+          "[--json]\n"
+          "  --trials N   Monte-Carlo trials per point (0 = bench default)\n"
+          "  --seed S     base seed; results are thread-count invariant\n"
+          "  --threads T  worker threads for trial fan-out; 0 = all hardware\n"
+          "               threads (std::thread::hardware_concurrency)\n"
+          "  --full       paper-scale trial budget\n"
+          "  --csv        CSV tables (benches that support it)\n"
+          "  --json       machine-readable output (benches that support it)\n",
+          argv[0]);
       std::exit(0);
     }
   }

@@ -13,8 +13,8 @@
 #include <vector>
 
 #include "bench_common.h"
-#include "decoder/code_trial.h"
 #include "decoder/surfnet_decoder.h"
+#include "decoder/trial_runner.h"
 #include "decoder/union_find.h"
 #include "qec/core_support.h"
 #include "util/stats.h"
@@ -26,8 +26,9 @@ int main(int argc, char** argv) {
   const auto args = bench::parse_args(argc, argv);
   const int trials = bench::resolve_trials(args, 4000, 40000);
   std::printf("Fig. 8: decoder thresholds — %d trials per point, seed "
-              "%llu\n\n",
-              trials, static_cast<unsigned long long>(args.seed));
+              "%llu, %d thread(s)\n\n",
+              trials, static_cast<unsigned long long>(args.seed),
+              args.threads);
 
   const std::vector<int> distances{9, 11, 13, 15};
   const std::vector<double> pauli_rates{0.050, 0.055, 0.060, 0.065,
@@ -50,11 +51,13 @@ int main(int argc, char** argv) {
       const auto profile = qec::NoiseProfile::core_support(
           partition, pauli_rates[pi], erasure);
       for (int dec = 0; dec < 2; ++dec) {
-        util::Rng rng(args.seed + 1000 * di + pi);
-        rates[static_cast<std::size_t>(dec)][di][pi] =
-            decoder::logical_error_rate(lattice, profile,
-                                        qec::PauliChannel::IndependentXZ,
-                                        *decoders[dec], trials, rng);
+        decoder::TrialRunnerOptions opts;
+        opts.threads = args.threads;
+        opts.seed = args.seed + 1000 * di + pi;
+        const auto report = decoder::run_logical_error_trials(
+            lattice, profile, qec::PauliChannel::IndependentXZ,
+            *decoders[dec], trials, opts);
+        rates[static_cast<std::size_t>(dec)][di][pi] = report.error_rate();
       }
     }
   }

@@ -11,8 +11,8 @@
 #include <string>
 
 #include "bench_common.h"
-#include "decoder/code_trial.h"
 #include "decoder/surfnet_decoder.h"
+#include "decoder/trial_runner.h"
 #include "decoder/union_find.h"
 #include "qec/core_support.h"
 #include "qec/lattice.h"
@@ -25,8 +25,9 @@ int main(int argc, char** argv) {
   const auto args = bench::parse_args(argc, argv);
   const int trials = bench::resolve_trials(args, 6000, 40000);
   std::printf("Extension: rotated vs unrotated layout — erasure 15%%, "
-              "%d trials per point, seed %llu\n\n",
-              trials, static_cast<unsigned long long>(args.seed));
+              "%d trials per point, seed %llu, %d thread(s)\n\n",
+              trials, static_cast<unsigned long long>(args.seed),
+              args.threads);
 
   const decoder::UnionFindDecoder union_find;
   const decoder::SurfNetDecoder surfnet;
@@ -49,10 +50,14 @@ int main(int argc, char** argv) {
         for (const decoder::Decoder* dec :
              {static_cast<const decoder::Decoder*>(&union_find),
               static_cast<const decoder::Decoder*>(&surfnet)}) {
-          util::Rng rng(args.seed + d);
-          ler[i++] = decoder::logical_error_rate(
-              *lattice, profile, qec::PauliChannel::IndependentXZ, *dec,
-              trials, rng);
+          decoder::TrialRunnerOptions opts;
+          opts.threads = args.threads;
+          opts.seed = args.seed + static_cast<std::uint64_t>(d);
+          ler[i++] = decoder::run_logical_error_trials(
+                         *lattice, profile,
+                         qec::PauliChannel::IndependentXZ, *dec, trials,
+                         opts)
+                         .error_rate();
         }
         table.add_row({rotated ? "rotated" : "unrotated",
                        std::to_string(d),

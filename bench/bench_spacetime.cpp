@@ -13,6 +13,7 @@
 
 #include "bench_common.h"
 #include "decoder/surfnet_decoder.h"
+#include "decoder/trial_runner.h"
 #include "decoder/union_find.h"
 #include "qec/lattice.h"
 #include "qec/spacetime.h"
@@ -25,8 +26,9 @@ int main(int argc, char** argv) {
   const auto args = bench::parse_args(argc, argv);
   const int trials = bench::resolve_trials(args, 1500, 10000);
   std::printf("Extension: noisy-measurement (phenomenological) decoding — "
-              "%d trials per point, seed %llu\n\n",
-              trials, static_cast<unsigned long long>(args.seed));
+              "%d trials per point, seed %llu, %d thread(s)\n\n",
+              trials, static_cast<unsigned long long>(args.seed),
+              args.threads);
 
   const std::vector<int> distances{3, 5, 7};
   const std::vector<double> rates{0.01, 0.02, 0.025, 0.03, 0.035, 0.04};
@@ -45,11 +47,21 @@ int main(int argc, char** argv) {
       std::vector<std::string> row{util::Table::pct(p, 1)};
       for (const int d : distances) {
         const qec::SurfaceCodeLattice lattice(d);
-        util::Rng rng(args.seed + static_cast<unsigned>(d));
-        row.push_back(util::Table::fmt(
-            qec::spacetime_logical_error_rate(lattice, d, p, p, *dec,
-                                              trials, rng),
-            4));
+        const qec::SpaceTimeGraph z_graph(lattice, qec::GraphKind::Z, d);
+        const qec::SpaceTimeGraph x_graph(lattice, qec::GraphKind::X, d);
+        decoder::TrialRunnerOptions opts;
+        opts.threads = args.threads;
+        opts.seed = args.seed + static_cast<std::uint64_t>(d);
+        const auto report = decoder::run_trials(
+            trials, opts, [&]() -> decoder::TrialFn {
+              return [&](std::int64_t, util::Rng& rng) {
+                decoder::TrialOutcome outcome;
+                outcome.failure = !qec::spacetime_trial(
+                    lattice, z_graph, x_graph, p, p, *dec, rng);
+                return outcome;
+              };
+            });
+        row.push_back(util::Table::fmt(report.error_rate(), 4));
       }
       table.add_row(std::move(row));
     }

@@ -3,85 +3,62 @@
 #include <stdexcept>
 #include <utility>
 
-#include "decoder/dsu.h"
-
 namespace surfnet::decoder {
 
 namespace {
 
 constexpr double kFullyGrown = 1.0 - 1e-9;
 
-/// Mutable growth state. Cluster metadata (parity, boundary flag, frontier
-/// edge list) is stored per vertex and is authoritative only at DSU roots.
-struct GrowthState {
-  explicit GrowthState(const qec::DecodingGraph& graph,
-                       const std::vector<char>& syndrome)
-      : graph(graph),
-        dsu(static_cast<std::size_t>(graph.num_real_vertices())),
-        parity(syndrome.begin(), syndrome.end()),
-        touches_boundary(static_cast<std::size_t>(graph.num_real_vertices()),
-                         0),
-        frontier(static_cast<std::size_t>(graph.num_real_vertices())),
-        growth(graph.num_edges(), 0.0),
-        region(graph.num_edges(), 0) {
-    for (int v = 0; v < graph.num_real_vertices(); ++v) {
-      const auto incident = graph.incident(v);
-      frontier[static_cast<std::size_t>(v)].assign(incident.begin(),
-                                                   incident.end());
-    }
-  }
+bool is_odd(const GrowthWorkspace& ws, int root) {
+  return ws.parity[static_cast<std::size_t>(root)] &&
+         !ws.touches_boundary[static_cast<std::size_t>(root)];
+}
 
-  bool is_odd(int root) const {
-    return parity[static_cast<std::size_t>(root)] &&
-           !touches_boundary[static_cast<std::size_t>(root)];
+/// Fuse the endpoints of a fully grown edge. Returns the surviving root
+/// when a union happened, or the affected root when the edge hit a
+/// boundary, or -1 when nothing changed.
+int fuse(GrowthWorkspace& ws, const qec::DecodingGraph& graph,
+         std::size_t e) {
+  const auto& edge = graph.edge(e);
+  const bool bu = graph.is_boundary(edge.u);
+  const bool bv = graph.is_boundary(edge.v);
+  if (bu && bv) return -1;
+  if (bu || bv) {
+    const int real = bu ? edge.v : edge.u;
+    const int root = ws.dsu.find(real);
+    ws.touches_boundary[static_cast<std::size_t>(root)] = 1;
+    return root;
   }
-
-  /// Fuse the endpoints of a fully grown edge. Returns the surviving root
-  /// when a union happened, or the affected root when the edge hit a
-  /// boundary, or -1 when nothing changed.
-  int fuse(std::size_t e) {
-    const auto& edge = graph.edge(e);
-    const bool bu = graph.is_boundary(edge.u);
-    const bool bv = graph.is_boundary(edge.v);
-    if (bu && bv) return -1;
-    if (bu || bv) {
-      const int real = bu ? edge.v : edge.u;
-      const int root = dsu.find(real);
-      touches_boundary[static_cast<std::size_t>(root)] = 1;
-      return root;
-    }
-    const int ru = dsu.find(edge.u);
-    const int rv = dsu.find(edge.v);
-    if (ru == rv) return -1;
-    const int survivor = dsu.unite(ru, rv);
-    const int other = (survivor == ru) ? rv : ru;
-    parity[static_cast<std::size_t>(survivor)] =
-        static_cast<char>(parity[static_cast<std::size_t>(survivor)] ^
-                          parity[static_cast<std::size_t>(other)]);
-    touches_boundary[static_cast<std::size_t>(survivor)] |=
-        touches_boundary[static_cast<std::size_t>(other)];
-    auto& dst = frontier[static_cast<std::size_t>(survivor)];
-    auto& src = frontier[static_cast<std::size_t>(other)];
-    dst.insert(dst.end(), src.begin(), src.end());
-    src.clear();
-    src.shrink_to_fit();
-    return survivor;
-  }
-
-  const qec::DecodingGraph& graph;
-  Dsu dsu;
-  std::vector<char> parity;
-  std::vector<char> touches_boundary;
-  std::vector<std::vector<int>> frontier;
-  std::vector<double> growth;
-  std::vector<char> region;
-};
+  const int ru = ws.dsu.find(edge.u);
+  const int rv = ws.dsu.find(edge.v);
+  if (ru == rv) return -1;
+  const int survivor = ws.dsu.unite(ru, rv);
+  const int other = (survivor == ru) ? rv : ru;
+  ws.parity[static_cast<std::size_t>(survivor)] =
+      static_cast<char>(ws.parity[static_cast<std::size_t>(survivor)] ^
+                        ws.parity[static_cast<std::size_t>(other)]);
+  ws.touches_boundary[static_cast<std::size_t>(survivor)] |=
+      ws.touches_boundary[static_cast<std::size_t>(other)];
+  auto& dst = ws.frontier[static_cast<std::size_t>(survivor)];
+  auto& src = ws.frontier[static_cast<std::size_t>(other)];
+  dst.insert(dst.end(), src.begin(), src.end());
+  src.clear();
+  return survivor;
+}
 
 }  // namespace
 
 std::vector<char> grow_clusters(const qec::DecodingGraph& graph,
                                 const std::vector<char>& syndrome,
                                 const GrowthConfig& config) {
+  GrowthWorkspace ws;
+  return grow_clusters(graph, syndrome, config, ws);
+}
+
+const std::vector<char>& grow_clusters(const qec::DecodingGraph& graph,
+                                       const std::vector<char>& syndrome,
+                                       const GrowthConfig& config,
+                                       GrowthWorkspace& ws) {
   if (syndrome.size() != static_cast<std::size_t>(graph.num_real_vertices()))
     throw std::invalid_argument("grow_clusters: syndrome size mismatch");
   if (config.speed.size() != graph.num_edges())
@@ -89,26 +66,37 @@ std::vector<char> grow_clusters(const qec::DecodingGraph& graph,
   if (!config.pregrown.empty() && config.pregrown.size() != graph.num_edges())
     throw std::invalid_argument("grow_clusters: pregrown size mismatch");
 
-  GrowthState state(graph, syndrome);
+  const auto nv = static_cast<std::size_t>(graph.num_real_vertices());
+  ws.dsu.reset(nv);
+  ws.parity.assign(syndrome.begin(), syndrome.end());
+  ws.touches_boundary.assign(nv, 0);
+  // Never shrink the frontier table: inner vectors keep their capacity
+  // across decodes (only the first nv entries are used).
+  if (ws.frontier.size() < nv) ws.frontier.resize(nv);
+  for (int v = 0; v < graph.num_real_vertices(); ++v) {
+    const auto incident = graph.incident(v);
+    ws.frontier[static_cast<std::size_t>(v)].assign(incident.begin(),
+                                                    incident.end());
+  }
+  ws.growth.assign(graph.num_edges(), 0.0);
+  ws.region.assign(graph.num_edges(), 0);
+  ws.stamp.assign(nv, -1);
 
   // Seed the region with pregrown (erased) edges and fuse through them.
   if (!config.pregrown.empty()) {
     for (std::size_t e = 0; e < graph.num_edges(); ++e) {
       if (!config.pregrown[e]) continue;
-      state.region[e] = 1;
-      state.growth[e] = 1.0;
-      state.fuse(e);
+      ws.region[e] = 1;
+      ws.growth[e] = 1.0;
+      fuse(ws, graph, e);
     }
   }
 
   // Initial active set: odd clusters.
-  std::vector<int> active;
+  ws.active.clear();
   for (int v = 0; v < graph.num_real_vertices(); ++v)
-    if (state.dsu.find(v) == v && state.is_odd(v)) active.push_back(v);
+    if (ws.dsu.find(v) == v && is_odd(ws, v)) ws.active.push_back(v);
 
-  std::vector<int> stamp(static_cast<std::size_t>(graph.num_real_vertices()),
-                         -1);
-  std::vector<std::size_t> newly_grown;
   int round = 0;
   while (true) {
     if (++round > config.max_rounds)
@@ -116,35 +104,35 @@ std::vector<char> grow_clusters(const qec::DecodingGraph& graph,
 
     // Keep only the clusters that are still odd, deduplicated by root.
     // Fusions happen between rounds, so roots are stable within a round.
-    std::vector<int> odd_roots;
-    for (int r : active) {
-      const int root = state.dsu.find(r);
-      if (stamp[static_cast<std::size_t>(root)] == round) continue;
-      stamp[static_cast<std::size_t>(root)] = round;
-      if (state.is_odd(root)) odd_roots.push_back(root);
+    ws.next_active.clear();
+    for (int r : ws.active) {
+      const int root = ws.dsu.find(r);
+      if (ws.stamp[static_cast<std::size_t>(root)] == round) continue;
+      ws.stamp[static_cast<std::size_t>(root)] = round;
+      if (is_odd(ws, root)) ws.next_active.push_back(root);
     }
-    if (odd_roots.empty()) break;
-    active = odd_roots;
+    if (ws.next_active.empty()) break;
+    std::swap(ws.active, ws.next_active);
 
-    newly_grown.clear();
+    ws.newly_grown.clear();
     std::size_t edges_touched = 0;
 
-    for (int root : active) {
-      auto& edges = state.frontier[static_cast<std::size_t>(root)];
+    for (int root : ws.active) {
+      auto& edges = ws.frontier[static_cast<std::size_t>(root)];
       std::size_t keep = 0;
       for (std::size_t i = 0; i < edges.size(); ++i) {
         const auto e = static_cast<std::size_t>(edges[i]);
-        if (state.region[e]) continue;  // interior: drop from frontier
+        if (ws.region[e]) continue;  // interior: drop from frontier
         const auto& edge = graph.edge(e);
         if (!graph.is_boundary(edge.u) && !graph.is_boundary(edge.v) &&
-            state.dsu.same(edge.u, edge.v))
+            ws.dsu.same(edge.u, edge.v))
           continue;  // both ends inside this cluster: drop
         edges[keep++] = edges[i];
         ++edges_touched;
-        state.growth[e] += config.speed[e];
-        if (state.growth[e] >= kFullyGrown) {
-          state.region[e] = 1;
-          newly_grown.push_back(e);
+        ws.growth[e] += config.speed[e];
+        if (ws.growth[e] >= kFullyGrown) {
+          ws.region[e] = 1;
+          ws.newly_grown.push_back(e);
         }
       }
       edges.resize(keep);
@@ -154,20 +142,20 @@ std::vector<char> grow_clusters(const qec::DecodingGraph& graph,
     if (edges_touched == 0)
       throw std::logic_error("grow_clusters: odd clusters cannot expand");
 
-    std::vector<int> next_active;
-    for (std::size_t e : newly_grown) {
-      const int root = state.fuse(e);
-      if (root >= 0 && state.is_odd(state.dsu.find(root)))
-        next_active.push_back(state.dsu.find(root));
+    ws.next_active.clear();
+    for (std::size_t e : ws.newly_grown) {
+      const int root = fuse(ws, graph, e);
+      if (root >= 0 && is_odd(ws, ws.dsu.find(root)))
+        ws.next_active.push_back(ws.dsu.find(root));
     }
-    for (int r : active) {
-      const int root = state.dsu.find(r);
-      if (state.is_odd(root)) next_active.push_back(root);
+    for (int r : ws.active) {
+      const int root = ws.dsu.find(r);
+      if (is_odd(ws, root)) ws.next_active.push_back(root);
     }
-    active = std::move(next_active);
+    std::swap(ws.active, ws.next_active);
   }
 
-  return std::move(state.region);
+  return ws.region;
 }
 
 }  // namespace surfnet::decoder

@@ -16,6 +16,7 @@
 
 #include <vector>
 
+#include "decoder/dsu.h"
 #include "qec/graph.h"
 
 namespace surfnet::decoder {
@@ -32,10 +33,34 @@ struct GrowthConfig {
   int max_rounds = 1 << 20;
 };
 
+/// Reusable growth state. Cluster metadata (parity, boundary flag, frontier
+/// edge list) is stored per vertex and is authoritative only at DSU roots.
+/// Buffers are reinitialized — never freed — per decode, so steady-state
+/// growth performs no heap allocations.
+struct GrowthWorkspace {
+  Dsu dsu;
+  std::vector<char> parity;
+  std::vector<char> touches_boundary;
+  std::vector<std::vector<int>> frontier;
+  std::vector<double> growth;
+  std::vector<char> region;
+  std::vector<int> stamp;
+  std::vector<int> active;
+  std::vector<int> next_active;
+  std::vector<std::size_t> newly_grown;
+};
+
 /// Run cluster growth; returns the per-edge region mask (grown edges, which
 /// always includes pregrown ones) suitable for peel_correction.
 std::vector<char> grow_clusters(const qec::DecodingGraph& graph,
                                 const std::vector<char>& syndrome,
                                 const GrowthConfig& config);
+
+/// Allocation-free variant: the region mask is written into (and returned
+/// from) `ws.region`.
+const std::vector<char>& grow_clusters(const qec::DecodingGraph& graph,
+                                       const std::vector<char>& syndrome,
+                                       const GrowthConfig& config,
+                                       GrowthWorkspace& ws);
 
 }  // namespace surfnet::decoder

@@ -25,14 +25,31 @@ CodeTrialResult decode_sample(const qec::CodeLattice& lattice,
                               const qec::ErrorSample& sample,
                               const std::vector<double>& component_prior,
                               const Decoder& decoder) {
+  CodeTrialWorkspace ws;
+  return decode_sample(lattice, sample, component_prior, decoder, ws);
+}
+
+CodeTrialResult decode_sample(const qec::CodeLattice& lattice,
+                              const qec::ErrorSample& sample,
+                              const std::vector<double>& component_prior,
+                              const Decoder& decoder,
+                              CodeTrialWorkspace& ws) {
   CodeTrialResult result;
   for (const auto kind : {qec::GraphKind::Z, qec::GraphKind::X}) {
-    const auto input = make_decode_input(lattice, kind, sample,
-                                         component_prior);
-    const auto correction = decoder.decode(input);
-    const auto flips = qec::edge_flips(lattice, kind, sample.error);
+    const qec::DecodingGraph& graph = lattice.graph(kind);
+    // The true flips double as the syndrome source and the evaluation
+    // reference — computed once per graph.
+    qec::edge_flips(lattice, kind, sample.error, ws.flips);
+    ws.input.graph = &graph;
+    qec::syndrome_bitmap(graph, ws.flips, ws.input.syndrome);
+    qec::erased_edges(lattice, kind, sample.erased, ws.input.erased);
+    ws.input.error_prob.resize(graph.num_edges());
+    for (std::size_t e = 0; e < graph.num_edges(); ++e)
+      ws.input.error_prob[e] =
+          component_prior[static_cast<std::size_t>(graph.edge(e).data_qubit)];
+    const auto& correction = decoder.decode(ws.input, ws.decode);
     const auto outcome =
-        qec::evaluate_correction(lattice, kind, flips, correction);
+        qec::evaluate_correction(lattice, kind, ws.flips, correction, ws.eval);
     (kind == qec::GraphKind::Z ? result.z_graph : result.x_graph) = outcome;
   }
   return result;
@@ -51,9 +68,13 @@ double logical_error_rate(const qec::CodeLattice& lattice,
                           const qec::NoiseProfile& profile,
                           qec::PauliChannel channel, const Decoder& decoder,
                           int trials, util::Rng& rng) {
+  // The prior depends only on the profile — computed once, not per trial.
+  const auto prior = profile.component_error_prob(channel);
+  CodeTrialWorkspace ws;
   int failures = 0;
   for (int t = 0; t < trials; ++t) {
-    if (!run_code_trial(lattice, profile, channel, decoder, rng).success())
+    qec::sample_errors(profile, channel, rng, ws.sample);
+    if (!decode_sample(lattice, ws.sample, prior, decoder, ws).success())
       ++failures;
   }
   return trials > 0 ? static_cast<double>(failures) / trials : 0.0;

@@ -7,6 +7,7 @@
 // fidelity in the network simulator.
 
 #include "decoder/decoder.h"
+#include "decoder/workspace.h"
 #include "qec/error_model.h"
 #include "qec/code_lattice.h"
 #include "qec/logical.h"
@@ -20,6 +21,17 @@ struct CodeTrialResult {
   bool success() const { return z_graph.success() && x_graph.success(); }
 };
 
+/// Everything one thread needs to run trials without per-trial heap
+/// allocations: the sampled error, the per-graph decode input, the true
+/// flips, the decoder scratch, and the evaluation scratch.
+struct CodeTrialWorkspace {
+  qec::ErrorSample sample;
+  DecodeInput input;
+  std::vector<char> flips;
+  DecodeWorkspace decode;
+  qec::EvalScratch eval;
+};
+
 /// Build the decoder input for one graph from a sampled error.
 DecodeInput make_decode_input(const qec::CodeLattice& lattice,
                               qec::GraphKind kind,
@@ -31,6 +43,13 @@ CodeTrialResult decode_sample(const qec::CodeLattice& lattice,
                               const qec::ErrorSample& sample,
                               const std::vector<double>& component_prior,
                               const Decoder& decoder);
+
+/// Allocation-free variant: reuses every buffer in `ws`. `sample` may
+/// alias `ws.sample` (the trial runner samples into it directly).
+CodeTrialResult decode_sample(const qec::CodeLattice& lattice,
+                              const qec::ErrorSample& sample,
+                              const std::vector<double>& component_prior,
+                              const Decoder& decoder, CodeTrialWorkspace& ws);
 
 /// Sample-and-decode convenience.
 CodeTrialResult run_code_trial(const qec::CodeLattice& lattice,

@@ -4,6 +4,8 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "decoder/workspace.h"
+
 namespace surfnet::decoder {
 
 double edge_weight(double error_prob) {
@@ -12,15 +14,27 @@ double edge_weight(double error_prob) {
 }
 
 std::vector<double> effective_error_prob(const DecodeInput& input) {
+  std::vector<double> prob;
+  effective_error_prob(input, prob);
+  return prob;
+}
+
+void effective_error_prob(const DecodeInput& input,
+                          std::vector<double>& out) {
   if (input.graph == nullptr)
     throw std::invalid_argument("DecodeInput: null graph");
   const std::size_t m = input.graph->num_edges();
   if (input.erased.size() != m || input.error_prob.size() != m)
     throw std::invalid_argument("DecodeInput: per-edge size mismatch");
-  std::vector<double> prob(m);
+  out.resize(m);
   for (std::size_t e = 0; e < m; ++e)
-    prob[e] = input.erased[e] ? 0.5 : input.error_prob[e];
-  return prob;
+    out[e] = input.erased[e] ? 0.5 : input.error_prob[e];
+}
+
+const std::vector<char>& Decoder::decode(const DecodeInput& input,
+                                         DecodeWorkspace& ws) const {
+  ws.correction = decode(input);
+  return ws.correction;
 }
 
 }  // namespace surfnet::decoder

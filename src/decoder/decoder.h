@@ -29,12 +29,24 @@ double edge_weight(double error_prob);
 /// otherwise.
 std::vector<double> effective_error_prob(const DecodeInput& input);
 
+/// Allocation-free variant: writes into `out` (resized to the edge count).
+void effective_error_prob(const DecodeInput& input, std::vector<double>& out);
+
+struct DecodeWorkspace;  // decoder/workspace.h
+
 class Decoder {
  public:
   virtual ~Decoder() = default;
 
   /// Returns a per-edge correction with the same syndrome as the input.
   virtual std::vector<char> decode(const DecodeInput& input) const = 0;
+
+  /// Workspace overload for hot loops: the correction is written into (and
+  /// returned from) a buffer owned by `ws`, valid until the next decode
+  /// with that workspace. Decoders that support allocation-free decoding
+  /// override this; the default forwards to the allocating path.
+  virtual const std::vector<char>& decode(const DecodeInput& input,
+                                          DecodeWorkspace& ws) const;
 
   virtual std::string_view name() const = 0;
 };

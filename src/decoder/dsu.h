@@ -12,7 +12,14 @@ namespace surfnet::decoder {
 
 class Dsu {
  public:
-  explicit Dsu(std::size_t n) : parent_(n), size_(n, 1) {
+  explicit Dsu(std::size_t n = 0) : parent_(n), size_(n, 1) {
+    std::iota(parent_.begin(), parent_.end(), 0);
+  }
+
+  /// Reinitialize to n singleton sets, reusing the existing storage.
+  void reset(std::size_t n) {
+    parent_.resize(n);
+    size_.assign(n, 1);
     std::iota(parent_.begin(), parent_.end(), 0);
   }
 

@@ -17,6 +17,8 @@ class ErasureDecoder final : public Decoder {
   /// Precondition: the syndrome is confined to the erased region
   /// (erasure-only noise). Throws std::logic_error otherwise.
   std::vector<char> decode(const DecodeInput& input) const override;
+  const std::vector<char>& decode(const DecodeInput& input,
+                                  DecodeWorkspace& ws) const override;
   std::string_view name() const override { return "Erasure"; }
 };
 

@@ -7,36 +7,40 @@ namespace surfnet::decoder {
 std::vector<char> peel_correction(const qec::DecodingGraph& graph,
                                   const std::vector<char>& region,
                                   std::vector<char> syndrome) {
+  PeelWorkspace ws;
+  return peel_correction(graph, region, syndrome, ws);
+}
+
+const std::vector<char>& peel_correction(const qec::DecodingGraph& graph,
+                                         const std::vector<char>& region,
+                                         const std::vector<char>& syndrome,
+                                         PeelWorkspace& ws) {
   if (region.size() != graph.num_edges())
     throw std::invalid_argument("peel: region size mismatch");
   if (syndrome.size() != static_cast<std::size_t>(graph.num_real_vertices()))
     throw std::invalid_argument("peel: syndrome size mismatch");
 
   const int nv = graph.num_vertices();
-  std::vector<char> visited(static_cast<std::size_t>(nv), 0);
+  ws.visited.assign(static_cast<std::size_t>(nv), 0);
+  ws.syndrome.assign(syndrome.begin(), syndrome.end());
 
   // Tree edges in discovery order: (edge id, parent vertex, child vertex).
-  struct TreeEdge {
-    int edge;
-    int parent;
-    int child;
-  };
-  std::vector<TreeEdge> forest;
-  forest.reserve(graph.num_edges());
+  ws.forest.clear();
+  ws.forest.reserve(graph.num_edges());
 
-  std::vector<int> stack;
+  ws.stack.clear();
   auto dfs_from = [&](int root) {
-    stack.push_back(root);
-    while (!stack.empty()) {
-      const int u = stack.back();
-      stack.pop_back();
+    ws.stack.push_back(root);
+    while (!ws.stack.empty()) {
+      const int u = ws.stack.back();
+      ws.stack.pop_back();
       for (int e : graph.incident(u)) {
         if (!region[static_cast<std::size_t>(e)]) continue;
         const int v = graph.other_end(static_cast<std::size_t>(e), u);
-        if (visited[static_cast<std::size_t>(v)]) continue;
-        visited[static_cast<std::size_t>(v)] = 1;
-        forest.push_back({e, u, v});
-        stack.push_back(v);
+        if (ws.visited[static_cast<std::size_t>(v)]) continue;
+        ws.visited[static_cast<std::size_t>(v)] = 1;
+        ws.forest.push_back({e, u, v});
+        ws.stack.push_back(v);
       }
     }
   };
@@ -45,32 +49,32 @@ std::vector<char> peel_correction(const qec::DecodingGraph& graph,
   // syndrome parity in boundary-touching components is absorbed there.
   // Mark all boundaries visited first so no boundary vertex becomes a child.
   for (int v = graph.num_real_vertices(); v < nv; ++v)
-    visited[static_cast<std::size_t>(v)] = 1;
+    ws.visited[static_cast<std::size_t>(v)] = 1;
   for (int v = graph.num_real_vertices(); v < nv; ++v) dfs_from(v);
   for (int v = 0; v < graph.num_real_vertices(); ++v) {
-    if (visited[static_cast<std::size_t>(v)]) continue;
-    visited[static_cast<std::size_t>(v)] = 1;
+    if (ws.visited[static_cast<std::size_t>(v)]) continue;
+    ws.visited[static_cast<std::size_t>(v)] = 1;
     dfs_from(v);
   }
 
   // Peel leaves inward: reverse discovery order guarantees each child is
   // processed before its parent.
-  std::vector<char> correction(graph.num_edges(), 0);
-  for (auto it = forest.rbegin(); it != forest.rend(); ++it) {
+  ws.correction.assign(graph.num_edges(), 0);
+  for (auto it = ws.forest.rbegin(); it != ws.forest.rend(); ++it) {
     const int child = it->child;
-    if (!syndrome[static_cast<std::size_t>(child)]) continue;
-    correction[static_cast<std::size_t>(it->edge)] = 1;
-    syndrome[static_cast<std::size_t>(child)] = 0;
+    if (!ws.syndrome[static_cast<std::size_t>(child)]) continue;
+    ws.correction[static_cast<std::size_t>(it->edge)] = 1;
+    ws.syndrome[static_cast<std::size_t>(child)] = 0;
     if (!graph.is_boundary(it->parent))
-      syndrome[static_cast<std::size_t>(it->parent)] ^= 1;
+      ws.syndrome[static_cast<std::size_t>(it->parent)] ^= 1;
   }
 
-  for (char bit : syndrome)
+  for (char bit : ws.syndrome)
     if (bit)
       throw std::logic_error(
           "peel: unmatched syndrome (region component has odd parity and no "
           "boundary)");
-  return correction;
+  return ws.correction;
 }
 
 }  // namespace surfnet::decoder

@@ -14,6 +14,22 @@
 
 namespace surfnet::decoder {
 
+/// Reusable scratch buffers for peel_correction. Buffers are sized on
+/// first use and keep their capacity across calls, so steady-state peeling
+/// performs no heap allocations.
+struct PeelWorkspace {
+  struct TreeEdge {
+    int edge;
+    int parent;
+    int child;
+  };
+  std::vector<char> visited;
+  std::vector<char> syndrome;  ///< mutable copy of the input bitmap
+  std::vector<TreeEdge> forest;
+  std::vector<int> stack;
+  std::vector<char> correction;
+};
+
 /// Peel a correction out of `region`. `syndrome` is a bitmap over real
 /// vertices; every syndrome vertex must lie inside the region and every
 /// region component must be matchable (even parity or boundary-touching),
@@ -21,5 +37,12 @@ namespace surfnet::decoder {
 std::vector<char> peel_correction(const qec::DecodingGraph& graph,
                                   const std::vector<char>& region,
                                   std::vector<char> syndrome);
+
+/// Allocation-free variant: the correction is written into (and returned
+/// from) `ws.correction`.
+const std::vector<char>& peel_correction(const qec::DecodingGraph& graph,
+                                         const std::vector<char>& region,
+                                         const std::vector<char>& syndrome,
+                                         PeelWorkspace& ws);
 
 }  // namespace surfnet::decoder

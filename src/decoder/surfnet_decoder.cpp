@@ -2,8 +2,7 @@
 
 #include <stdexcept>
 
-#include "decoder/cluster_growth.h"
-#include "decoder/peeling.h"
+#include "decoder/workspace.h"
 
 namespace surfnet::decoder {
 
@@ -13,27 +12,33 @@ SurfNetDecoder::SurfNetDecoder(double step_size) : step_size_(step_size) {
 }
 
 std::vector<char> SurfNetDecoder::decode(const DecodeInput& input) const {
-  const qec::DecodingGraph& graph = *input.graph;
-  const auto prob = effective_error_prob(input);
+  DecodeWorkspace ws;
+  return decode(input, ws);
+}
 
-  GrowthConfig config;
+const std::vector<char>& SurfNetDecoder::decode(const DecodeInput& input,
+                                                DecodeWorkspace& ws) const {
+  const qec::DecodingGraph& graph = *input.graph;
+  effective_error_prob(input, ws.prob);
+
   // Erasure locations are perfectly known, so clusters are seeded with the
   // erased edges before growth starts (Algorithm 2 grows erasures at the
   // maximal speed; seeding them is that rule's limit and matches the
   // Union-Find/peeling heritage, where erasure components initialize the
   // clusters). This is what lets the decoder "prioritize locations with
   // erasures" (paper Sec. IV).
-  config.pregrown = input.erased;
-  config.speed.resize(graph.num_edges());
+  ws.config.pregrown = input.erased;
+  ws.config.speed.resize(graph.num_edges());
   for (std::size_t e = 0; e < graph.num_edges(); ++e) {
     // Algorithm 2 lines 4-6: grow by -r / ln(1 - rho) per round, where the
     // growth unit is inherited from the Union-Find decoder the routine is
     // adapted from — half an edge — so the per-round progress in whole-edge
     // units is r / (2 w) with w = -ln(P(error)).
-    config.speed[e] = 0.5 * step_size_ / edge_weight(prob[e]);
+    ws.config.speed[e] = 0.5 * step_size_ / edge_weight(ws.prob[e]);
   }
-  const auto region = grow_clusters(graph, input.syndrome, config);
-  return peel_correction(graph, region, input.syndrome);
+  const auto& region =
+      grow_clusters(graph, input.syndrome, ws.config, ws.growth);
+  return peel_correction(graph, region, input.syndrome, ws.peel);
 }
 
 }  // namespace surfnet::decoder

@@ -18,6 +18,8 @@ class SurfNetDecoder final : public Decoder {
   explicit SurfNetDecoder(double step_size = 2.0 / 3.0);
 
   std::vector<char> decode(const DecodeInput& input) const override;
+  const std::vector<char>& decode(const DecodeInput& input,
+                                  DecodeWorkspace& ws) const override;
   std::string_view name() const override { return "SurfNetDecoder"; }
 
   double step_size() const { return step_size_; }

@@ -1,0 +1,158 @@
+#include "decoder/trial_runner.h"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cmath>
+#include <memory>
+#include <stdexcept>
+#include <thread>
+
+#include "util/stats.h"
+
+namespace surfnet::decoder {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double seconds_since(Clock::time_point start) {
+  return std::chrono::duration<double>(Clock::now() - start).count();
+}
+
+/// Per-worker accumulators, merged in worker order after the join.
+struct WorkerTally {
+  std::int64_t failures = 0;
+  std::int64_t invalid = 0;
+  std::int64_t valid_but_wrong = 0;
+  double busy_seconds = 0.0;
+
+  void add(const TrialOutcome& outcome) {
+    if (outcome.failure) ++failures;
+    if (outcome.invalid) ++invalid;
+    if (outcome.valid_but_wrong) ++valid_but_wrong;
+  }
+};
+
+/// Chunk size of the atomic work cursor: big enough to amortize contention,
+/// small enough to balance load across uneven trial costs.
+constexpr std::int64_t kChunk = 64;
+
+}  // namespace
+
+int resolve_threads(int threads) {
+  if (threads > 0) return threads;
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw > 0 ? static_cast<int>(hw) : 1;
+}
+
+double TrialReport::error_rate() const {
+  return trials > 0 ? static_cast<double>(failures) / static_cast<double>(trials)
+                    : 0.0;
+}
+
+double TrialReport::error_rate_ci95() const {
+  util::Proportion proportion;
+  proportion.add_many(static_cast<std::size_t>(failures),
+                      static_cast<std::size_t>(trials));
+  return proportion.ci95();
+}
+
+double TrialReport::trials_per_sec() const {
+  return wall_seconds > 0.0 ? static_cast<double>(trials) / wall_seconds : 0.0;
+}
+
+double TrialReport::ns_per_trial() const {
+  return trials > 0 ? busy_seconds * 1e9 / static_cast<double>(trials) : 0.0;
+}
+
+TrialReport run_trials(std::int64_t trials,
+                       const TrialRunnerOptions& options,
+                       const std::function<TrialFn()>& make_worker) {
+  if (trials < 0)
+    throw std::invalid_argument("run_trials: negative trial count");
+
+  const int workers = static_cast<int>(
+      std::min<std::int64_t>(resolve_threads(options.threads),
+                             std::max<std::int64_t>(trials, 1)));
+
+  TrialReport report;
+  report.trials = trials;
+  report.threads = workers;
+
+  const auto wall_start = Clock::now();
+  std::atomic<std::int64_t> cursor{0};
+
+  auto run_worker = [&](WorkerTally& tally) {
+    const TrialFn trial_fn = make_worker();
+    const auto busy_start = Clock::now();
+    while (true) {
+      const std::int64_t begin =
+          cursor.fetch_add(kChunk, std::memory_order_relaxed);
+      if (begin >= trials) break;
+      const std::int64_t end = std::min(begin + kChunk, trials);
+      for (std::int64_t t = begin; t < end; ++t) {
+        util::Rng rng(
+            trial_seed(options.seed, static_cast<std::uint64_t>(t)));
+        tally.add(trial_fn(t, rng));
+      }
+    }
+    tally.busy_seconds = seconds_since(busy_start);
+  };
+
+  std::vector<WorkerTally> tallies(static_cast<std::size_t>(workers));
+  if (workers == 1) {
+    run_worker(tallies[0]);
+  } else {
+    std::vector<std::thread> pool;
+    pool.reserve(static_cast<std::size_t>(workers));
+    for (auto& tally : tallies)
+      pool.emplace_back([&run_worker, &tally] { run_worker(tally); });
+    for (auto& thread : pool) thread.join();
+  }
+
+  // Counts are sums of integers: the merge is exact and independent of how
+  // chunks were interleaved across workers.
+  for (const auto& tally : tallies) {
+    report.failures += tally.failures;
+    report.invalid += tally.invalid;
+    report.valid_but_wrong += tally.valid_but_wrong;
+    report.busy_seconds += tally.busy_seconds;
+  }
+  report.wall_seconds = seconds_since(wall_start);
+  return report;
+}
+
+TrialReport run_logical_error_trials(const qec::CodeLattice& lattice,
+                                     const qec::NoiseProfile& profile,
+                                     qec::PauliChannel channel,
+                                     const Decoder& decoder,
+                                     std::int64_t trials,
+                                     const TrialRunnerOptions& options) {
+  return run_logical_error_trials(lattice, profile, channel,
+                                  profile.component_error_prob(channel),
+                                  decoder, trials, options);
+}
+
+TrialReport run_logical_error_trials(const qec::CodeLattice& lattice,
+                                     const qec::NoiseProfile& profile,
+                                     qec::PauliChannel channel,
+                                     const std::vector<double>& prior,
+                                     const Decoder& decoder,
+                                     std::int64_t trials,
+                                     const TrialRunnerOptions& options) {
+  auto make_worker = [&]() -> TrialFn {
+    // One workspace per worker thread; shared_ptr because std::function
+    // requires a copyable callable. All per-trial buffers live inside.
+    auto ws = std::make_shared<CodeTrialWorkspace>();
+    return [&lattice, &profile, channel, &prior, &decoder,
+            ws](std::int64_t, util::Rng& rng) {
+      qec::sample_errors(profile, channel, rng, ws->sample);
+      return TrialOutcome::from(
+          decode_sample(lattice, ws->sample, prior, decoder, *ws));
+    };
+  };
+  return run_trials(trials, options, make_worker);
+}
+
+}  // namespace surfnet::decoder

@@ -12,6 +12,8 @@ namespace surfnet::decoder {
 class UnionFindDecoder final : public Decoder {
  public:
   std::vector<char> decode(const DecodeInput& input) const override;
+  const std::vector<char>& decode(const DecodeInput& input,
+                                  DecodeWorkspace& ws) const override;
   std::string_view name() const override { return "UnionFind"; }
 };
 

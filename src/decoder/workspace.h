@@ -1,0 +1,26 @@
+#pragma once
+
+// Reusable decode scratch. A DecodeWorkspace owns every buffer the cluster
+// decoders need (growth state, peeling state, effective probabilities,
+// growth config, correction output), so a hot loop that keeps one workspace
+// per thread performs no steady-state heap allocations per decode. Any
+// decoder can be handed any workspace — buffers are reinitialized, never
+// assumed clean — and the same workspace may be reused across graphs of
+// different sizes (buffers only ever grow).
+
+#include <vector>
+
+#include "decoder/cluster_growth.h"
+#include "decoder/peeling.h"
+
+namespace surfnet::decoder {
+
+struct DecodeWorkspace {
+  GrowthWorkspace growth;
+  PeelWorkspace peel;
+  GrowthConfig config;            ///< reused speed / pregrown buffers
+  std::vector<double> prob;       ///< effective per-edge error probability
+  std::vector<char> correction;   ///< output of the allocating fallback
+};
+
+}  // namespace surfnet::decoder

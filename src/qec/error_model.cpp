@@ -36,6 +36,12 @@ std::vector<double> NoiseProfile::component_error_prob(
 ErrorSample sample_errors(const NoiseProfile& profile, PauliChannel channel,
                           util::Rng& rng) {
   ErrorSample sample;
+  sample_errors(profile, channel, rng, sample);
+  return sample;
+}
+
+void sample_errors(const NoiseProfile& profile, PauliChannel channel,
+                   util::Rng& rng, ErrorSample& sample) {
   const auto n = static_cast<std::size_t>(profile.num_qubits());
   sample.error.assign(n, Pauli::I);
   sample.erased.assign(n, 0);
@@ -57,7 +63,6 @@ ErrorSample sample_errors(const NoiseProfile& profile, PauliChannel channel,
       }
     }
   }
-  return sample;
 }
 
 }  // namespace surfnet::qec

@@ -73,4 +73,9 @@ struct ErrorSample {
 ErrorSample sample_errors(const NoiseProfile& profile, PauliChannel channel,
                           util::Rng& rng);
 
+/// Allocation-free variant: fills `out`, reusing its buffers. Draws the
+/// same random-variate sequence as the allocating overload.
+void sample_errors(const NoiseProfile& profile, PauliChannel channel,
+                   util::Rng& rng, ErrorSample& out);
+
 }  // namespace surfnet::qec

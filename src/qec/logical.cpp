@@ -41,11 +41,30 @@ DecodeOutcome evaluate_correction(const CodeLattice& lattice,
                                   GraphKind kind,
                                   const std::vector<char>& flips,
                                   const std::vector<char>& correction) {
-  DecodeOutcome outcome;
+  EvalScratch scratch;
+  return evaluate_correction(lattice, kind, flips, correction, scratch);
+}
+
+DecodeOutcome evaluate_correction(const CodeLattice& lattice, GraphKind kind,
+                                  const std::vector<char>& flips,
+                                  const std::vector<char>& correction,
+                                  EvalScratch& scratch) {
+  if (flips.size() != correction.size())
+    throw std::invalid_argument("evaluate_correction: size mismatch");
   const DecodingGraph& graph = lattice.graph(kind);
-  outcome.valid = correction_valid(graph, flips, correction);
+  scratch.residual.resize(flips.size());
+  for (std::size_t e = 0; e < flips.size(); ++e)
+    scratch.residual[e] = static_cast<char>((flips[e] ^ correction[e]) & 1);
+  syndrome_bitmap(graph, scratch.residual, scratch.syndrome);
+  DecodeOutcome outcome;
+  outcome.valid = true;
+  for (char bit : scratch.syndrome)
+    if (bit) {
+      outcome.valid = false;
+      break;
+    }
   if (outcome.valid)
-    outcome.logical = logical_flip(lattice, kind, residual(flips, correction));
+    outcome.logical = logical_flip(lattice, kind, scratch.residual);
   return outcome;
 }
 

@@ -42,4 +42,16 @@ DecodeOutcome evaluate_correction(const CodeLattice& lattice,
                                   const std::vector<char>& flips,
                                   const std::vector<char>& correction);
 
+/// Reusable scratch for the allocation-free evaluate_correction overload.
+struct EvalScratch {
+  std::vector<char> residual;
+  std::vector<char> syndrome;
+};
+
+/// Allocation-free variant for hot trial loops.
+DecodeOutcome evaluate_correction(const CodeLattice& lattice, GraphKind kind,
+                                  const std::vector<char>& flips,
+                                  const std::vector<char>& correction,
+                                  EvalScratch& scratch);
+
 }  // namespace surfnet::qec

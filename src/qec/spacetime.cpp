@@ -142,6 +142,23 @@ DecodeOutcome decode_spacetime(const CodeLattice& lattice,
   return outcome;
 }
 
+bool spacetime_trial(const CodeLattice& lattice,
+                     const SpaceTimeGraph& z_graph,
+                     const SpaceTimeGraph& x_graph, double data_rate,
+                     double measurement_rate,
+                     const decoder::Decoder& decoder, util::Rng& rng) {
+  bool ok = true;
+  for (const auto* graph : {&z_graph, &x_graph}) {
+    const auto sample =
+        sample_spacetime(lattice, graph->kind(), graph->rounds(), data_rate,
+                         measurement_rate, rng);
+    const auto outcome = decode_spacetime(lattice, *graph, sample, decoder,
+                                          data_rate, measurement_rate);
+    if (!outcome.success()) ok = false;
+  }
+  return ok;
+}
+
 double spacetime_logical_error_rate(const CodeLattice& lattice, int rounds,
                                     double data_rate,
                                     double measurement_rate,
@@ -151,16 +168,9 @@ double spacetime_logical_error_rate(const CodeLattice& lattice, int rounds,
   const SpaceTimeGraph x_graph(lattice, GraphKind::X, rounds);
   int failures = 0;
   for (int t = 0; t < trials; ++t) {
-    bool ok = true;
-    for (const auto* graph : {&z_graph, &x_graph}) {
-      const GraphKind kind = graph == &z_graph ? GraphKind::Z : GraphKind::X;
-      const auto sample = sample_spacetime(lattice, kind, rounds, data_rate,
-                                           measurement_rate, rng);
-      const auto outcome = decode_spacetime(lattice, *graph, sample, decoder,
-                                            data_rate, measurement_rate);
-      if (!outcome.success()) ok = false;
-    }
-    if (!ok) ++failures;
+    if (!spacetime_trial(lattice, z_graph, x_graph, data_rate,
+                         measurement_rate, decoder, rng))
+      ++failures;
   }
   return trials > 0 ? static_cast<double>(failures) / trials : 0.0;
 }

@@ -86,6 +86,16 @@ DecodeOutcome decode_spacetime(const CodeLattice& lattice,
                                const decoder::Decoder& decoder,
                                double data_rate, double measurement_rate);
 
+/// One sample-and-decode trial over both graph kinds (Z first, then X —
+/// the same draw order as the serial Monte-Carlo loop). Suitable as the
+/// per-trial body of the parallel trial runner; the prebuilt graphs are
+/// shared read-only across threads.
+bool spacetime_trial(const CodeLattice& lattice,
+                     const SpaceTimeGraph& z_graph,
+                     const SpaceTimeGraph& x_graph, double data_rate,
+                     double measurement_rate,
+                     const decoder::Decoder& decoder, util::Rng& rng);
+
 /// Monte-Carlo logical error rate over both graph kinds.
 double spacetime_logical_error_rate(const CodeLattice& lattice, int rounds,
                                     double data_rate,

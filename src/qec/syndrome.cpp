@@ -6,33 +6,44 @@ namespace surfnet::qec {
 
 std::vector<char> edge_flips(const CodeLattice& lattice, GraphKind kind,
                              const std::vector<Pauli>& error) {
+  std::vector<char> flips;
+  edge_flips(lattice, kind, error, flips);
+  return flips;
+}
+
+void edge_flips(const CodeLattice& lattice, GraphKind kind,
+                const std::vector<Pauli>& error, std::vector<char>& out) {
   const DecodingGraph& graph = lattice.graph(kind);
   if (error.size() != graph.num_edges())
     throw std::invalid_argument("edge_flips: error size mismatch");
-  std::vector<char> flips(graph.num_edges(), 0);
+  out.assign(graph.num_edges(), 0);
   for (std::size_t e = 0; e < graph.num_edges(); ++e) {
     const Pauli p = error[static_cast<std::size_t>(graph.edge(e).data_qubit)];
     const bool detected = (kind == GraphKind::Z) ? has_x(p) : has_z(p);
-    flips[e] = detected ? 1 : 0;
+    out[e] = detected ? 1 : 0;
   }
-  return flips;
 }
 
 std::vector<char> syndrome_bitmap(const DecodingGraph& graph,
                                   const std::vector<char>& flips) {
+  std::vector<char> syndrome;
+  syndrome_bitmap(graph, flips, syndrome);
+  return syndrome;
+}
+
+void syndrome_bitmap(const DecodingGraph& graph,
+                     const std::vector<char>& flips, std::vector<char>& out) {
   if (flips.size() != graph.num_edges())
     throw std::invalid_argument("syndrome_bitmap: flips size mismatch");
-  std::vector<char> syndrome(
-      static_cast<std::size_t>(graph.num_real_vertices()), 0);
+  out.assign(static_cast<std::size_t>(graph.num_real_vertices()), 0);
   for (std::size_t e = 0; e < flips.size(); ++e) {
     if (!flips[e]) continue;
     const auto& edge = graph.edge(e);
     if (!graph.is_boundary(edge.u))
-      syndrome[static_cast<std::size_t>(edge.u)] ^= 1;
+      out[static_cast<std::size_t>(edge.u)] ^= 1;
     if (!graph.is_boundary(edge.v))
-      syndrome[static_cast<std::size_t>(edge.v)] ^= 1;
+      out[static_cast<std::size_t>(edge.v)] ^= 1;
   }
-  return syndrome;
 }
 
 std::vector<int> syndrome_vertices(const DecodingGraph& graph,
@@ -47,14 +58,21 @@ std::vector<int> syndrome_vertices(const DecodingGraph& graph,
 std::vector<char> erased_edges(const CodeLattice& lattice,
                                GraphKind kind,
                                const std::vector<char>& erased_qubits) {
+  std::vector<char> erased;
+  erased_edges(lattice, kind, erased_qubits, erased);
+  return erased;
+}
+
+void erased_edges(const CodeLattice& lattice, GraphKind kind,
+                  const std::vector<char>& erased_qubits,
+                  std::vector<char>& out) {
   const DecodingGraph& graph = lattice.graph(kind);
   if (erased_qubits.size() != graph.num_edges())
     throw std::invalid_argument("erased_edges: flags size mismatch");
-  std::vector<char> erased(graph.num_edges(), 0);
+  out.assign(graph.num_edges(), 0);
   for (std::size_t e = 0; e < graph.num_edges(); ++e)
-    erased[e] =
+    out[e] =
         erased_qubits[static_cast<std::size_t>(graph.edge(e).data_qubit)];
-  return erased;
 }
 
 }  // namespace surfnet::qec

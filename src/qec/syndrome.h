@@ -19,9 +19,18 @@ namespace surfnet::qec {
 std::vector<char> edge_flips(const CodeLattice& lattice, GraphKind kind,
                              const std::vector<Pauli>& error);
 
+/// Allocation-free variant: writes into `out` (resized to the edge count).
+void edge_flips(const CodeLattice& lattice, GraphKind kind,
+                const std::vector<Pauli>& error, std::vector<char>& out);
+
 /// Per-real-vertex syndrome bitmap from per-edge flips.
 std::vector<char> syndrome_bitmap(const DecodingGraph& graph,
                                   const std::vector<char>& flips);
+
+/// Allocation-free variant: writes into `out` (resized to the real-vertex
+/// count).
+void syndrome_bitmap(const DecodingGraph& graph,
+                     const std::vector<char>& flips, std::vector<char>& out);
 
 /// Sorted list of syndrome vertex ids (the decoder input sigma).
 std::vector<int> syndrome_vertices(const DecodingGraph& graph,
@@ -31,5 +40,10 @@ std::vector<int> syndrome_vertices(const DecodingGraph& graph,
 std::vector<char> erased_edges(const CodeLattice& lattice,
                                GraphKind kind,
                                const std::vector<char>& erased_qubits);
+
+/// Allocation-free variant: writes into `out` (resized to the edge count).
+void erased_edges(const CodeLattice& lattice, GraphKind kind,
+                  const std::vector<char>& erased_qubits,
+                  std::vector<char>& out);
 
 }  // namespace surfnet::qec
