@@ -1,28 +1,174 @@
-// Ablation: centralized LP scheduling vs the hierarchical greedy scheduler
-// (paper Sec. V-B discusses operating without the centralized protocol).
-// Swept over the offered load (number of requests).
+// Routing ablation + LP scaling (paper Sec. V).
 //
-// Expected shape: both deliver essentially the same fidelity at every
-// load. The LP schedules more codes throughout because Eq. (6) bounds the
-// *aggregate* per-request noise — it may admit a noisier route by
-// averaging it against clean ones — while the hierarchical scheduler
-// enforces the thresholds per code, trading throughput for slightly
-// higher fidelity.
+// Default mode prints two tables:
+//  1. Ablation: centralized LP scheduling vs the hierarchical greedy
+//     scheduler (paper Sec. V-B), swept over the offered load. Expected
+//     shape: matched fidelity at every load; the LP's aggregate noise
+//     accounting schedules more codes, the per-code hierarchical scheduler
+//     is slightly more selective.
+//  2. LP scaling: the sparse revised simplex vs the dense tableau
+//     reference on grid topologies, swept over grid size x request count.
+//     The dense path gets a wall-clock budget per point (it would run for
+//     hours on the large points); when it hits the budget the reported
+//     speedup is a lower bound. Warm re-solves of a tightened residual
+//     problem are compared against cold re-solves of the same problem.
+//
+// --json emits one machine-readable record per scaling sweep point — the
+// schema is stable across commits:
+//   {"grid", "requests", "lp_rows", "lp_cols", "lp_nonzeros",
+//    "sparse_ms", "sparse_iterations", "warm_ms", "warm_iterations",
+//    "cold_resolve_iterations", "dense_ms", "dense_timed_out",
+//    "speedup", "objective"}
+// so saved outputs can be diffed (scripts/bench_compare.py) to track the
+// perf trajectory.
 
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
 #include <iostream>
+#include <string>
+#include <vector>
 
 #include "bench_common.h"
 #include "core/surfnet.h"
 #include "decoder/surfnet_decoder.h"
 #include "netsim/simulator.h"
+#include "routing/dense_simplex.h"
 #include "routing/greedy.h"
 #include "routing/lp_router.h"
 #include "util/table.h"
 
-int main(int argc, char** argv) {
-  using namespace surfnet;
+namespace {
 
+using namespace surfnet;
+
+double now_ms() {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+struct ScalingRow {
+  int grid = 0;
+  int requests = 0;
+  int lp_rows = 0;
+  int lp_cols = 0;
+  int lp_nonzeros = 0;
+  double sparse_ms = 0.0;
+  int sparse_iterations = 0;
+  double warm_ms = 0.0;
+  int warm_iterations = 0;
+  int cold_resolve_iterations = 0;
+  double dense_ms = 0.0;
+  bool dense_timed_out = false;
+  double speedup = 0.0;
+  double objective = 0.0;
+};
+
+ScalingRow run_scaling_point(int grid, int num_requests, std::uint64_t seed,
+                             double dense_budget_ms) {
+  netsim::GridSpec gspec;
+  gspec.width = grid;
+  gspec.height = grid;
+  util::Rng rng(seed + static_cast<std::uint64_t>(grid * 1000 +
+                                                  num_requests));
+  const auto topology = netsim::make_grid_topology(gspec, rng);
+  const auto requests = netsim::random_requests(topology, num_requests,
+                                                /*max_codes=*/3, rng);
+  routing::RoutingParams params;
+  params.core_noise_threshold = 0.6;
+  params.total_noise_threshold = 0.7;
+  params.ec_reduction = 0.15;
+  routing::RoutingFormulation formulation(topology, requests, params);
+
+  ScalingRow row;
+  row.grid = grid;
+  row.requests = num_requests;
+  row.lp_rows = formulation.problem().num_rows();
+  row.lp_cols = formulation.problem().num_vars();
+  row.lp_nonzeros = static_cast<int>(formulation.problem().num_nonzeros());
+
+  // Sparse cold solve (saves the basis for the warm re-solve below).
+  routing::SimplexState state;
+  double t0 = now_ms();
+  const auto sparse = routing::solve_lp(formulation.problem(), state);
+  row.sparse_ms = now_ms() - t0;
+  row.sparse_iterations = sparse.iterations;
+  row.objective = sparse.objective;
+
+  // Residual problem: the shape of the re-solve route_lp performs after
+  // rounding — request limits and capacities tightened, structure intact.
+  for (int k = 0; k < formulation.num_requests(); ++k)
+    formulation.set_request_limit(
+        k, 0.5 * static_cast<double>(
+                     requests[static_cast<std::size_t>(k)].codes));
+  for (int v = 0; v < topology.num_nodes(); ++v)
+    formulation.set_storage_capacity(
+        v, 0.7 * topology.node(v).storage_capacity);
+  for (int e = 0; e < topology.num_fibers(); ++e)
+    formulation.set_entanglement_capacity(
+        e, 0.7 * topology.fiber(e).entanglement_capacity);
+
+  t0 = now_ms();
+  const auto warm = routing::solve_lp(formulation.problem(), state);
+  row.warm_ms = now_ms() - t0;
+  row.warm_iterations = warm.iterations;
+  const auto cold_again = routing::solve_lp(formulation.problem());
+  row.cold_resolve_iterations = cold_again.iterations;
+
+  // Dense reference on the residual problem's pristine twin: rebuild so
+  // the dense solver sees the exact problem the sparse cold solve saw.
+  // The budget scales with the sparse time so a budget-capped dense run
+  // can still certify a >= 6x speedup lower bound.
+  const routing::RoutingFormulation fresh(topology, requests, params);
+  routing::DenseSolveOptions dense_opts;
+  dense_opts.max_millis = std::max(dense_budget_ms, 6.5 * row.sparse_ms);
+  t0 = now_ms();
+  const auto dense = routing::solve_lp_dense(fresh.problem(), dense_opts);
+  row.dense_ms = now_ms() - t0;
+  row.dense_timed_out = dense.status == routing::LpStatus::IterationLimit;
+  row.speedup = row.sparse_ms > 0.0 ? row.dense_ms / row.sparse_ms : 0.0;
+  return row;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
   const auto args = bench::parse_args(argc, argv);
+
+  // --- LP scaling sweep (always computed: it is the --json payload). ---
+  // Dense budget per point: enough to finish the small points exactly and
+  // to certify a >= 5x lower bound on the large ones without taking hours.
+  const double dense_budget_ms = args.full ? 120000.0 : 4000.0;
+  std::vector<ScalingRow> scaling;
+  for (const int grid : {4, 6, 8})
+    for (const int num_requests : {8, 16, 32, 64})
+      scaling.push_back(run_scaling_point(grid, num_requests, args.seed,
+                                          dense_budget_ms));
+
+  if (args.json) {
+    std::printf("[\n");
+    for (std::size_t i = 0; i < scaling.size(); ++i) {
+      const auto& r = scaling[i];
+      std::printf(
+          "  {\"grid\": %d, \"requests\": %d, \"lp_rows\": %d, "
+          "\"lp_cols\": %d, \"lp_nonzeros\": %d, \"sparse_ms\": %.2f, "
+          "\"sparse_iterations\": %d, \"warm_ms\": %.2f, "
+          "\"warm_iterations\": %d, \"cold_resolve_iterations\": %d, "
+          "\"dense_ms\": %.2f, \"dense_timed_out\": %s, \"speedup\": %.1f, "
+          "\"objective\": %.4f}%s\n",
+          r.grid, r.requests, r.lp_rows, r.lp_cols, r.lp_nonzeros,
+          r.sparse_ms, r.sparse_iterations, r.warm_ms, r.warm_iterations,
+          r.cold_resolve_iterations, r.dense_ms,
+          r.dense_timed_out ? "true" : "false", r.speedup, r.objective,
+          i + 1 < scaling.size() ? "," : "");
+    }
+    std::printf("]\n");
+    return 0;
+  }
+
+  // --- Ablation: LP vs greedy on the paper's random scenarios. ---
+  using namespace surfnet;
   const int trials = bench::resolve_trials(args, 150, 1080);
   std::printf("Ablation: centralized LP vs hierarchical greedy routing — "
               "%d trials per point, seed %llu\n\n",
@@ -65,5 +211,30 @@ int main(int argc, char** argv) {
               "aggregate noise accounting and global view schedule more "
               "codes, the per-code hierarchical scheduler is more "
               "selective (slightly higher fidelity, lower throughput).\n");
+
+  // --- LP scaling table. ---
+  std::printf("\nLP scaling: sparse revised simplex vs dense tableau on "
+              "grid topologies (dense budget %.0f ms/point)\n\n",
+              dense_budget_ms);
+  util::Table scale_table({"grid", "requests", "rows", "cols", "nnz",
+                           "sparse ms", "iters", "warm iters", "cold iters",
+                           "dense ms", "speedup"});
+  for (const auto& r : scaling)
+    scale_table.add_row(
+        {std::to_string(r.grid) + "x" + std::to_string(r.grid),
+         std::to_string(r.requests), std::to_string(r.lp_rows),
+         std::to_string(r.lp_cols), std::to_string(r.lp_nonzeros),
+         util::Table::fmt(r.sparse_ms, 1),
+         std::to_string(r.sparse_iterations),
+         std::to_string(r.warm_iterations),
+         std::to_string(r.cold_resolve_iterations),
+         util::Table::fmt(r.dense_ms, 1) + (r.dense_timed_out ? "+" : ""),
+         util::Table::fmt(r.speedup, 1) + (r.dense_timed_out ? "+" : "")});
+  scale_table.print(std::cout);
+  std::printf("\n\"+\" marks points where the dense reference hit its "
+              "wall-clock budget: its time (and the speedup) is a lower "
+              "bound. Warm re-solves restart from the previous basis and "
+              "need far fewer iterations than cold re-solves of the same "
+              "residual problem.\n");
   return 0;
 }

@@ -1,0 +1,143 @@
+#!/usr/bin/env python3
+"""Compare two --json bench outputs and flag >10% regressions.
+
+Usage:
+    bench_compare.py baseline.json candidate.json [--threshold 0.10]
+
+Both files must hold a JSON array of flat records, as emitted by
+`bench_decoder_speed --json` or `bench_ablation_routing --json`. Records
+are joined on their string/identity fields (e.g. decoder + distance, or
+grid + requests); numeric fields are then compared pairwise.
+
+Whether a change is a regression depends on the field: for time-like
+fields (``*_ms``, ``ns_per_decode``, ``*_iterations``, ``iters``) an
+*increase* beyond the threshold is a regression; for rate-like fields
+(``trials_per_sec``, ``speedup``, ``objective``, ``throughput``) a
+*decrease* is. Fields matching neither family are reported informationally
+but never fail the run.
+
+Exit status: 0 = no regressions, 1 = at least one flagged, 2 = usage or
+join error.
+"""
+
+import argparse
+import json
+import sys
+
+# Field-name fragments that decide comparison direction.
+LOWER_IS_BETTER = ("_ms", "ns_per_decode", "iterations", "iters", "latency")
+HIGHER_IS_BETTER = ("trials_per_sec", "speedup", "objective", "throughput",
+                    "fidelity")
+
+
+def direction(field):
+    """-1 if lower is better, +1 if higher is better, 0 if neutral."""
+    for frag in LOWER_IS_BETTER:
+        if frag in field:
+            return -1
+    for frag in HIGHER_IS_BETTER:
+        if frag in field:
+            return 1
+    return 0
+
+
+def record_key(record):
+    """Identity of a record: strings, plus ints that are sweep coordinates
+    rather than metrics (judged by field name — an int named like a
+    time/rate field is a measurement and must not break the join)."""
+    parts = []
+    for name in sorted(record):
+        value = record[name]
+        if isinstance(value, str):
+            parts.append((name, value))
+        elif isinstance(value, int) and not isinstance(value, bool) \
+                and direction(name) == 0:
+            parts.append((name, value))
+    return tuple(parts)
+
+
+def load(path):
+    try:
+        with open(path, "r", encoding="utf-8") as fh:
+            data = json.load(fh)
+    except (OSError, json.JSONDecodeError) as err:
+        sys.exit(f"bench_compare: cannot read {path}: {err}")
+    if not isinstance(data, list) or not all(
+            isinstance(r, dict) for r in data):
+        sys.exit(f"bench_compare: {path} is not a JSON array of records")
+    return data
+
+
+def main():
+    parser = argparse.ArgumentParser(
+        description="Diff two --json bench outputs, flag regressions.")
+    parser.add_argument("baseline")
+    parser.add_argument("candidate")
+    parser.add_argument("--threshold", type=float, default=0.10,
+                        help="relative change that counts as a regression "
+                             "(default 0.10 = 10%%)")
+    args = parser.parse_args()
+
+    base = {record_key(r): r for r in load(args.baseline)}
+    cand = {record_key(r): r for r in load(args.candidate)}
+
+    shared = [k for k in base if k in cand]
+    if not shared:
+        print("bench_compare: no records join between the two files "
+              "(schemas or sweep points differ)", file=sys.stderr)
+        return 2
+    missing = len(base) - len(shared)
+    extra = len(cand) - len(shared)
+    if missing:
+        print(f"note: {missing} baseline record(s) have no candidate match")
+    if extra:
+        print(f"note: {extra} candidate record(s) have no baseline match")
+
+    regressions = []
+    improvements = []
+    for key in shared:
+        b, c = base[key], cand[key]
+        label = " ".join(f"{n}={v}" for n, v in key)
+        key_fields = {n for n, _ in key}
+        for field in sorted(set(b) & set(c)):
+            if field in key_fields:
+                continue
+            old, new = b[field], c[field]
+            if isinstance(old, bool) or isinstance(new, bool):
+                continue
+            if not (isinstance(old, (int, float))
+                    and isinstance(new, (int, float))):
+                continue
+            if abs(old) < 1e-12:
+                continue
+            change = (new - old) / abs(old)
+            sign = direction(field)
+            if sign == 0:
+                continue
+            worse = change > args.threshold if sign < 0 \
+                else change < -args.threshold
+            better = change < -args.threshold if sign < 0 \
+                else change > args.threshold
+            line = (f"  {label}: {field} {old:g} -> {new:g} "
+                    f"({change:+.1%})")
+            if worse:
+                regressions.append(line)
+            elif better:
+                improvements.append(line)
+
+    if improvements:
+        print(f"improvements (> {args.threshold:.0%}):")
+        for line in improvements:
+            print(line)
+    if regressions:
+        print(f"REGRESSIONS (> {args.threshold:.0%}):")
+        for line in regressions:
+            print(line)
+        return 1
+    print(f"no regressions beyond {args.threshold:.0%} across "
+          f"{len(shared)} joined record(s)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

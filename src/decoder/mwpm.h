@@ -15,6 +15,10 @@ namespace surfnet::decoder {
 class MwpmDecoder final : public Decoder {
  public:
   std::vector<char> decode(const DecodeInput& input) const override;
+  /// Zero-steady-state-allocation path: Dijkstra trees, the frontier heap,
+  /// and the syndrome path graph all live in the workspace and only grow.
+  const std::vector<char>& decode(const DecodeInput& input,
+                                  DecodeWorkspace& ws) const override;
   std::string_view name() const override { return "MWPM"; }
 };
 

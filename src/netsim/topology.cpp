@@ -177,4 +177,50 @@ Topology make_random_topology(const TopologySpec& spec, util::Rng& rng) {
   return Topology(std::move(nodes), std::move(fibers));
 }
 
+Topology make_grid_topology(const GridSpec& spec, util::Rng& rng) {
+  if (spec.width < 3 || spec.height < 3)
+    throw std::invalid_argument("grid topology: need width, height >= 3");
+  if (spec.server_stride < 1)
+    throw std::invalid_argument("grid topology: server_stride must be >= 1");
+
+  const auto id = [&](int r, int c) { return r * spec.width + c; };
+  std::vector<Node> nodes(
+      static_cast<std::size_t>(spec.width * spec.height));
+  int interior_rank = 0;
+  for (int r = 0; r < spec.height; ++r) {
+    for (int c = 0; c < spec.width; ++c) {
+      Node& node = nodes[static_cast<std::size_t>(id(r, c))];
+      const bool boundary =
+          r == 0 || c == 0 || r == spec.height - 1 || c == spec.width - 1;
+      if (boundary) {
+        node.role = NodeRole::User;
+        node.storage_capacity = 0;
+        continue;
+      }
+      node.role = (interior_rank % spec.server_stride == 0)
+                      ? NodeRole::Server
+                      : NodeRole::Switch;
+      node.storage_capacity = spec.storage_capacity;
+      ++interior_rank;
+    }
+  }
+
+  std::vector<Fiber> fibers;
+  fibers.reserve(static_cast<std::size_t>(2 * spec.width * spec.height));
+  const auto link = [&](int u, int v) {
+    Fiber f;
+    f.a = u;
+    f.b = v;
+    f.fidelity = rng.uniform(spec.fidelity_lo, spec.fidelity_hi);
+    f.entanglement_capacity = spec.entanglement_capacity;
+    fibers.push_back(f);
+  };
+  for (int r = 0; r < spec.height; ++r)
+    for (int c = 0; c < spec.width; ++c) {
+      if (c + 1 < spec.width) link(id(r, c), id(r, c + 1));
+      if (r + 1 < spec.height) link(id(r, c), id(r + 1, c));
+    }
+  return Topology(std::move(nodes), std::move(fibers));
+}
+
 }  // namespace surfnet::netsim

@@ -94,4 +94,21 @@ struct TopologySpec {
 /// by degree (servers = highest degree) and i.i.d. fiber fidelities.
 Topology make_random_topology(const TopologySpec& spec, util::Rng& rng);
 
+/// Parameters for the regular width x height grid used by the scaling
+/// benchmarks: boundary nodes are users, interior nodes switches, and every
+/// `server_stride`-th interior node is promoted to a server. Fibers connect
+/// 4-neighbors with i.i.d. fidelities in [fidelity_lo, fidelity_hi].
+struct GridSpec {
+  int width = 4;              ///< >= 3 (need at least one interior node)
+  int height = 4;             ///< >= 3
+  int server_stride = 3;      ///< promote every k-th interior node
+  int storage_capacity = 60;  ///< eta_r for switches/servers
+  int entanglement_capacity = 16;  ///< eta_e per fiber
+  double fidelity_lo = 0.85;
+  double fidelity_hi = 1.0;
+};
+
+/// Deterministic-shape grid topology; only fidelities draw from `rng`.
+Topology make_grid_topology(const GridSpec& spec, util::Rng& rng);
+
 }  // namespace surfnet::netsim

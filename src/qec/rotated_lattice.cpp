@@ -1,7 +1,7 @@
 #include "qec/rotated_lattice.h"
 
-#include <map>
 #include <stdexcept>
+#include <vector>
 
 namespace surfnet::qec {
 
@@ -32,14 +32,19 @@ RotatedSurfaceCodeLattice::RotatedSurfaceCodeLattice(int distance)
         "rotated surface code distance must be odd and >= 3");
 
   for (const bool z_type : {true, false}) {
-    // Number the included cells of this type.
-    std::map<std::pair<int, int>, int> cell_id;
+    // Number the included cells of this type. Cell corners range over
+    // [-1, d-1]^2, so a flat (d+1)x(d+1) table indexed by the shifted
+    // coordinates replaces an ordered map (-1 = excluded).
+    const int side = d_ + 1;
+    const auto cell_slot = [side](int pr, int pc) {
+      return static_cast<std::size_t>((pr + 1) * side + (pc + 1));
+    };
+    std::vector<int> cell_id(static_cast<std::size_t>(side * side), -1);
+    int num_real = 0;
     for (int pr = -1; pr <= d_ - 1; ++pr)
       for (int pc = -1; pc <= d_ - 1; ++pc)
         if (cell_included(pr, pc, z_type, d_))
-          cell_id[{pr, pc}] = static_cast<int>(cell_id.size());
-
-    const int num_real = static_cast<int>(cell_id.size());
+          cell_id[cell_slot(pr, pc)] = num_real++;
     const BoundaryIds boundary{num_real, num_real + 1};
     std::vector<GraphEdge> edges;
     std::vector<int> cut;
@@ -61,9 +66,9 @@ RotatedSurfaceCodeLattice::RotatedSurfaceCodeLattice(int distance)
       int ends[2];
       bool touches_first_boundary = false;
       for (int i = 0; i < 2; ++i) {
-        const auto it = cell_id.find(cells[i]);
-        if (it != cell_id.end()) {
-          ends[i] = it->second;
+        const int id = cell_id[cell_slot(cells[i].first, cells[i].second)];
+        if (id >= 0) {
+          ends[i] = id;
           continue;
         }
         // Excluded same-type cells lie on this graph's two boundaries:

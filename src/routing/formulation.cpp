@@ -27,12 +27,26 @@ int RoutingFormulation::edge_head(int de) const {
   return (de % 2 == 0) ? f.b : f.a;
 }
 
+void RoutingFormulation::set_storage_capacity(int node, double capacity) {
+  const int row = storage_row(node);
+  if (row >= 0) lp_.set_rhs(row, capacity);
+}
+
+void RoutingFormulation::set_entanglement_capacity(int fiber,
+                                                   double capacity) {
+  const int row = entanglement_row(fiber);
+  if (row >= 0) lp_.set_rhs(row, capacity);
+}
+
 void RoutingFormulation::build(const std::vector<Request>& requests) {
   const Topology& topo = *topology_;
   const int de_count = num_directed_edges();
   const int n = params_.core_qubits;
   const int m = params_.support_qubits;
   const int total_qubits = params_.total_qubits();
+
+  storage_row_.assign(static_cast<std::size_t>(topo.num_nodes()), -1);
+  entanglement_row_.assign(static_cast<std::size_t>(topo.num_fibers()), -1);
 
   // --- Variables (Eq. 2 bounds become variable upper bounds). ---
   vars_.resize(requests.size());
@@ -86,7 +100,8 @@ void RoutingFormulation::build(const std::vector<Request>& requests) {
     return out;
   };
 
-  // --- Per-request constraints: Eqs. (3), (4), (6). ---
+  // --- Per-request constraints: Eqs. (3), (4), (6). Rows stream straight
+  // into the problem's compressed form; nothing is buffered per row. ---
   for (std::size_t k = 0; k < requests.size(); ++k) {
     const Request& req = requests[k];
     const VarIndex& v = vars_[k];
@@ -94,15 +109,12 @@ void RoutingFormulation::build(const std::vector<Request>& requests) {
     auto add_flow_equation = [&](const std::vector<int>& edges,
                                  const std::vector<int>& var_of_edge,
                                  double y_coeff) {
-      Constraint c;
+      lp_.begin_constraint(ConstraintType::Equal, 0.0);
       for (int de : edges) {
         const int var = var_of_edge[static_cast<std::size_t>(de)];
-        if (var >= 0) c.terms.emplace_back(var, 1.0);
+        if (var >= 0) lp_.add_term(var, 1.0);
       }
-      c.terms.emplace_back(v.y, y_coeff);
-      c.type = ConstraintType::Equal;
-      c.rhs = 0.0;
-      lp_.add_constraint(std::move(c));
+      lp_.add_term(v.y, y_coeff);
     };
 
     // Eq. 3: inflow(dst) = outflow(src) = n*Y (Core) and m*Y (Support).
@@ -123,20 +135,21 @@ void RoutingFormulation::build(const std::vector<Request>& requests) {
       const auto in = in_edges(node);
       const auto out = out_edges(node);
       auto add_conservation = [&](const std::vector<int>& var_of_edge) {
-        Constraint c;
         bool any = false;
+        for (int de : in)
+          if (var_of_edge[static_cast<std::size_t>(de)] >= 0) any = true;
+        for (int de : out)
+          if (var_of_edge[static_cast<std::size_t>(de)] >= 0) any = true;
+        if (!any) return;
+        lp_.begin_constraint(ConstraintType::Equal, 0.0);
         for (int de : in) {
           const int var = var_of_edge[static_cast<std::size_t>(de)];
-          if (var >= 0) c.terms.emplace_back(var, 1.0), any = true;
+          if (var >= 0) lp_.add_term(var, 1.0);
         }
         for (int de : out) {
           const int var = var_of_edge[static_cast<std::size_t>(de)];
-          if (var >= 0) c.terms.emplace_back(var, -1.0), any = true;
+          if (var >= 0) lp_.add_term(var, -1.0);
         }
-        if (!any) return;
-        c.type = ConstraintType::Equal;
-        c.rhs = 0.0;
-        lp_.add_constraint(std::move(c));
       };
       if (params_.dual_channel) add_conservation(v.a);
       add_conservation(v.b);
@@ -146,15 +159,12 @@ void RoutingFormulation::build(const std::vector<Request>& requests) {
       const auto in = in_edges(node);
       auto add_coupling = [&](const std::vector<int>& var_of_edge,
                               double qubits) {
-        Constraint c;
+        lp_.begin_constraint(ConstraintType::Equal, 0.0);
         for (int de : in) {
           const int var = var_of_edge[static_cast<std::size_t>(de)];
-          if (var >= 0) c.terms.emplace_back(var, 1.0);
+          if (var >= 0) lp_.add_term(var, 1.0);
         }
-        c.terms.emplace_back(v.x[r], -qubits);
-        c.type = ConstraintType::Equal;
-        c.rhs = 0.0;
-        lp_.add_constraint(std::move(c));
+        lp_.add_term(v.x[r], -qubits);
       };
       if (params_.dual_channel) {
         add_coupling(v.a, static_cast<double>(n));
@@ -168,42 +178,37 @@ void RoutingFormulation::build(const std::vector<Request>& requests) {
     // worked example). Core: 0 <= (1/n) sum mu a - w sum x <= Wc * Y.
     // Whole code: (1/(n+m)) sum mu (a/2 + b) - w sum x <= W * Y.
     auto noise_terms = [&](const std::vector<int>& var_of_edge,
-                           double scale, Constraint& c) {
+                           double scale) {
       for (int de = 0; de < de_count; ++de) {
         const int var = var_of_edge[static_cast<std::size_t>(de)];
         if (var < 0) continue;
         const double mu = topo.fiber_noise(edge_fiber(de));
-        if (mu > 0.0) c.terms.emplace_back(var, scale * mu);
+        if (mu > 0.0) lp_.add_term(var, scale * mu);
       }
     };
-    if (params_.dual_channel) {
-      Constraint lower;  // >= 0: discourages consecutive servers
-      noise_terms(v.a, 1.0 / n, lower);
+    auto ec_terms = [&] {
       for (std::size_t r = 0; r < servers_.size(); ++r)
-        lower.terms.emplace_back(v.x[r], -params_.ec_reduction);
-      Constraint upper = lower;
-      lower.type = ConstraintType::GreaterEqual;
-      lower.rhs = 0.0;
-      lp_.add_constraint(std::move(lower));
-      upper.terms.emplace_back(v.y, -params_.core_noise_threshold);
-      upper.type = ConstraintType::LessEqual;
-      upper.rhs = 0.0;
-      lp_.add_constraint(std::move(upper));
+        lp_.add_term(v.x[r], -params_.ec_reduction);
+    };
+    if (params_.dual_channel) {
+      lp_.begin_constraint(ConstraintType::GreaterEqual, 0.0);
+      noise_terms(v.a, 1.0 / n);  // >= 0: discourages consecutive servers
+      ec_terms();
+      lp_.begin_constraint(ConstraintType::LessEqual, 0.0);
+      noise_terms(v.a, 1.0 / n);
+      ec_terms();
+      lp_.add_term(v.y, -params_.core_noise_threshold);
     }
     {
-      Constraint total;
+      lp_.begin_constraint(ConstraintType::LessEqual, 0.0);
       if (params_.dual_channel) {
-        noise_terms(v.a, 0.5 / total_qubits, total);
-        noise_terms(v.b, 1.0 / total_qubits, total);
+        noise_terms(v.a, 0.5 / total_qubits);
+        noise_terms(v.b, 1.0 / total_qubits);
       } else {
-        noise_terms(v.b, 1.0 / total_qubits, total);
+        noise_terms(v.b, 1.0 / total_qubits);
       }
-      for (std::size_t r = 0; r < servers_.size(); ++r)
-        total.terms.emplace_back(v.x[r], -params_.ec_reduction);
-      total.terms.emplace_back(v.y, -params_.total_noise_threshold);
-      total.type = ConstraintType::LessEqual;
-      total.rhs = 0.0;
-      lp_.add_constraint(std::move(total));
+      ec_terms();
+      lp_.add_term(v.y, -params_.total_noise_threshold);
     }
   }
 
@@ -211,35 +216,46 @@ void RoutingFormulation::build(const std::vector<Request>& requests) {
   const double capacity_scale =
       params_.dual_channel ? 1.0 : params_.raw_capacity_bonus;
   for (int node : topo.switches_and_servers()) {
-    Constraint c;
-    for (int de : in_edges(node)) {
+    const auto in = in_edges(node);
+    bool any = false;
+    for (int de : in) {
+      for (const auto& v : vars_) {
+        if (params_.dual_channel && v.a[static_cast<std::size_t>(de)] >= 0)
+          any = true;
+        if (v.b[static_cast<std::size_t>(de)] >= 0) any = true;
+      }
+    }
+    if (!any) continue;
+    storage_row_[static_cast<std::size_t>(node)] = lp_.num_rows();
+    lp_.begin_constraint(ConstraintType::LessEqual,
+                         capacity_scale * topo.node(node).storage_capacity);
+    for (int de : in) {
       for (const auto& v : vars_) {
         if (params_.dual_channel) {
           const int va = v.a[static_cast<std::size_t>(de)];
-          if (va >= 0) c.terms.emplace_back(va, 1.0);
+          if (va >= 0) lp_.add_term(va, 1.0);
         }
         const int vb = v.b[static_cast<std::size_t>(de)];
-        if (vb >= 0) c.terms.emplace_back(vb, 1.0);
+        if (vb >= 0) lp_.add_term(vb, 1.0);
       }
     }
-    if (c.terms.empty()) continue;
-    c.type = ConstraintType::LessEqual;
-    c.rhs = capacity_scale * topo.node(node).storage_capacity;
-    lp_.add_constraint(std::move(c));
   }
   if (params_.dual_channel) {
     for (int e = 0; e < topo.num_fibers(); ++e) {
-      Constraint c;
+      bool any = false;
+      for (const auto& v : vars_)
+        for (int de : {2 * e, 2 * e + 1})
+          if (v.a[static_cast<std::size_t>(de)] >= 0) any = true;
+      if (!any) continue;
+      entanglement_row_[static_cast<std::size_t>(e)] = lp_.num_rows();
+      lp_.begin_constraint(ConstraintType::LessEqual,
+                           topo.fiber(e).entanglement_capacity);
       for (const auto& v : vars_) {
         for (int de : {2 * e, 2 * e + 1}) {
           const int va = v.a[static_cast<std::size_t>(de)];
-          if (va >= 0) c.terms.emplace_back(va, 1.0);
+          if (va >= 0) lp_.add_term(va, 1.0);
         }
       }
-      if (c.terms.empty()) continue;
-      c.type = ConstraintType::LessEqual;
-      c.rhs = topo.fiber(e).entanglement_capacity;
-      lp_.add_constraint(std::move(c));
     }
   }
 }

@@ -70,6 +70,26 @@ class RoutingFormulation {
   const RoutingParams& params() const { return params_; }
   const std::vector<int>& servers() const { return servers_; }
 
+  /// Warm re-solve support: tighten request k's schedulable codes or a
+  /// shared capacity to its residual amount. Only bounds and right-hand
+  /// sides change, so the problem keeps its shape and a SimplexState from
+  /// the previous solve remains valid.
+  void set_request_limit(int k, double codes) {
+    lp_.set_upper_bound(vars_[static_cast<std::size_t>(k)].y, codes);
+  }
+  void set_storage_capacity(int node, double capacity);
+  void set_entanglement_capacity(int fiber, double capacity);
+
+  /// Row of node's Eq. (5) storage constraint, or -1 when the node has
+  /// no storage row (no routable in-edges).
+  int storage_row(int node) const {
+    return storage_row_[static_cast<std::size_t>(node)];
+  }
+  /// Row of the fiber's entanglement-capacity constraint, or -1.
+  int entanglement_row(int fiber) const {
+    return entanglement_row_[static_cast<std::size_t>(fiber)];
+  }
+
   int num_requests() const { return static_cast<int>(vars_.size()); }
   const VarIndex& vars(int k) const {
     return vars_[static_cast<std::size_t>(k)];
@@ -86,6 +106,8 @@ class RoutingFormulation {
   RoutingParams params_;
   std::vector<int> servers_;
   std::vector<VarIndex> vars_;
+  std::vector<int> storage_row_;       ///< per node; -1 = no row
+  std::vector<int> entanglement_row_;  ///< per fiber; -1 = no row
   LpProblem lp_;
 
   void build(const std::vector<netsim::Request>& requests);

@@ -156,17 +156,20 @@ LpRouteResult route_lp(const Topology& topology,
   LpRouteResult result;
   for (const auto& r : requests) result.schedule.requested_codes += r.codes;
 
-  const RoutingFormulation formulation(topology, requests, params);
-  const LpSolution lp = solve_lp(formulation.problem());
+  RoutingFormulation formulation(topology, requests, params);
+  SimplexState state;
+  const LpSolution lp = solve_lp(formulation.problem(), state);
   result.status = lp.status;
+  result.cold_iterations = lp.iterations;
   // Report the throughput part of the objective (sum of Y_k), not the
   // noise-regularized value: it is the meaningful upper bound on codes.
-  if (lp.status == LpStatus::Optimal) {
+  const auto throughput = [&](const LpSolution& sol) {
     double total_y = 0.0;
     for (int k = 0; k < formulation.num_requests(); ++k)
-      total_y += lp.x[static_cast<std::size_t>(formulation.vars(k).y)];
-    result.lp_objective = total_y;
-  }
+      total_y += sol.x[static_cast<std::size_t>(formulation.vars(k).y)];
+    return total_y;
+  };
+  if (lp.status == LpStatus::Optimal) result.lp_objective = throughput(lp);
   result.schedule.lp_objective = result.lp_objective;
   if (lp.status != LpStatus::Optimal) {
     // Fall back entirely to the greedy scheduler.
@@ -184,81 +187,125 @@ LpRouteResult route_lp(const Topology& topology,
   for (std::size_t i = order.size(); i > 1; --i)
     std::swap(order[i - 1], order[rng.below(i)]);
 
-  for (std::size_t k : order) {
-    const Request& req = requests[k];
-    const auto& vars = formulation.vars(static_cast<int>(k));
-    const double y = lp.x[static_cast<std::size_t>(vars.y)];
-    const int target = static_cast<int>(std::floor(y + 1e-4));
-    if (target <= 0) continue;
+  // Round one LP solution into committed codes; returns how many codes
+  // this pass scheduled. Re-runs against the residual tracker state on
+  // every warm re-solve.
+  const auto round_solution = [&](const LpSolution& sol) {
+    int committed = 0;
+    for (std::size_t k : order) {
+      const Request& req = requests[k];
+      const auto& vars = formulation.vars(static_cast<int>(k));
+      const double y = sol.x[static_cast<std::size_t>(vars.y)];
+      const int target =
+          std::min(static_cast<int>(std::floor(y + 1e-4)),
+                   req.codes - scheduled_codes[k]);
+      if (target <= 0) continue;
 
-    const double n = params.core_qubits;
-    const double support_unit =
-        params.dual_channel ? params.support_qubits : params.total_qubits();
+      const double n = params.core_qubits;
+      const double support_unit =
+          params.dual_channel ? params.support_qubits : params.total_qubits();
 
-    std::vector<double> support_flow(static_cast<std::size_t>(de_count), 0.0);
-    std::vector<double> core_flow(static_cast<std::size_t>(de_count), 0.0);
-    for (int de = 0; de < de_count; ++de) {
-      const int vb = vars.b[static_cast<std::size_t>(de)];
-      if (vb >= 0)
-        support_flow[static_cast<std::size_t>(de)] =
-            lp.x[static_cast<std::size_t>(vb)] / support_unit;
-      if (params.dual_channel) {
-        const int va = vars.a[static_cast<std::size_t>(de)];
-        if (va >= 0)
-          core_flow[static_cast<std::size_t>(de)] =
-              lp.x[static_cast<std::size_t>(va)] / n;
-      }
-    }
-
-    const auto support_paths = decompose_flow(
-        formulation, topology.num_nodes(), support_flow, req.src, req.dst);
-    const auto support_alloc = allocate_codes(support_paths, target);
-    std::vector<std::vector<int>> support_per_code;
-    for (std::size_t p = 0; p < support_paths.size(); ++p)
-      for (int c = 0; c < support_alloc[p]; ++c)
-        support_per_code.push_back(support_paths[p].nodes);
-
-    std::vector<std::vector<int>> core_per_code;
-    if (params.dual_channel) {
-      const auto core_paths = decompose_flow(
-          formulation, topology.num_nodes(), core_flow, req.src, req.dst);
-      const auto core_alloc = allocate_codes(core_paths, target);
-      for (std::size_t p = 0; p < core_paths.size(); ++p)
-        for (int c = 0; c < core_alloc[p]; ++c)
-          core_per_code.push_back(core_paths[p].nodes);
-    }
-
-    const std::size_t codes =
-        params.dual_channel
-            ? std::min(support_per_code.size(), core_per_code.size())
-            : support_per_code.size();
-    for (std::size_t c = 0; c < codes; ++c) {
-      const std::vector<int>& support = support_per_code[c];
-      static const std::vector<int> kEmpty;
-      const std::vector<int>& core =
-          params.dual_channel ? core_per_code[c] : kEmpty;
-      if (!tracker.split_feasible(core, support)) continue;
-      tracker.commit_split(core, support);
-      ++scheduled_codes[k];
-
-      const auto ec = choose_ec_servers(topology, params, core, support);
-      if (!result.schedule.scheduled.empty()) {
-        auto& last = result.schedule.scheduled.back();
-        if (last.request_index == static_cast<int>(k) &&
-            last.support_path == support && last.core_path == core &&
-            last.ec_servers == ec) {
-          ++last.codes;
-          continue;
+      std::vector<double> support_flow(static_cast<std::size_t>(de_count),
+                                       0.0);
+      std::vector<double> core_flow(static_cast<std::size_t>(de_count), 0.0);
+      for (int de = 0; de < de_count; ++de) {
+        const int vb = vars.b[static_cast<std::size_t>(de)];
+        if (vb >= 0)
+          support_flow[static_cast<std::size_t>(de)] =
+              sol.x[static_cast<std::size_t>(vb)] / support_unit;
+        if (params.dual_channel) {
+          const int va = vars.a[static_cast<std::size_t>(de)];
+          if (va >= 0)
+            core_flow[static_cast<std::size_t>(de)] =
+                sol.x[static_cast<std::size_t>(va)] / n;
         }
       }
-      ScheduledRequest s;
-      s.request_index = static_cast<int>(k);
-      s.codes = 1;
-      s.support_path = support;
-      s.core_path = core;
-      s.ec_servers = ec;
-      result.schedule.scheduled.push_back(std::move(s));
+
+      const auto support_paths = decompose_flow(
+          formulation, topology.num_nodes(), support_flow, req.src, req.dst);
+      const auto support_alloc = allocate_codes(support_paths, target);
+      std::vector<std::vector<int>> support_per_code;
+      for (std::size_t p = 0; p < support_paths.size(); ++p)
+        for (int c = 0; c < support_alloc[p]; ++c)
+          support_per_code.push_back(support_paths[p].nodes);
+
+      std::vector<std::vector<int>> core_per_code;
+      if (params.dual_channel) {
+        const auto core_paths = decompose_flow(
+            formulation, topology.num_nodes(), core_flow, req.src, req.dst);
+        const auto core_alloc = allocate_codes(core_paths, target);
+        for (std::size_t p = 0; p < core_paths.size(); ++p)
+          for (int c = 0; c < core_alloc[p]; ++c)
+            core_per_code.push_back(core_paths[p].nodes);
+      }
+
+      const std::size_t codes =
+          params.dual_channel
+              ? std::min(support_per_code.size(), core_per_code.size())
+              : support_per_code.size();
+      for (std::size_t c = 0; c < codes; ++c) {
+        const std::vector<int>& support = support_per_code[c];
+        static const std::vector<int> kEmpty;
+        const std::vector<int>& core =
+            params.dual_channel ? core_per_code[c] : kEmpty;
+        if (!tracker.split_feasible(core, support)) continue;
+        tracker.commit_split(core, support);
+        ++scheduled_codes[k];
+        ++committed;
+
+        const auto ec = choose_ec_servers(topology, params, core, support);
+        if (!result.schedule.scheduled.empty()) {
+          auto& last = result.schedule.scheduled.back();
+          if (last.request_index == static_cast<int>(k) &&
+              last.support_path == support && last.core_path == core &&
+              last.ec_servers == ec) {
+            ++last.codes;
+            continue;
+          }
+        }
+        ScheduledRequest s;
+        s.request_index = static_cast<int>(k);
+        s.codes = 1;
+        s.support_path = support;
+        s.core_path = core;
+        s.ec_servers = ec;
+        result.schedule.scheduled.push_back(std::move(s));
+      }
     }
+    return committed;
+  };
+
+  round_solution(lp);
+
+  // Warm re-solves: shrink the LP to the residual problem (codes still
+  // unscheduled, capacity the committed codes left behind) and round
+  // again, reusing the basis from the previous solve. Two rounds recover
+  // most of what the first rounding dropped; after that the greedy top-up
+  // is cheaper than another solve.
+  constexpr int kMaxResolves = 2;
+  for (int round = 0; round < kMaxResolves; ++round) {
+    int remaining = 0;
+    for (std::size_t k = 0; k < requests.size(); ++k)
+      remaining += requests[k].codes - scheduled_codes[k];
+    if (remaining <= 0) break;
+
+    for (std::size_t k = 0; k < requests.size(); ++k)
+      formulation.set_request_limit(
+          static_cast<int>(k),
+          static_cast<double>(requests[k].codes - scheduled_codes[k]));
+    for (int v = 0; v < topology.num_nodes(); ++v)
+      formulation.set_storage_capacity(
+          v, std::max(0.0, tracker.node_remaining(v)));
+    for (int e = 0; e < topology.num_fibers(); ++e)
+      formulation.set_entanglement_capacity(
+          e, std::max(0.0, tracker.fiber_pairs_remaining(e)));
+
+    const LpSolution relp = solve_lp(formulation.problem(), state);
+    ++result.resolves;
+    result.warm_iterations += relp.iterations;
+    if (relp.status != LpStatus::Optimal) break;
+    if (throughput(relp) < 0.5) break;  // no whole code left to gain
+    if (round_solution(relp) == 0) break;
   }
 
   // Greedy top-up: reclaim codes the rounding dropped, while capacities and

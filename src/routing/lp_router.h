@@ -4,6 +4,13 @@
 // LP relaxation of Eqs. (1)-(6), solve it with the simplex solver, round
 // the fractional flows into integral per-code paths by flow decomposition,
 // and greedily top the schedule up with any codes the rounding lost.
+//
+// After the first (cold) solve and rounding pass, the router re-solves the
+// LP on the residual problem — request limits tightened to the codes still
+// unscheduled, capacity right-hand sides to what the committed codes left —
+// and rounds again. The problem keeps its shape across these re-solves, so
+// the SimplexState saved by the cold solve warm-starts each of them; a warm
+// re-solve typically needs a small fraction of the cold iteration count.
 
 #include "netsim/schedule.h"
 #include "netsim/topology.h"
@@ -16,6 +23,9 @@ struct LpRouteResult {
   netsim::Schedule schedule;
   LpStatus status = LpStatus::Infeasible;
   double lp_objective = 0.0;  ///< relaxed optimum (upper-bounds throughput)
+  int resolves = 0;           ///< warm re-solves after the cold solve
+  long cold_iterations = 0;   ///< simplex iterations of the first solve
+  long warm_iterations = 0;   ///< total iterations across warm re-solves
 };
 
 /// Route with LP relaxation + rounding. `params.dual_channel` selects the

@@ -2,260 +2,677 @@
 
 #include <algorithm>
 #include <cmath>
-#include <cstdint>
 #include <stdexcept>
 
 namespace surfnet::routing {
 
+void LpProblem::add_term(int var, double coeff) {
+  if (var < 0 || var >= num_vars())
+    throw std::invalid_argument("simplex: variable index out of range");
+  if (row_start_.empty())
+    throw std::logic_error("simplex: add_term before begin_constraint");
+  cols_.push_back(var);
+  coeffs_.push_back(coeff);
+}
+
 namespace {
 
-constexpr double kEps = 1e-9;
+constexpr double kInf = std::numeric_limits<double>::infinity();
+constexpr double kFeasTol = 1e-7;   ///< primal feasibility tolerance
+constexpr double kOptTol = 1e-7;    ///< dual (reduced-cost) tolerance
+constexpr double kPivotTol = 1e-8;  ///< smallest acceptable pivot element
+constexpr double kDropTol = 1e-11;  ///< entries below this leave the eta file
+constexpr double kRatioTol = 1e-9;  ///< column entries ignored by the ratio test
+constexpr int kRefactorInterval = 64;  ///< pivots between refactorizations
+constexpr int kBlandStreak = 256;   ///< degenerate pivots before Bland's rule
 
-/// Dense tableau with an explicit cost row. Columns: structural variables,
-/// then slacks/surpluses, then artificials, then the RHS.
-class Tableau {
+enum VarStatus : signed char { kAtLower = 0, kAtUpper = 1, kBasic = 2 };
+
+/// Bounded-variable revised simplex over the equality form
+///   maximize c^T x   s.t.   A x (+ slacks) = b,   0 <= x_j <= u_j.
+/// Inequality rows fold into slack columns (so box constraints never become
+/// rows); equality rows get an artificial column fixed at [0, 0]. The basis
+/// inverse is kept as a product-form eta file, rebuilt from scratch every
+/// kRefactorInterval pivots (Gauss-Jordan with partial pivoting over the
+/// current basis columns). Infeasible starting bases — the cold slack basis
+/// with negative right-hand sides as well as warm-started bases whose
+/// bounds shifted — are repaired by a composite phase 1 that minimizes the
+/// total bound violation of the basic variables, so cold and warm solves
+/// share one iteration loop.
+class RevisedSimplex {
  public:
-  Tableau(std::size_t rows, std::size_t cols)
-      : rows_(rows), cols_(cols), data_(rows * cols, 0.0) {}
-
-  double& at(std::size_t r, std::size_t c) { return data_[r * cols_ + c]; }
-  double at(std::size_t r, std::size_t c) const {
-    return data_[r * cols_ + c];
-  }
-  std::size_t rows() const { return rows_; }
-  std::size_t cols() const { return cols_; }
-
-  /// Gaussian pivot on (pr, pc), also applied to the cost row `z`.
-  void pivot(std::size_t pr, std::size_t pc, std::vector<double>& z) {
-    const double pivot_value = at(pr, pc);
-    double* prow = &data_[pr * cols_];
-    const double inv = 1.0 / pivot_value;
-    for (std::size_t c = 0; c < cols_; ++c) prow[c] *= inv;
-    for (std::size_t r = 0; r < rows_; ++r) {
-      if (r == pr) continue;
-      double* row = &data_[r * cols_];
-      const double factor = row[pc];
-      if (std::abs(factor) < kEps) {
-        row[pc] = 0.0;
-        continue;
-      }
-      for (std::size_t c = 0; c < cols_; ++c) row[c] -= factor * prow[c];
-      row[pc] = 0.0;
-    }
-    const double zfactor = z[pc];
-    if (std::abs(zfactor) >= kEps) {
-      for (std::size_t c = 0; c < cols_; ++c) z[c] -= zfactor * prow[c];
-      z[pc] = 0.0;
-    }
-  }
+  explicit RevisedSimplex(const LpProblem& problem);
+  LpSolution solve(SimplexState& state);
 
  private:
-  std::size_t rows_;
-  std::size_t cols_;
-  std::vector<double> data_;
+  void load_column(int j, std::vector<double>& v) const {
+    std::fill(v.begin(), v.end(), 0.0);
+    for (int k = col_start_[static_cast<std::size_t>(j)];
+         k < col_start_[static_cast<std::size_t>(j) + 1]; ++k)
+      v[static_cast<std::size_t>(col_row_[static_cast<std::size_t>(k)])] +=
+          col_val_[static_cast<std::size_t>(k)];
+  }
+
+  /// v <- B^{-1} v via the eta file, in application order.
+  void ftran(std::vector<double>& v) const {
+    const std::size_t etas = eta_pivot_row_.size();
+    for (std::size_t e = 0; e < etas; ++e) {
+      const auto r = static_cast<std::size_t>(eta_pivot_row_[e]);
+      const double zr = v[r] / eta_pivot_val_[e];
+      v[r] = zr;
+      if (zr == 0.0) continue;
+      for (int k = eta_start_[e]; k < eta_start_[e + 1]; ++k)
+        v[static_cast<std::size_t>(eta_row_[static_cast<std::size_t>(k)])] -=
+            eta_val_[static_cast<std::size_t>(k)] * zr;
+    }
+  }
+
+  /// v <- B^{-T} v via the transposed eta file, in reverse order.
+  void btran(std::vector<double>& v) const {
+    for (std::size_t e = eta_pivot_row_.size(); e-- > 0;) {
+      const auto r = static_cast<std::size_t>(eta_pivot_row_[e]);
+      double s = v[r];
+      for (int k = eta_start_[e]; k < eta_start_[e + 1]; ++k)
+        s -= eta_val_[static_cast<std::size_t>(k)] *
+             v[static_cast<std::size_t>(eta_row_[static_cast<std::size_t>(k)])];
+      v[r] = s / eta_pivot_val_[e];
+    }
+  }
+
+  void append_eta(const std::vector<double>& w, int pivot_row) {
+    eta_pivot_row_.push_back(pivot_row);
+    eta_pivot_val_.push_back(w[static_cast<std::size_t>(pivot_row)]);
+    for (int i = 0; i < m_; ++i) {
+      if (i == pivot_row) continue;
+      const double wv = w[static_cast<std::size_t>(i)];
+      if (std::abs(wv) > kDropTol) {
+        eta_row_.push_back(i);
+        eta_val_.push_back(wv);
+      }
+    }
+    eta_start_.push_back(static_cast<int>(eta_row_.size()));
+  }
+
+  /// Rebuild the eta file for the current basis from scratch. A triangular
+  /// ordering phase goes first: repeatedly take a row touched by exactly
+  /// one remaining basis column and pivot that column there. Such a column
+  /// provably has no entries in earlier pivot rows, so its eta is the raw
+  /// column — zero fill, no FTRAN. Simplex bases of network-flow LPs are
+  /// near-triangular (slacks and conservation structure), so this phase
+  /// usually swallows almost everything; the small remaining "bump" falls
+  /// back to Gauss-Jordan product form with partial pivoting. Basis columns
+  /// may get reassigned to different rows; false = numerically singular.
+  bool refactorize() {
+    eta_pivot_row_.clear();
+    eta_pivot_val_.clear();
+    eta_row_.clear();
+    eta_val_.clear();
+    eta_start_.assign(1, 0);
+
+    // Aggregate each basis column's entries by row (duplicates summed).
+    const auto sm = static_cast<std::size_t>(m_);
+    fac_col_start_.assign(sm + 1, 0);
+    fac_row_.clear();
+    fac_val_.clear();
+    fac_stamp_.assign(sm, -1);
+    fac_slot_.resize(sm);
+    for (int k = 0; k < m_; ++k) {
+      const int j = basis_[static_cast<std::size_t>(k)];
+      const auto base = fac_row_.size();
+      for (int t = col_start_[static_cast<std::size_t>(j)];
+           t < col_start_[static_cast<std::size_t>(j) + 1]; ++t) {
+        const int r = col_row_[static_cast<std::size_t>(t)];
+        const double v = col_val_[static_cast<std::size_t>(t)];
+        if (fac_stamp_[static_cast<std::size_t>(r)] == k) {
+          fac_val_[fac_slot_[static_cast<std::size_t>(r)]] += v;
+        } else {
+          fac_stamp_[static_cast<std::size_t>(r)] = k;
+          fac_slot_[static_cast<std::size_t>(r)] = fac_row_.size();
+          fac_row_.push_back(r);
+          fac_val_.push_back(v);
+        }
+      }
+      // Drop cancelled entries in place.
+      std::size_t w = base;
+      for (std::size_t t = base; t < fac_row_.size(); ++t)
+        if (std::abs(fac_val_[t]) > kDropTol) {
+          fac_row_[w] = fac_row_[t];
+          fac_val_[w] = fac_val_[t];
+          ++w;
+        }
+      fac_row_.resize(w);
+      fac_val_.resize(w);
+      fac_col_start_[static_cast<std::size_t>(k) + 1] =
+          static_cast<int>(w);
+    }
+
+    // Row -> basis-position index for singleton detection.
+    fac_rowpos_start_.assign(sm + 1, 0);
+    for (const int r : fac_row_)
+      ++fac_rowpos_start_[static_cast<std::size_t>(r) + 1];
+    for (int r = 0; r < m_; ++r)
+      fac_rowpos_start_[static_cast<std::size_t>(r) + 1] +=
+          fac_rowpos_start_[static_cast<std::size_t>(r)];
+    fac_rowpos_col_.resize(fac_row_.size());
+    {
+      fac_fill_.assign(fac_rowpos_start_.begin(), fac_rowpos_start_.end() - 1);
+      for (int k = 0; k < m_; ++k)
+        for (int t = fac_col_start_[static_cast<std::size_t>(k)];
+             t < fac_col_start_[static_cast<std::size_t>(k) + 1]; ++t)
+          fac_rowpos_col_[static_cast<std::size_t>(
+              fac_fill_[static_cast<std::size_t>(
+                  fac_row_[static_cast<std::size_t>(t)])]++)] = k;
+    }
+
+    fac_row_live_.assign(sm, 0);
+    for (int r = 0; r < m_; ++r)
+      fac_row_live_[static_cast<std::size_t>(r)] =
+          fac_rowpos_start_[static_cast<std::size_t>(r) + 1] -
+          fac_rowpos_start_[static_cast<std::size_t>(r)];
+    fac_col_alive_.assign(sm, 1);
+    std::vector<char> taken(sm, 0);
+    std::vector<int> new_basis(sm, -1);
+
+    // --- Triangular phase. ---
+    fac_queue_.clear();
+    for (int r = 0; r < m_; ++r)
+      if (fac_row_live_[static_cast<std::size_t>(r)] == 1)
+        fac_queue_.push_back(r);
+    while (!fac_queue_.empty()) {
+      const int r = fac_queue_.back();
+      fac_queue_.pop_back();
+      if (taken[static_cast<std::size_t>(r)] ||
+          fac_row_live_[static_cast<std::size_t>(r)] != 1)
+        continue;
+      int k = -1;
+      for (int t = fac_rowpos_start_[static_cast<std::size_t>(r)];
+           t < fac_rowpos_start_[static_cast<std::size_t>(r) + 1]; ++t)
+        if (fac_col_alive_[static_cast<std::size_t>(
+                fac_rowpos_col_[static_cast<std::size_t>(t)])]) {
+          k = fac_rowpos_col_[static_cast<std::size_t>(t)];
+          break;
+        }
+      if (k < 0) continue;
+      double pivot = 0.0;
+      for (int t = fac_col_start_[static_cast<std::size_t>(k)];
+           t < fac_col_start_[static_cast<std::size_t>(k) + 1]; ++t)
+        if (fac_row_[static_cast<std::size_t>(t)] == r)
+          pivot = fac_val_[static_cast<std::size_t>(t)];
+      if (std::abs(pivot) <= 1e-10) continue;  // leave it for the bump
+
+      eta_pivot_row_.push_back(r);
+      eta_pivot_val_.push_back(pivot);
+      for (int t = fac_col_start_[static_cast<std::size_t>(k)];
+           t < fac_col_start_[static_cast<std::size_t>(k) + 1]; ++t) {
+        const int r2 = fac_row_[static_cast<std::size_t>(t)];
+        if (r2 == r) continue;
+        eta_row_.push_back(r2);
+        eta_val_.push_back(fac_val_[static_cast<std::size_t>(t)]);
+        if (!taken[static_cast<std::size_t>(r2)] &&
+            --fac_row_live_[static_cast<std::size_t>(r2)] == 1)
+          fac_queue_.push_back(r2);
+      }
+      eta_start_.push_back(static_cast<int>(eta_row_.size()));
+      fac_col_alive_[static_cast<std::size_t>(k)] = 0;
+      taken[static_cast<std::size_t>(r)] = 1;
+      new_basis[static_cast<std::size_t>(r)] = basis_[static_cast<std::size_t>(k)];
+    }
+
+    // --- Bump phase: Gauss-Jordan over whatever the ordering left. ---
+    for (int k = 0; k < m_; ++k) {
+      if (!fac_col_alive_[static_cast<std::size_t>(k)]) continue;
+      const int j = basis_[static_cast<std::size_t>(k)];
+      load_column(j, work_);
+      ftran(work_);
+      int pr = -1;
+      double best = 1e-10;
+      for (int i = 0; i < m_; ++i)
+        if (!taken[static_cast<std::size_t>(i)] &&
+            std::abs(work_[static_cast<std::size_t>(i)]) > best) {
+          best = std::abs(work_[static_cast<std::size_t>(i)]);
+          pr = i;
+        }
+      if (pr < 0) return false;
+      append_eta(work_, pr);
+      taken[static_cast<std::size_t>(pr)] = 1;
+      new_basis[static_cast<std::size_t>(pr)] = j;
+    }
+    basis_.swap(new_basis);
+    pivots_since_refactor_ = 0;
+    return true;
+  }
+
+  /// x_B = B^{-1} (b - sum of nonbasic-at-upper columns at their bound).
+  void compute_basic_values() {
+    std::copy(b_.begin(), b_.end(), work_.begin());
+    for (int j = 0; j < ncols_; ++j) {
+      if (vstat_[static_cast<std::size_t>(j)] != kAtUpper) continue;
+      const double u = upper_[static_cast<std::size_t>(j)];
+      if (u == 0.0) continue;
+      for (int k = col_start_[static_cast<std::size_t>(j)];
+           k < col_start_[static_cast<std::size_t>(j) + 1]; ++k)
+        work_[static_cast<std::size_t>(
+            col_row_[static_cast<std::size_t>(k)])] -=
+            col_val_[static_cast<std::size_t>(k)] * u;
+    }
+    ftran(work_);
+    std::copy(work_.begin(), work_.end(), x_basic_.begin());
+  }
+
+  void cold_basis() {
+    vstat_.assign(static_cast<std::size_t>(ncols_), kAtLower);
+    basis_.resize(static_cast<std::size_t>(m_));
+    for (int r = 0; r < m_; ++r) {
+      basis_[static_cast<std::size_t>(r)] =
+          row_aux_col_[static_cast<std::size_t>(r)];
+      vstat_[static_cast<std::size_t>(
+          row_aux_col_[static_cast<std::size_t>(r)])] = kBasic;
+    }
+  }
+
+  bool install_state(const SimplexState& state) {
+    if (!state.valid() || state.num_rows != m_ || state.num_cols != ncols_ ||
+        static_cast<int>(state.basis.size()) != m_ ||
+        static_cast<int>(state.at_upper.size()) != ncols_)
+      return false;
+    std::vector<char> seen(static_cast<std::size_t>(ncols_), 0);
+    for (const std::int32_t j : state.basis) {
+      if (j < 0 || j >= ncols_ || seen[static_cast<std::size_t>(j)])
+        return false;
+      seen[static_cast<std::size_t>(j)] = 1;
+    }
+    vstat_.assign(static_cast<std::size_t>(ncols_), kAtLower);
+    for (int j = 0; j < ncols_; ++j)
+      if (state.at_upper[static_cast<std::size_t>(j)] &&
+          std::isfinite(upper_[static_cast<std::size_t>(j)]) &&
+          upper_[static_cast<std::size_t>(j)] > 0.0)
+        vstat_[static_cast<std::size_t>(j)] = kAtUpper;
+    basis_.resize(static_cast<std::size_t>(m_));
+    for (int r = 0; r < m_; ++r) {
+      basis_[static_cast<std::size_t>(r)] =
+          state.basis[static_cast<std::size_t>(r)];
+      vstat_[static_cast<std::size_t>(basis_[static_cast<std::size_t>(r)])] =
+          kBasic;
+    }
+    return refactorize();
+  }
+
+  void save_state(SimplexState& state) const {
+    state.basis.assign(basis_.begin(), basis_.end());
+    state.at_upper.assign(static_cast<std::size_t>(ncols_), 0);
+    for (int j = 0; j < ncols_; ++j)
+      if (vstat_[static_cast<std::size_t>(j)] == kAtUpper)
+        state.at_upper[static_cast<std::size_t>(j)] = 1;
+    state.num_rows = m_;
+    state.num_cols = ncols_;
+  }
+
+  const LpProblem* problem_;
+  int m_ = 0;       ///< rows
+  int nstruct_ = 0; ///< structural columns
+  int ncols_ = 0;   ///< structural + slack + artificial
+
+  // CSC over all internal columns.
+  std::vector<int> col_start_;
+  std::vector<int> col_row_;
+  std::vector<double> col_val_;
+  std::vector<double> cost_;
+  std::vector<double> upper_;
+  std::vector<double> b_;
+  std::vector<int> row_aux_col_;  ///< cold-start basic column per row
+
+  std::vector<int> basis_;
+  std::vector<signed char> vstat_;
+  std::vector<double> x_basic_;
+
+  // Eta file: eta e pivots on row eta_pivot_row_[e] with value
+  // eta_pivot_val_[e]; off-pivot entries live in [eta_start_[e],
+  // eta_start_[e+1]) of eta_row_/eta_val_.
+  std::vector<int> eta_pivot_row_;
+  std::vector<double> eta_pivot_val_;
+  std::vector<int> eta_start_;
+  std::vector<int> eta_row_;
+  std::vector<double> eta_val_;
+  int pivots_since_refactor_ = 0;
+
+  std::vector<double> work_;  ///< dense row-sized scratch (FTRAN target)
+  std::vector<double> y_;     ///< dense row-sized scratch (BTRAN target)
+  std::vector<double> cb_;    ///< basic costs of the current phase
+
+  // Refactorization scratch (rebuilt each refactorize; kept as members so
+  // the buffers only grow).
+  std::vector<int> fac_col_start_, fac_row_, fac_stamp_, fac_rowpos_start_,
+      fac_rowpos_col_, fac_row_live_, fac_queue_, fac_fill_;
+  std::vector<std::size_t> fac_slot_;
+  std::vector<double> fac_val_;
+  std::vector<char> fac_col_alive_;
 };
+
+RevisedSimplex::RevisedSimplex(const LpProblem& problem) : problem_(&problem) {
+  m_ = problem.num_rows();
+  nstruct_ = problem.num_vars();
+
+  int num_slack = 0, num_artificial = 0;
+  for (int r = 0; r < m_; ++r) {
+    if (problem.row_type(r) == ConstraintType::Equal)
+      ++num_artificial;
+    else
+      ++num_slack;
+  }
+  ncols_ = nstruct_ + num_slack + num_artificial;
+
+  // Transpose the problem's CSR rows into CSC structural columns.
+  const int nnz = problem.num_nonzeros();
+  col_start_.assign(static_cast<std::size_t>(ncols_) + 1, 0);
+  for (int r = 0; r < m_; ++r)
+    for (const int c : problem.row_cols(r))
+      ++col_start_[static_cast<std::size_t>(c) + 1];
+  // Prefix-sum structural counts, then one slot per slack/artificial col.
+  for (int j = 0; j < nstruct_; ++j)
+    col_start_[static_cast<std::size_t>(j) + 1] +=
+        col_start_[static_cast<std::size_t>(j)];
+  for (int j = nstruct_; j < ncols_; ++j)
+    col_start_[static_cast<std::size_t>(j) + 1] =
+        col_start_[static_cast<std::size_t>(j)] + 1;
+
+  col_row_.resize(static_cast<std::size_t>(nnz) + static_cast<std::size_t>(num_slack + num_artificial));
+  col_val_.resize(col_row_.size());
+  std::vector<int> fill(col_start_.begin(), col_start_.end() - 1);
+  for (int r = 0; r < m_; ++r) {
+    const auto cols = problem.row_cols(r);
+    const auto coeffs = problem.row_coeffs(r);
+    for (std::size_t t = 0; t < cols.size(); ++t) {
+      const auto slot =
+          static_cast<std::size_t>(fill[static_cast<std::size_t>(cols[t])]++);
+      col_row_[slot] = r;
+      col_val_[slot] = coeffs[t];
+    }
+  }
+
+  cost_.assign(static_cast<std::size_t>(ncols_), 0.0);
+  upper_.assign(static_cast<std::size_t>(ncols_), kInf);
+  for (int j = 0; j < nstruct_; ++j) {
+    cost_[static_cast<std::size_t>(j)] = problem.objective(j);
+    upper_[static_cast<std::size_t>(j)] = problem.upper_bound(j);
+  }
+
+  b_.resize(static_cast<std::size_t>(m_));
+  row_aux_col_.resize(static_cast<std::size_t>(m_));
+  int slack_cursor = nstruct_;
+  int art_cursor = nstruct_ + num_slack;
+  for (int r = 0; r < m_; ++r) {
+    b_[static_cast<std::size_t>(r)] = problem.rhs(r);
+    int aux;
+    double coeff;
+    switch (problem.row_type(r)) {
+      case ConstraintType::LessEqual:
+        aux = slack_cursor++;
+        coeff = 1.0;
+        break;
+      case ConstraintType::GreaterEqual:
+        aux = slack_cursor++;
+        coeff = -1.0;
+        break;
+      case ConstraintType::Equal:
+      default:
+        aux = art_cursor++;
+        coeff = 1.0;
+        upper_[static_cast<std::size_t>(aux)] = 0.0;  // fixed at zero
+        break;
+    }
+    const auto slot =
+        static_cast<std::size_t>(col_start_[static_cast<std::size_t>(aux)]);
+    col_row_[slot] = r;
+    col_val_[slot] = coeff;
+    row_aux_col_[static_cast<std::size_t>(r)] = aux;
+  }
+
+  x_basic_.resize(static_cast<std::size_t>(m_));
+  work_.resize(static_cast<std::size_t>(m_));
+  y_.resize(static_cast<std::size_t>(m_));
+  cb_.resize(static_cast<std::size_t>(m_));
+  eta_start_.assign(1, 0);
+}
+
+LpSolution RevisedSimplex::solve(SimplexState& state) {
+  LpSolution solution;
+  for (int j = 0; j < nstruct_; ++j) {
+    const double u = upper_[static_cast<std::size_t>(j)];
+    if (std::isnan(u) || u < 0.0) {  // empty box — match the dense reference
+      solution.status = LpStatus::Infeasible;
+      state.clear();
+      return solution;
+    }
+  }
+
+  const bool warm = install_state(state);
+  if (!warm) {
+    cold_basis();
+    refactorize();  // singleton basis columns: cannot fail
+  }
+  solution.warm_started = warm;
+  compute_basic_values();
+
+  const long max_iterations = 4096 + 32L * (m_ + nstruct_);
+  long iterations = 0;
+  int degenerate_streak = 0;
+  bool bland = false;
+  std::vector<char> banned(static_cast<std::size_t>(ncols_), 0);
+  std::vector<int> banned_list;
+
+  for (;;) {
+    if (iterations >= max_iterations) {
+      solution.status = LpStatus::IterationLimit;
+      break;
+    }
+
+    // Phase detection: any basic variable outside its bounds puts the
+    // iteration in phase 1, whose costs point each violator back inside.
+    bool phase1 = false;
+    for (int r = 0; r < m_; ++r) {
+      const double v = x_basic_[static_cast<std::size_t>(r)];
+      const double u =
+          upper_[static_cast<std::size_t>(basis_[static_cast<std::size_t>(r)])];
+      double c = 0.0;
+      if (v < -kFeasTol) {
+        c = 1.0;
+        phase1 = true;
+      } else if (v > u + kFeasTol) {
+        c = -1.0;
+        phase1 = true;
+      }
+      cb_[static_cast<std::size_t>(r)] = c;
+    }
+    if (!phase1)
+      for (int r = 0; r < m_; ++r)
+        cb_[static_cast<std::size_t>(r)] = cost_[static_cast<std::size_t>(
+            basis_[static_cast<std::size_t>(r)])];
+
+    std::copy(cb_.begin(), cb_.end(), y_.begin());
+    btran(y_);
+
+    // Pricing: Dantzig (largest reduced cost) normally, Bland (first
+    // eligible index) while a degenerate streak threatens to cycle.
+    int entering = -1;
+    double best_score = 0.0;
+    for (int j = 0; j < ncols_; ++j) {
+      const auto sj = static_cast<std::size_t>(j);
+      if (vstat_[sj] == kBasic || banned[sj]) continue;
+      if (upper_[sj] <= 0.0) continue;  // fixed at zero: never moves
+      double d = phase1 ? 0.0 : cost_[sj];
+      for (int k = col_start_[sj]; k < col_start_[sj + 1]; ++k)
+        d -= col_val_[static_cast<std::size_t>(k)] *
+             y_[static_cast<std::size_t>(col_row_[static_cast<std::size_t>(k)])];
+      const bool improving =
+          vstat_[sj] == kAtLower ? (d > kOptTol) : (d < -kOptTol);
+      if (!improving) continue;
+      if (bland) {
+        entering = j;
+        break;
+      }
+      if (std::abs(d) > best_score) {
+        best_score = std::abs(d);
+        entering = j;
+      }
+    }
+
+    if (entering < 0) {
+      solution.status = phase1 ? LpStatus::Infeasible : LpStatus::Optimal;
+      break;
+    }
+
+    const int dir = vstat_[static_cast<std::size_t>(entering)] == kAtLower
+                        ? +1
+                        : -1;
+    load_column(entering, work_);
+    ftran(work_);
+
+    // Ratio test over the basic variables plus the entering variable's own
+    // opposite bound (a bound flip). Basic variables already outside a
+    // bound block at the bound they are returning to, which keeps phase-1
+    // steps from overshooting feasibility.
+    double best_t = upper_[static_cast<std::size_t>(entering)];  // flip
+    int block_row = -1;
+    bool leave_at_upper = false;
+    for (int r = 0; r < m_; ++r) {
+      const double wv = work_[static_cast<std::size_t>(r)];
+      if (std::abs(wv) < kRatioTol) continue;
+      const double delta = -dir * wv;  // d x_B[r] / dt
+      const double v = x_basic_[static_cast<std::size_t>(r)];
+      const double u =
+          upper_[static_cast<std::size_t>(basis_[static_cast<std::size_t>(r)])];
+      double target;
+      if (delta > 0.0) {
+        if (v > u + kFeasTol) continue;  // above and rising: no block here
+        target = v < -kFeasTol ? 0.0 : u;
+        if (!std::isfinite(target)) continue;
+      } else {
+        if (v < -kFeasTol) continue;  // below and falling: no block here
+        target = v > u + kFeasTol ? u : 0.0;
+      }
+      double t = (target - v) / delta;
+      if (t < 0.0) t = 0.0;
+      bool take = false;
+      if (t < best_t - kRatioTol) {
+        take = true;
+      } else if (t < best_t + kRatioTol && block_row >= 0) {
+        take = bland
+                   ? basis_[static_cast<std::size_t>(r)] <
+                         basis_[static_cast<std::size_t>(block_row)]
+                   : std::abs(wv) >
+                         std::abs(work_[static_cast<std::size_t>(block_row)]);
+      }
+      if (take) {
+        if (t < best_t) best_t = t;
+        block_row = r;
+        leave_at_upper = target == u && std::isfinite(u);
+      }
+    }
+
+    if (!std::isfinite(best_t)) {
+      // Phase 1 maximizes a function bounded by zero, so an unbounded ray
+      // can only be numerical noise there; report it as the limit status.
+      solution.status = phase1 ? LpStatus::IterationLimit : LpStatus::Unbounded;
+      break;
+    }
+
+    if (block_row >= 0 &&
+        std::abs(work_[static_cast<std::size_t>(block_row)]) < kPivotTol) {
+      // Unstable pivot: retry against a fresh factorization, and if the
+      // column stays unusable, bar it from this pricing round.
+      if (pivots_since_refactor_ > 0) {
+        if (!refactorize()) {
+          solution.status = LpStatus::IterationLimit;
+          break;
+        }
+        compute_basic_values();
+        continue;
+      }
+      banned[static_cast<std::size_t>(entering)] = 1;
+      banned_list.push_back(entering);
+      continue;
+    }
+
+    ++iterations;
+    if (best_t > 0.0)
+      for (int r = 0; r < m_; ++r)
+        x_basic_[static_cast<std::size_t>(r)] +=
+            -dir * work_[static_cast<std::size_t>(r)] * best_t;
+
+    if (block_row < 0) {
+      // Bound flip: the entering variable crosses to its other bound
+      // without any basis change.
+      vstat_[static_cast<std::size_t>(entering)] =
+          dir > 0 ? kAtUpper : kAtLower;
+    } else {
+      const int leaving = basis_[static_cast<std::size_t>(block_row)];
+      vstat_[static_cast<std::size_t>(leaving)] =
+          leave_at_upper ? kAtUpper : kAtLower;
+      x_basic_[static_cast<std::size_t>(block_row)] =
+          dir > 0 ? best_t
+                  : upper_[static_cast<std::size_t>(entering)] - best_t;
+      basis_[static_cast<std::size_t>(block_row)] = entering;
+      vstat_[static_cast<std::size_t>(entering)] = kBasic;
+      append_eta(work_, block_row);
+      if (++pivots_since_refactor_ >= kRefactorInterval) {
+        if (!refactorize()) {
+          solution.status = LpStatus::IterationLimit;
+          break;
+        }
+        compute_basic_values();
+      }
+    }
+
+    for (const int j : banned_list) banned[static_cast<std::size_t>(j)] = 0;
+    banned_list.clear();
+
+    if (best_t > kRatioTol) {
+      degenerate_streak = 0;
+      bland = false;
+    } else if (++degenerate_streak >= kBlandStreak) {
+      bland = true;
+    }
+  }
+
+  solution.iterations = static_cast<int>(iterations);
+  save_state(state);
+  if (solution.status != LpStatus::Optimal) return solution;
+
+  // One fresh factorization before extraction scrubs the drift a long eta
+  // file accumulates.
+  if (pivots_since_refactor_ > 0 && refactorize()) compute_basic_values();
+  save_state(state);
+
+  solution.x.assign(static_cast<std::size_t>(nstruct_), 0.0);
+  for (int j = 0; j < nstruct_; ++j)
+    if (vstat_[static_cast<std::size_t>(j)] == kAtUpper)
+      solution.x[static_cast<std::size_t>(j)] =
+          upper_[static_cast<std::size_t>(j)];
+  for (int r = 0; r < m_; ++r) {
+    const int j = basis_[static_cast<std::size_t>(r)];
+    if (j >= nstruct_) continue;
+    const double u = upper_[static_cast<std::size_t>(j)];
+    double v = x_basic_[static_cast<std::size_t>(r)];
+    v = std::max(0.0, std::isfinite(u) ? std::min(v, u) : v);
+    solution.x[static_cast<std::size_t>(j)] = v;
+  }
+  solution.objective = 0.0;
+  for (int j = 0; j < nstruct_; ++j)
+    solution.objective +=
+        problem_->objective(j) * solution.x[static_cast<std::size_t>(j)];
+  return solution;
+}
 
 }  // namespace
 
 LpSolution solve_lp(const LpProblem& problem) {
-  LpSolution solution;
-  const std::size_t n = static_cast<std::size_t>(problem.num_vars);
-  if (problem.objective.size() != n)
-    throw std::invalid_argument("simplex: objective size mismatch");
+  SimplexState state;
+  return solve_lp(problem, state);
+}
 
-  // Materialize upper-bound rows, then normalize every row to rhs >= 0.
-  std::vector<Constraint> rows = problem.constraints;
-  for (std::size_t v = 0; v < problem.upper_bound.size(); ++v) {
-    const double ub = problem.upper_bound[v];
-    if (std::isfinite(ub)) {
-      Constraint c;
-      c.terms.emplace_back(static_cast<int>(v), 1.0);
-      c.type = ConstraintType::LessEqual;
-      c.rhs = ub;
-      rows.push_back(std::move(c));
-    }
-  }
-  const std::size_t m = rows.size();
-
-  // Anti-degeneracy: perturb the right-hand side of inequality rows by a
-  // tiny deterministic amount. Network-flow LPs like the routing
-  // formulation are massively degenerate (many zero-RHS rows) and stall
-  // the plain simplex otherwise. Equality rows must stay exact.
-  {
-    std::uint64_t mix = 0x9E3779B97F4A7C15ULL;
-    for (auto& row : rows) {
-      if (row.type == ConstraintType::Equal) continue;
-      mix ^= mix << 13;
-      mix ^= mix >> 7;
-      mix ^= mix << 17;
-      const double jitter =
-          1e-7 * (1.0 + static_cast<double>(mix % 1024) / 1024.0);
-      row.rhs += (row.type == ConstraintType::LessEqual) ? jitter : -jitter;
-    }
-  }
-
-  // Count auxiliary columns.
-  std::size_t num_slack = 0, num_artificial = 0;
-  for (auto& row : rows) {
-    if (row.rhs < 0.0) {
-      row.rhs = -row.rhs;
-      for (auto& [var, coeff] : row.terms) coeff = -coeff;
-      if (row.type == ConstraintType::LessEqual)
-        row.type = ConstraintType::GreaterEqual;
-      else if (row.type == ConstraintType::GreaterEqual)
-        row.type = ConstraintType::LessEqual;
-    }
-    switch (row.type) {
-      case ConstraintType::LessEqual:
-        ++num_slack;
-        break;
-      case ConstraintType::GreaterEqual:
-        ++num_slack;
-        ++num_artificial;
-        break;
-      case ConstraintType::Equal:
-        ++num_artificial;
-        break;
-    }
-  }
-
-  const std::size_t total = n + num_slack + num_artificial;
-  const std::size_t rhs_col = total;
-  Tableau tableau(m, total + 1);
-  std::vector<int> basis(m, -1);
-  const std::size_t art_begin = n + num_slack;
-
-  std::size_t slack_cursor = n;
-  std::size_t art_cursor = art_begin;
-  for (std::size_t r = 0; r < m; ++r) {
-    for (const auto& [var, coeff] : rows[r].terms) {
-      if (var < 0 || static_cast<std::size_t>(var) >= n)
-        throw std::invalid_argument("simplex: variable index out of range");
-      tableau.at(r, static_cast<std::size_t>(var)) += coeff;
-    }
-    tableau.at(r, rhs_col) = rows[r].rhs;
-    switch (rows[r].type) {
-      case ConstraintType::LessEqual:
-        tableau.at(r, slack_cursor) = 1.0;
-        basis[r] = static_cast<int>(slack_cursor++);
-        break;
-      case ConstraintType::GreaterEqual:
-        tableau.at(r, slack_cursor) = -1.0;
-        ++slack_cursor;
-        tableau.at(r, art_cursor) = 1.0;
-        basis[r] = static_cast<int>(art_cursor++);
-        break;
-      case ConstraintType::Equal:
-        tableau.at(r, art_cursor) = 1.0;
-        basis[r] = static_cast<int>(art_cursor++);
-        break;
-    }
-  }
-
-  // Cost row for the current phase: z[j] is the reduced cost of column j.
-  std::vector<double> z(total + 1, 0.0);
-  auto rebuild_cost_row = [&](const std::vector<double>& cost) {
-    std::fill(z.begin(), z.end(), 0.0);
-    for (std::size_t j = 0; j < total; ++j) z[j] = cost[j];
-    for (std::size_t r = 0; r < m; ++r) {
-      const double cb = cost[static_cast<std::size_t>(basis[r])];
-      if (cb == 0.0) continue;
-      for (std::size_t c = 0; c <= total; ++c)
-        z[c] -= cb * tableau.at(r, c);
-    }
-  };
-
-  // Run simplex iterations with the current cost row. `allowed` masks
-  // columns that may enter the basis.
-  const long max_iterations =
-      4096 + 8 * static_cast<long>(m) + 4 * static_cast<long>(total);
-  auto iterate = [&](const std::vector<char>& allowed) -> LpStatus {
-    long iterations = 0;
-    const long bland_after = max_iterations / 2;
-    while (true) {
-      if (++iterations > max_iterations) return LpStatus::IterationLimit;
-      // Entering column: Dantzig first, Bland when degeneracy drags on.
-      std::size_t entering = total;
-      if (iterations < bland_after) {
-        double best = kEps;
-        for (std::size_t j = 0; j < total; ++j)
-          if (allowed[j] && z[j] > best) {
-            best = z[j];
-            entering = j;
-          }
-      } else {
-        for (std::size_t j = 0; j < total; ++j)
-          if (allowed[j] && z[j] > kEps) {
-            entering = j;
-            break;
-          }
-      }
-      if (entering == total) return LpStatus::Optimal;
-
-      // Ratio test (Bland tie-break on the leaving basis variable).
-      std::size_t leaving = m;
-      double best_ratio = std::numeric_limits<double>::infinity();
-      for (std::size_t r = 0; r < m; ++r) {
-        const double a = tableau.at(r, entering);
-        if (a > kEps) {
-          const double ratio = tableau.at(r, rhs_col) / a;
-          if (ratio < best_ratio - kEps ||
-              (ratio < best_ratio + kEps && leaving < m &&
-               basis[r] < basis[leaving])) {
-            best_ratio = ratio;
-            leaving = r;
-          }
-        }
-      }
-      if (leaving == m) return LpStatus::Unbounded;
-      tableau.pivot(leaving, entering, z);
-      basis[leaving] = static_cast<int>(entering);
-    }
-  };
-
-  // --- Phase 1: drive artificials to zero. ---
-  if (num_artificial > 0) {
-    std::vector<double> phase1_cost(total, 0.0);
-    for (std::size_t j = art_begin; j < total; ++j) phase1_cost[j] = -1.0;
-    rebuild_cost_row(phase1_cost);
-    std::vector<char> allowed(total, 1);
-    const LpStatus status = iterate(allowed);
-    if (status == LpStatus::IterationLimit) {
-      solution.status = status;
-      return solution;
-    }
-    double infeasibility = 0.0;
-    for (std::size_t r = 0; r < m; ++r)
-      if (static_cast<std::size_t>(basis[r]) >= art_begin)
-        infeasibility += tableau.at(r, rhs_col);
-    if (infeasibility > 1e-6) {
-      solution.status = LpStatus::Infeasible;
-      return solution;
-    }
-  }
-
-  // --- Phase 2: optimize the real objective; artificials may not enter. ---
-  std::vector<double> phase2_cost(total, 0.0);
-  for (std::size_t j = 0; j < n; ++j) phase2_cost[j] = problem.objective[j];
-  rebuild_cost_row(phase2_cost);
-  std::vector<char> allowed(total, 1);
-  for (std::size_t j = art_begin; j < total; ++j) allowed[j] = 0;
-  const LpStatus status = iterate(allowed);
-  if (status != LpStatus::Optimal) {
-    solution.status = status;
-    return solution;
-  }
-
-  solution.status = LpStatus::Optimal;
-  solution.x.assign(n, 0.0);
-  for (std::size_t r = 0; r < m; ++r) {
-    const auto b = static_cast<std::size_t>(basis[r]);
-    if (b < n) solution.x[b] = tableau.at(r, rhs_col);
-  }
-  solution.objective = 0.0;
-  for (std::size_t j = 0; j < n; ++j)
-    solution.objective += problem.objective[j] * solution.x[j];
-  return solution;
+LpSolution solve_lp(const LpProblem& problem, SimplexState& state) {
+  RevisedSimplex simplex(problem);
+  return simplex.solve(state);
 }
 
 }  // namespace surfnet::routing

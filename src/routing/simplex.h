@@ -1,16 +1,28 @@
 #pragma once
 
-// Dense two-phase primal simplex solver, written from scratch for the
-// SurfNet routing protocol (paper Sec. V-A): the integer program of
-// Eqs. (1)-(6) is solved as its LP relaxation and rounded, exactly as the
-// paper's evaluation does.
+// Sparse revised primal simplex for the SurfNet routing protocol (paper
+// Sec. V-A): the integer program of Eqs. (1)-(6) is solved as its LP
+// relaxation and rounded, exactly as the paper's evaluation does.
 //
 // The solver maximizes c^T x subject to mixed <= / >= / = constraints and
-// x >= 0 (optional per-variable upper bounds become rows). Phase 1 drives
-// artificial variables to zero; phase 2 optimizes the real objective with
-// Dantzig pricing and a Bland's-rule fallback for anti-cycling.
+// 0 <= x <= u. Unlike the original dense tableau (kept as a reference in
+// routing/dense_simplex.h), the constraint matrix stays compressed-sparse
+// end to end: rows are emitted in CSR form by the formulation, transposed
+// once to CSC inside the solver, and the basis is maintained as a
+// product-form (eta-file) factorization with periodic refactorization.
+// Box constraints are handled as variable bounds — they never become
+// explicit rows — and a Bland's-rule fallback guards against cycling on
+// the massively degenerate network-flow LPs the scheduler produces.
+//
+// Warm starts: a SimplexState snapshots the basis between solves. Passing
+// the state of a previous solve of a same-shaped problem (same rows and
+// columns; bounds and right-hand sides may differ) restarts from that
+// basis, which typically re-optimizes in a handful of pivots. lp_router
+// threads one state through its rounding re-solves.
 
+#include <cstdint>
 #include <limits>
+#include <span>
 #include <utility>
 #include <vector>
 
@@ -18,26 +30,91 @@ namespace surfnet::routing {
 
 enum class ConstraintType { LessEqual, GreaterEqual, Equal };
 
+/// Builder convenience for tests and hand-written problems; the
+/// formulation streams rows directly via begin_constraint / add_term.
 struct Constraint {
   std::vector<std::pair<int, double>> terms;  ///< (variable, coefficient)
   ConstraintType type = ConstraintType::LessEqual;
   double rhs = 0.0;
 };
 
-struct LpProblem {
-  int num_vars = 0;
-  std::vector<double> objective;  ///< maximize objective . x
-  std::vector<Constraint> constraints;
-  /// Optional upper bounds (infinity = unbounded); lower bounds are 0.
-  std::vector<double> upper_bound;
+/// LP in compressed row form: maximize objective . x subject to the
+/// emitted rows and 0 <= x <= upper_bound. Rows are appended term by term
+/// with no per-row allocations and no dense materialization anywhere.
+class LpProblem {
+ public:
+  static constexpr double kInfinity = std::numeric_limits<double>::infinity();
 
-  int add_variable(double objective_coeff,
-                   double ub = std::numeric_limits<double>::infinity()) {
-    objective.push_back(objective_coeff);
-    upper_bound.push_back(ub);
-    return num_vars++;
+  int add_variable(double objective_coeff, double ub = kInfinity) {
+    objective_.push_back(objective_coeff);
+    upper_bound_.push_back(ub);
+    return static_cast<int>(objective_.size()) - 1;
   }
-  void add_constraint(Constraint c) { constraints.push_back(std::move(c)); }
+
+  /// Open a new constraint row; subsequent add_term calls append to it.
+  void begin_constraint(ConstraintType type, double rhs) {
+    row_type_.push_back(type);
+    rhs_.push_back(rhs);
+    row_start_.push_back(static_cast<int>(cols_.size()));
+  }
+  void add_term(int var, double coeff);
+
+  /// Convenience: emit a prebuilt row.
+  void add_constraint(const Constraint& c) {
+    begin_constraint(c.type, c.rhs);
+    for (const auto& [var, coeff] : c.terms) add_term(var, coeff);
+  }
+
+  int num_vars() const { return static_cast<int>(objective_.size()); }
+  int num_rows() const { return static_cast<int>(rhs_.size()); }
+  int num_nonzeros() const { return static_cast<int>(cols_.size()); }
+
+  double objective(int v) const {
+    return objective_[static_cast<std::size_t>(v)];
+  }
+  double upper_bound(int v) const {
+    return upper_bound_[static_cast<std::size_t>(v)];
+  }
+  ConstraintType row_type(int r) const {
+    return row_type_[static_cast<std::size_t>(r)];
+  }
+  double rhs(int r) const { return rhs_[static_cast<std::size_t>(r)]; }
+  std::span<const int> row_cols(int r) const {
+    return {cols_.data() + row_begin(r), row_end(r) - row_begin(r)};
+  }
+  std::span<const double> row_coeffs(int r) const {
+    return {coeffs_.data() + row_begin(r), row_end(r) - row_begin(r)};
+  }
+
+  /// Re-solve mutators: change bounds / right-hand sides while preserving
+  /// the problem shape, so a SimplexState from a previous solve stays
+  /// compatible.
+  void set_upper_bound(int v, double ub) {
+    upper_bound_[static_cast<std::size_t>(v)] = ub;
+  }
+  void set_rhs(int r, double rhs) { rhs_[static_cast<std::size_t>(r)] = rhs; }
+  void set_objective(int v, double c) {
+    objective_[static_cast<std::size_t>(v)] = c;
+  }
+
+ private:
+  std::size_t row_begin(int r) const {
+    return static_cast<std::size_t>(row_start_[static_cast<std::size_t>(r)]);
+  }
+  std::size_t row_end(int r) const {
+    const auto next = static_cast<std::size_t>(r) + 1;
+    return next < row_start_.size()
+               ? static_cast<std::size_t>(row_start_[next])
+               : cols_.size();
+  }
+
+  std::vector<double> objective_;
+  std::vector<double> upper_bound_;
+  std::vector<ConstraintType> row_type_;
+  std::vector<double> rhs_;
+  std::vector<int> row_start_;  ///< first term of each row in cols_/coeffs_
+  std::vector<int> cols_;
+  std::vector<double> coeffs_;
 };
 
 enum class LpStatus { Optimal, Infeasible, Unbounded, IterationLimit };
@@ -46,8 +123,32 @@ struct LpSolution {
   LpStatus status = LpStatus::Infeasible;
   std::vector<double> x;
   double objective = 0.0;
+  int iterations = 0;        ///< simplex pivots + bound flips, both phases
+  bool warm_started = false; ///< a prior basis was installed successfully
 };
 
+/// Reusable basis snapshot for warm-started re-solves. Opaque to callers:
+/// default-construct one, thread it through solve_lp calls on same-shaped
+/// problems, and clear() it when the problem shape changes.
+struct SimplexState {
+  std::vector<std::int32_t> basis;     ///< basic column per row
+  std::vector<std::uint8_t> at_upper;  ///< nonbasic-at-upper flag per column
+  int num_rows = 0;
+  int num_cols = 0;  ///< internal columns (structural + slack + artificial)
+
+  bool valid() const { return !basis.empty(); }
+  void clear() {
+    basis.clear();
+    at_upper.clear();
+    num_rows = num_cols = 0;
+  }
+};
+
+/// Solve from scratch (cold start).
 LpSolution solve_lp(const LpProblem& problem);
+
+/// Solve reusing `state` when it matches the problem's shape (warm start);
+/// the final basis is stored back into `state` either way.
+LpSolution solve_lp(const LpProblem& problem, SimplexState& state);
 
 }  // namespace surfnet::routing

@@ -139,5 +139,46 @@ TEST(RandomTopology, DeterministicForSameSeed) {
   }
 }
 
+TEST(GridTopology, ShapeRolesAndConnectivity) {
+  GridSpec spec;
+  spec.width = 5;
+  spec.height = 4;
+  spec.server_stride = 3;
+  util::Rng rng(7);
+  const auto topo = make_grid_topology(spec, rng);
+  ASSERT_EQ(topo.num_nodes(), 20);
+  // 4-neighbor grid: w*(h-1) vertical + (w-1)*h horizontal fibers.
+  EXPECT_EQ(topo.num_fibers(), 5 * 3 + 4 * 4);
+  EXPECT_TRUE(topo.connected());
+
+  int users = 0, servers = 0, switches = 0;
+  for (int v = 0; v < topo.num_nodes(); ++v) {
+    const int r = v / spec.width, c = v % spec.width;
+    const bool boundary =
+        r == 0 || c == 0 || r == spec.height - 1 || c == spec.width - 1;
+    EXPECT_EQ(topo.is_user(v), boundary) << "node " << v;
+    if (topo.is_user(v)) {
+      ++users;
+      EXPECT_EQ(topo.node(v).storage_capacity, 0);
+    } else {
+      topo.is_server(v) ? ++servers : ++switches;
+      EXPECT_EQ(topo.node(v).storage_capacity, spec.storage_capacity);
+    }
+  }
+  EXPECT_EQ(users, 14);              // boundary of a 5x4 grid
+  EXPECT_EQ(servers + switches, 6);  // 3x2 interior
+  EXPECT_EQ(servers, 2);             // every 3rd interior node
+}
+
+TEST(GridTopology, RejectsDegenerateGrids) {
+  util::Rng rng(1);
+  GridSpec spec;
+  spec.width = 2;
+  EXPECT_THROW(make_grid_topology(spec, rng), std::invalid_argument);
+  spec.width = 4;
+  spec.server_stride = 0;
+  EXPECT_THROW(make_grid_topology(spec, rng), std::invalid_argument);
+}
+
 }  // namespace
 }  // namespace surfnet::netsim

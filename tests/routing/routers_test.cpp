@@ -189,6 +189,30 @@ TEST_P(RouterPropertyTest, PurificationScheduleRespectsPairBudget) {
 INSTANTIATE_TEST_SUITE_P(Seeds, RouterPropertyTest,
                          ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8));
 
+TEST(LpRouter, WarmResolveStatsAreConsistent) {
+  // The router re-solves the residual LP from the saved basis at most
+  // twice; when it does, a warm re-solve must cost (on average) fewer
+  // simplex iterations than the cold solve it descends from.
+  int observed_resolves = 0;
+  for (const unsigned seed : {11u, 12u, 13u, 14u, 15u, 16u}) {
+    util::Rng rng(seed);
+    const auto topo = netsim::make_random_topology(spec_for_tests(), rng);
+    const auto requests = netsim::random_requests(topo, 8, 4, rng);
+    const auto result = route_lp(topo, requests, params_for_tests(), rng);
+    if (result.status != LpStatus::Optimal) continue;
+    EXPECT_GT(result.cold_iterations, 0);
+    EXPECT_LE(result.resolves, 2);
+    if (result.resolves > 0) {
+      ++observed_resolves;
+      EXPECT_LT(result.warm_iterations / result.resolves,
+                result.cold_iterations)
+          << "seed " << seed;
+    }
+  }
+  // The assertion above must not be vacuous across the seed set.
+  EXPECT_GT(observed_resolves, 0);
+}
+
 TEST(Greedy, NoCapacityMeansNothingScheduled) {
   util::Rng rng(50);
   auto spec = spec_for_tests();

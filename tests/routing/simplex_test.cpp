@@ -127,16 +127,17 @@ TEST(Simplex, RandomProblemsSatisfyConstraints) {
     }
     const auto sol = solve_lp(lp);
     ASSERT_EQ(sol.status, LpStatus::Optimal) << "trial " << trial;
-    for (const auto& c : lp.constraints) {
+    for (int r = 0; r < lp.num_rows(); ++r) {
+      const auto cols = lp.row_cols(r);
+      const auto coeffs = lp.row_coeffs(r);
       double lhs = 0.0;
-      for (const auto& [v, coeff] : c.terms)
-        lhs += coeff * sol.x[static_cast<std::size_t>(v)];
-      EXPECT_LE(lhs, c.rhs + 1e-5) << "trial " << trial;
+      for (std::size_t t = 0; t < cols.size(); ++t)
+        lhs += coeffs[t] * sol.x[static_cast<std::size_t>(cols[t])];
+      EXPECT_LE(lhs, lp.rhs(r) + 1e-5) << "trial " << trial;
     }
     for (int v = 0; v < nv; ++v) {
       EXPECT_GE(sol.x[static_cast<std::size_t>(v)], -1e-6);
-      EXPECT_LE(sol.x[static_cast<std::size_t>(v)],
-                lp.upper_bound[static_cast<std::size_t>(v)] + 1e-5);
+      EXPECT_LE(sol.x[static_cast<std::size_t>(v)], lp.upper_bound(v) + 1e-5);
     }
     EXPECT_GE(sol.objective, -1e-6);  // origin is feasible with objective 0
   }
@@ -144,15 +145,165 @@ TEST(Simplex, RandomProblemsSatisfyConstraints) {
 
 TEST(Simplex, RejectsMalformedProblems) {
   LpProblem lp;
-  lp.num_vars = 2;
-  lp.objective = {1.0};  // wrong size
-  EXPECT_THROW(solve_lp(lp), std::invalid_argument);
+  lp.add_variable(1.0);
+  // Terms may only be added to an open constraint...
+  EXPECT_THROW(lp.add_term(0, 1.0), std::logic_error);
+  // ...and must reference existing variables.
+  lp.begin_constraint(ConstraintType::LessEqual, 1.0);
+  EXPECT_THROW(lp.add_term(5, 1.0), std::invalid_argument);
+  EXPECT_THROW(lp.add_term(-1, 1.0), std::invalid_argument);
 
   LpProblem lp2;
   const int x = lp2.add_variable(1.0);
   (void)x;
-  lp2.add_constraint({{{5, 1.0}}, ConstraintType::LessEqual, 1.0});
-  EXPECT_THROW(solve_lp(lp2), std::invalid_argument);
+  EXPECT_THROW(
+      lp2.add_constraint({{{5, 1.0}}, ConstraintType::LessEqual, 1.0}),
+      std::invalid_argument);
+}
+
+TEST(Simplex, NoConstraintsUsesBoundsOnly) {
+  // With no rows the optimum is read straight off the bounds.
+  LpProblem lp;
+  const int x = lp.add_variable(2.0, 3.0);
+  const int y = lp.add_variable(-1.0, 5.0);
+  const auto sol = solve_lp(lp);
+  ASSERT_EQ(sol.status, LpStatus::Optimal);
+  EXPECT_NEAR(sol.x[static_cast<std::size_t>(x)], 3.0, 1e-7);
+  EXPECT_NEAR(sol.x[static_cast<std::size_t>(y)], 0.0, 1e-7);
+  EXPECT_NEAR(sol.objective, 6.0, 1e-7);
+}
+
+TEST(Simplex, NoConstraintsUnboundedVariable) {
+  LpProblem lp;
+  lp.add_variable(1.0);  // no upper bound, no rows
+  EXPECT_EQ(solve_lp(lp).status, LpStatus::Unbounded);
+}
+
+TEST(Simplex, FixedVariablesStayFixed) {
+  // ub = 0 pins a variable at zero even with a positive objective.
+  LpProblem lp;
+  const int x = lp.add_variable(5.0, 0.0);
+  const int y = lp.add_variable(1.0, 2.0);
+  lp.begin_constraint(ConstraintType::LessEqual, 10.0);
+  lp.add_term(x, 1.0);
+  lp.add_term(y, 1.0);
+  const auto sol = solve_lp(lp);
+  ASSERT_EQ(sol.status, LpStatus::Optimal);
+  EXPECT_NEAR(sol.x[static_cast<std::size_t>(x)], 0.0, 1e-9);
+  EXPECT_NEAR(sol.x[static_cast<std::size_t>(y)], 2.0, 1e-7);
+}
+
+TEST(Simplex, NegativeUpperBoundIsInfeasible) {
+  LpProblem lp;
+  lp.add_variable(1.0, -1.0);
+  EXPECT_EQ(solve_lp(lp).status, LpStatus::Infeasible);
+}
+
+TEST(Simplex, BealeCyclingExampleTerminates) {
+  // Beale's classic cycling LP: Dantzig pricing with a naive ratio test
+  // cycles forever on this problem; the Bland fallback must engage and
+  // terminate at the optimum (0.05).
+  LpProblem lp;
+  const int x1 = lp.add_variable(0.75);
+  const int x2 = lp.add_variable(-150.0);
+  const int x3 = lp.add_variable(0.02);
+  const int x4 = lp.add_variable(-6.0);
+  lp.begin_constraint(ConstraintType::LessEqual, 0.0);
+  lp.add_term(x1, 0.25);
+  lp.add_term(x2, -60.0);
+  lp.add_term(x3, -0.04);
+  lp.add_term(x4, 9.0);
+  lp.begin_constraint(ConstraintType::LessEqual, 0.0);
+  lp.add_term(x1, 0.5);
+  lp.add_term(x2, -90.0);
+  lp.add_term(x3, -0.02);
+  lp.add_term(x4, 3.0);
+  lp.begin_constraint(ConstraintType::LessEqual, 1.0);
+  lp.add_term(x3, 1.0);
+  const auto sol = solve_lp(lp);
+  ASSERT_EQ(sol.status, LpStatus::Optimal);
+  EXPECT_NEAR(sol.objective, 0.05, 1e-6);
+}
+
+TEST(Simplex, DuplicateTermsAccumulate) {
+  // The same variable twice in one row must behave as the summed coeff.
+  LpProblem lp;
+  const int x = lp.add_variable(1.0);
+  lp.begin_constraint(ConstraintType::LessEqual, 6.0);
+  lp.add_term(x, 1.0);
+  lp.add_term(x, 2.0);
+  const auto sol = solve_lp(lp);
+  ASSERT_EQ(sol.status, LpStatus::Optimal);
+  EXPECT_NEAR(sol.x[static_cast<std::size_t>(x)], 2.0, 1e-7);
+}
+
+TEST(Simplex, WarmRestartUsesFewerIterations) {
+  // Re-solving after a small RHS change from the saved basis must cost
+  // fewer iterations than the cold solve of the same problem.
+  util::Rng rng(1234);
+  LpProblem lp;
+  const int nv = 12;
+  for (int v = 0; v < nv; ++v)
+    lp.add_variable(rng.uniform(0.5, 2.0), rng.uniform(2.0, 6.0));
+  for (int r = 0; r < 10; ++r) {
+    lp.begin_constraint(ConstraintType::LessEqual, rng.uniform(3.0, 9.0));
+    for (int v = 0; v < nv; ++v)
+      if (rng.bernoulli(0.5)) lp.add_term(v, rng.uniform(0.1, 1.5));
+  }
+
+  SimplexState state;
+  const auto cold = solve_lp(lp, state);
+  ASSERT_EQ(cold.status, LpStatus::Optimal);
+  EXPECT_FALSE(cold.warm_started);
+  ASSERT_TRUE(state.valid());
+
+  for (int r = 0; r < lp.num_rows(); ++r)
+    lp.set_rhs(r, lp.rhs(r) * 0.9);  // shrink every capacity by 10%
+  const auto warm = solve_lp(lp, state);
+  ASSERT_EQ(warm.status, LpStatus::Optimal);
+  EXPECT_TRUE(warm.warm_started);
+  EXPECT_LT(warm.iterations, cold.iterations);
+
+  // The warm solution must match a cold re-solve of the modified problem.
+  const auto cold2 = solve_lp(lp);
+  ASSERT_EQ(cold2.status, LpStatus::Optimal);
+  EXPECT_NEAR(warm.objective, cold2.objective, 1e-6);
+}
+
+TEST(Simplex, UnchangedProblemResolvesInstantly) {
+  LpProblem lp;
+  const int x = lp.add_variable(3.0);
+  const int y = lp.add_variable(2.0);
+  lp.add_constraint({{{x, 1.0}, {y, 1.0}}, ConstraintType::LessEqual, 4.0});
+  lp.add_constraint({{{x, 1.0}, {y, 3.0}}, ConstraintType::LessEqual, 6.0});
+  SimplexState state;
+  const auto cold = solve_lp(lp, state);
+  ASSERT_EQ(cold.status, LpStatus::Optimal);
+  const auto warm = solve_lp(lp, state);
+  ASSERT_EQ(warm.status, LpStatus::Optimal);
+  EXPECT_TRUE(warm.warm_started);
+  EXPECT_EQ(warm.iterations, 0);
+  EXPECT_NEAR(warm.objective, cold.objective, 1e-9);
+}
+
+TEST(Simplex, MismatchedStateFallsBackToColdStart) {
+  LpProblem small;
+  const int x = small.add_variable(1.0, 1.0);
+  (void)x;
+  SimplexState state;
+  ASSERT_EQ(solve_lp(small, state).status, LpStatus::Optimal);
+
+  // Same state against a differently-shaped problem: must not warm-start,
+  // must still solve correctly, and must overwrite the stale state.
+  LpProblem big;
+  const int a = big.add_variable(3.0);
+  const int b = big.add_variable(2.0);
+  big.add_constraint({{{a, 1.0}, {b, 1.0}}, ConstraintType::LessEqual, 4.0});
+  const auto sol = solve_lp(big, state);
+  ASSERT_EQ(sol.status, LpStatus::Optimal);
+  EXPECT_FALSE(sol.warm_started);
+  EXPECT_NEAR(sol.objective, 12.0, 1e-6);
+  EXPECT_EQ(state.num_rows, big.num_rows());
 }
 
 }  // namespace
