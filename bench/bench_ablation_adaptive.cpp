@@ -21,11 +21,11 @@
 int main(int argc, char** argv) {
   using namespace surfnet;
 
-  const auto args = bench::parse_args(argc, argv);
-  const int trials = bench::resolve_trials(args, 150, 1080);
+  bench::ArgParser args("ablation_adaptive", argc, argv);
+  const int trials = args.resolve_trials(150, 1080);
   std::printf("Extension: adaptive code sizes (QoS) vs fixed distance 4 — "
               "%d trials per point, seed %llu\n\n",
-              trials, static_cast<unsigned long long>(args.seed));
+              trials, static_cast<unsigned long long>(args.seed()));
 
   util::Table table({"scenario", "codes", "throughput", "fidelity"});
   for (const auto quality :
@@ -34,9 +34,11 @@ int main(int argc, char** argv) {
       auto params =
           core::make_scenario(core::FacilityLevel::Insufficient, quality);
       params.routing.adaptive_code_distance = adaptive;
+      params.routing.sink = args.sink();
+      params.simulation.sink = args.sink();
 
       util::RunningStat throughput, fidelity;
-      util::Rng seeder(args.seed);
+      util::Rng seeder(args.seed());
       for (int t = 0; t < trials; ++t) {
         util::Rng rng(seeder());
         const auto topology =

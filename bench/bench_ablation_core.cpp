@@ -64,14 +64,14 @@ double blind_error_rate(const qec::SurfaceCodeLattice& lattice,
 }  // namespace
 
 int main(int argc, char** argv) {
-  const auto args = bench::parse_args(argc, argv);
-  const int trials = bench::resolve_trials(args, 6000, 40000);
+  bench::ArgParser args("ablation_core", argc, argv);
+  const int trials = args.resolve_trials(6000, 40000);
   const int distance = 13;
   const double pauli = 0.07, erasure = 0.15;
   std::printf("Ablation: the Core/Support split — distance %d, pauli %.0f%%, "
               "erasure %.0f%%, %d trials, seed %llu, %d thread(s)\n\n",
               distance, pauli * 100, erasure * 100, trials,
-              static_cast<unsigned long long>(args.seed), args.threads);
+              static_cast<unsigned long long>(args.seed()), args.threads());
 
   const qec::SurfaceCodeLattice lattice(distance);
   const auto cross = qec::make_core_support(lattice);
@@ -86,8 +86,9 @@ int main(int argc, char** argv) {
       qec::NoiseProfile::core_support(wide, pauli, erasure);
 
   decoder::TrialRunnerOptions opts;
-  opts.threads = args.threads;
-  opts.seed = args.seed;
+  opts.threads = args.threads();
+  opts.sink = args.sink();
+  opts.seed = args.seed();
   const auto ler = [&](const qec::NoiseProfile& profile,
                        const decoder::Decoder& dec) {
     return decoder::run_logical_error_trials(

@@ -13,8 +13,8 @@
 //     speedup is a lower bound. Warm re-solves of a tightened residual
 //     problem are compared against cold re-solves of the same problem.
 //
-// --json emits one machine-readable record per scaling sweep point — the
-// schema is stable across commits:
+// --json emits one record per scaling sweep point in the shared bench
+// envelope — the record schema is stable across commits:
 //   {"grid", "requests", "lp_rows", "lp_cols", "lp_nonzeros",
 //    "sparse_ms", "sparse_iterations", "warm_ms", "warm_iterations",
 //    "cold_resolve_iterations", "dense_ms", "dense_timed_out",
@@ -134,54 +134,59 @@ ScalingRow run_scaling_point(int grid, int num_requests, std::uint64_t seed,
 }  // namespace
 
 int main(int argc, char** argv) {
-  const auto args = bench::parse_args(argc, argv);
+  bench::ArgParser args("ablation_routing", argc, argv);
 
   // --- LP scaling sweep (always computed: it is the --json payload). ---
   // Dense budget per point: enough to finish the small points exactly and
   // to certify a >= 5x lower bound on the large ones without taking hours.
-  const double dense_budget_ms = args.full ? 120000.0 : 4000.0;
+  const double dense_budget_ms = args.full() ? 120000.0 : 4000.0;
   std::vector<ScalingRow> scaling;
   for (const int grid : {4, 6, 8})
     for (const int num_requests : {8, 16, 32, 64})
-      scaling.push_back(run_scaling_point(grid, num_requests, args.seed,
+      scaling.push_back(run_scaling_point(grid, num_requests, args.seed(),
                                           dense_budget_ms));
 
-  if (args.json) {
-    std::printf("[\n");
-    for (std::size_t i = 0; i < scaling.size(); ++i) {
-      const auto& r = scaling[i];
-      std::printf(
-          "  {\"grid\": %d, \"requests\": %d, \"lp_rows\": %d, "
+  if (args.json()) {
+    std::vector<std::string> records;
+    records.reserve(scaling.size());
+    for (const auto& r : scaling) {
+      char record[512];
+      std::snprintf(
+          record, sizeof(record),
+          "{\"grid\": %d, \"requests\": %d, \"lp_rows\": %d, "
           "\"lp_cols\": %d, \"lp_nonzeros\": %d, \"sparse_ms\": %.2f, "
           "\"sparse_iterations\": %d, \"warm_ms\": %.2f, "
           "\"warm_iterations\": %d, \"cold_resolve_iterations\": %d, "
           "\"dense_ms\": %.2f, \"dense_timed_out\": %s, \"speedup\": %.1f, "
-          "\"objective\": %.4f}%s\n",
+          "\"objective\": %.4f}",
           r.grid, r.requests, r.lp_rows, r.lp_cols, r.lp_nonzeros,
           r.sparse_ms, r.sparse_iterations, r.warm_ms, r.warm_iterations,
           r.cold_resolve_iterations, r.dense_ms,
-          r.dense_timed_out ? "true" : "false", r.speedup, r.objective,
-          i + 1 < scaling.size() ? "," : "");
+          r.dense_timed_out ? "true" : "false", r.speedup, r.objective);
+      records.emplace_back(record);
     }
-    std::printf("]\n");
+    args.finish_observability();
+    args.print_json_envelope(records);
     return 0;
   }
 
   // --- Ablation: LP vs greedy on the paper's random scenarios. ---
   using namespace surfnet;
-  const int trials = bench::resolve_trials(args, 150, 1080);
+  const int trials = args.resolve_trials(150, 1080);
   std::printf("Ablation: centralized LP vs hierarchical greedy routing — "
               "%d trials per point, seed %llu\n\n",
-              trials, static_cast<unsigned long long>(args.seed));
+              trials, static_cast<unsigned long long>(args.seed()));
 
-  const auto base = core::make_scenario(core::FacilityLevel::Sufficient,
-                                        core::ConnectionQuality::Good);
+  auto base = core::make_scenario(core::FacilityLevel::Sufficient,
+                                  core::ConnectionQuality::Good);
+  base.routing.sink = args.sink();
+  base.simulation.sink = args.sink();
   util::Table table({"requests", "router", "throughput", "fidelity"});
 
   for (const int num_requests : {2, 4, 8, 12, 16}) {
     for (const bool centralized : {true, false}) {
       util::RunningStat throughput, fidelity;
-      util::Rng seeder(args.seed);
+      util::Rng seeder(args.seed());
       for (int t = 0; t < trials; ++t) {
         util::Rng rng(seeder());
         const auto topology =

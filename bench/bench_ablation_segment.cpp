@@ -18,11 +18,16 @@
 int main(int argc, char** argv) {
   using namespace surfnet;
 
-  const auto args = bench::parse_args(argc, argv);
-  const int trials = bench::resolve_trials(args, 150, 1080);
+  bench::ArgParser args("ablation_segment", argc, argv);
+  const int trials = args.resolve_trials(150, 1080);
   std::printf("Ablation: opportunistic segment length — %d trials per "
               "point, seed %llu\n\n",
-              trials, static_cast<unsigned long long>(args.seed));
+              trials, static_cast<unsigned long long>(args.seed()));
+
+  core::RunOptions options;
+  options.seed = args.seed();
+  options.threads = args.threads();
+  options.sink = args.sink();
 
   util::Table table({"segment", "fidelity", "latency", "throughput"});
   for (const int segment : {1, 2, 3, 4}) {
@@ -33,8 +38,8 @@ int main(int argc, char** argv) {
     // segment has to find pairs on all of its fibers at the same time.
     params.simulation.entanglement_rate = 0.4;
     params.simulation.swap_success = 0.85;
-    const auto agg = core::run_trials_parallel(params, core::NetworkDesign::SurfNet,
-                                               trials, args.seed, args.threads);
+    const auto agg = core::run_trials(params, core::NetworkDesign::SurfNet,
+                                      trials, options);
     table.add_row({std::to_string(segment),
                    util::Table::fmt(agg.fidelity.mean(), 3),
                    util::Table::fmt(agg.latency.mean(), 1),

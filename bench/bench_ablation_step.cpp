@@ -17,14 +17,14 @@
 int main(int argc, char** argv) {
   using namespace surfnet;
 
-  const auto args = bench::parse_args(argc, argv);
-  const int trials = bench::resolve_trials(args, 6000, 40000);
+  bench::ArgParser args("ablation_step", argc, argv);
+  const int trials = args.resolve_trials(6000, 40000);
   const int distance = 13;
   std::printf("Ablation: SurfNet Decoder step size r — distance %d, "
               "pauli 7%%, erasure 15%%, %d trials, seed %llu, "
               "%d thread(s)\n\n",
-              distance, trials, static_cast<unsigned long long>(args.seed),
-              args.threads);
+              distance, trials, static_cast<unsigned long long>(args.seed()),
+              args.threads());
 
   const qec::SurfaceCodeLattice lattice(distance);
   const auto partition = qec::make_core_support(lattice);
@@ -35,8 +35,9 @@ int main(int argc, char** argv) {
   for (const double r : {2.0, 1.0, 2.0 / 3.0, 0.5, 1.0 / 3.0, 0.2, 0.1}) {
     const decoder::SurfNetDecoder decoder(r);
     decoder::TrialRunnerOptions opts;
-    opts.threads = args.threads;
-    opts.seed = args.seed;
+    opts.threads = args.threads();
+    opts.sink = args.sink();
+    opts.seed = args.seed();
     const auto report = decoder::run_logical_error_trials(
         lattice, profile, qec::PauliChannel::IndependentXZ, decoder, trials,
         opts);

@@ -7,11 +7,12 @@
 //
 // Decodes run through the parallel trial runner with per-thread reusable
 // workspaces, so the cluster decoders are measured on their allocation-free
-// steady-state path. --json emits one machine-readable record per
-// (decoder, distance) — the schema is stable across commits:
+// steady-state path. --json emits one record per (decoder, distance) in
+// the shared bench envelope — the record schema is stable across commits:
 //   {"decoder", "distance", "qubits", "trials", "threads",
 //    "trials_per_sec", "ns_per_decode"}
-// so saved outputs can be diffed/ratioed to track the perf trajectory.
+// so saved outputs can be diffed/ratioed to track the perf trajectory
+// (scripts/bench_compare.py).
 
 #include <cstdint>
 #include <iostream>
@@ -70,13 +71,13 @@ struct SpeedRow {
 }  // namespace
 
 int main(int argc, char** argv) {
-  const auto args = bench::parse_args(argc, argv);
-  const int trials = bench::resolve_trials(args, 2000, 20000);
-  if (!args.json)
+  bench::ArgParser args("decoder_speed", argc, argv);
+  const int trials = args.resolve_trials(2000, 20000);
+  if (!args.json())
     std::printf("Decoder speed — %d decodes per point, seed %llu, "
                 "%d thread(s)\n\n",
-                trials, static_cast<unsigned long long>(args.seed),
-                args.threads);
+                trials, static_cast<unsigned long long>(args.seed()),
+                args.threads());
 
   const decoder::UnionFindDecoder union_find;
   const decoder::SurfNetDecoder surfnet;
@@ -96,10 +97,11 @@ int main(int argc, char** argv) {
   for (const auto& c : cases) {
     for (const int d : c.distances) {
       const qec::SurfaceCodeLattice lattice(d);
-      const auto inputs = make_inputs(lattice, 64, args.seed);
+      const auto inputs = make_inputs(lattice, 64, args.seed());
       decoder::TrialRunnerOptions opts;
-      opts.threads = args.threads;
-      opts.seed = args.seed;
+      opts.threads = args.threads();
+      opts.sink = args.sink();
+      opts.seed = args.seed();
       const auto report = decoder::run_trials(
           trials, opts, [&]() -> decoder::TrialFn {
             auto ws = std::make_shared<decoder::DecodeWorkspace>();
@@ -122,19 +124,22 @@ int main(int argc, char** argv) {
     }
   }
 
-  if (args.json) {
-    std::printf("[\n");
-    for (std::size_t i = 0; i < rows.size(); ++i) {
-      const auto& r = rows[i];
-      std::printf("  {\"decoder\": \"%s\", \"distance\": %d, \"qubits\": %d, "
-                  "\"trials\": %lld, \"threads\": %d, "
-                  "\"trials_per_sec\": %.1f, \"ns_per_decode\": %.1f}%s\n",
-                  r.decoder.c_str(), r.distance, r.qubits,
-                  static_cast<long long>(r.trials), r.threads,
-                  r.trials_per_sec, r.ns_per_decode,
-                  i + 1 < rows.size() ? "," : "");
+  args.finish_observability();
+  if (args.json()) {
+    std::vector<std::string> records;
+    records.reserve(rows.size());
+    for (const auto& r : rows) {
+      char record[256];
+      std::snprintf(record, sizeof(record),
+                    "{\"decoder\": \"%s\", \"distance\": %d, \"qubits\": %d, "
+                    "\"trials\": %lld, \"threads\": %d, "
+                    "\"trials_per_sec\": %.1f, \"ns_per_decode\": %.1f}",
+                    r.decoder.c_str(), r.distance, r.qubits,
+                    static_cast<long long>(r.trials), r.threads,
+                    r.trials_per_sec, r.ns_per_decode);
+      records.emplace_back(record);
     }
-    std::printf("]\n");
+    args.print_json_envelope(records);
     return 0;
   }
 

@@ -17,11 +17,11 @@
 int main(int argc, char** argv) {
   using namespace surfnet;
 
-  const auto args = bench::parse_args(argc, argv);
-  const int trials = bench::resolve_trials(args, 150, 1080);
+  bench::ArgParser args("failure_recovery", argc, argv);
+  const int trials = args.resolve_trials(150, 1080);
   std::printf("Failure injection: fiber crashes and local recovery paths — "
               "%d trials per point, seed %llu\n\n",
-              trials, static_cast<unsigned long long>(args.seed));
+              trials, static_cast<unsigned long long>(args.seed()));
 
   util::Table table({"failure rate", "recovery", "fidelity", "latency",
                      "delivered"});
@@ -35,10 +35,10 @@ int main(int argc, char** argv) {
       params.simulation.enable_recovery = recovery;
 
       util::RunningStat fidelity, latency, delivered;
-      util::Rng seeder(args.seed);
+      util::Rng seeder(args.seed());
       for (int t = 0; t < trials; ++t) {
-        const auto metrics =
-            core::run_trial(params, core::NetworkDesign::SurfNet, seeder());
+        const auto metrics = core::run_trial(
+            params, core::NetworkDesign::SurfNet, seeder(), args.sink());
         if (metrics.codes_delivered > 0) {
           fidelity.add(metrics.fidelity);
           latency.add(metrics.latency);

@@ -20,10 +20,10 @@ using namespace surfnet;
 void run_series(const char* title, util::Table& table,
                 const std::vector<std::pair<std::string,
                                             core::ScenarioParams>>& points,
-                int trials, std::uint64_t seed, int threads) {
+                int trials, const core::RunOptions& options) {
   for (const auto& [label, params] : points) {
-    const auto agg = core::run_trials_parallel(
-        params, core::NetworkDesign::SurfNet, trials, seed, threads);
+    const auto agg = core::run_trials(params, core::NetworkDesign::SurfNet,
+                                      trials, options);
     table.add_row({title, label, util::Table::fmt(agg.fidelity.mean(), 3),
                    util::Table::fmt(agg.throughput.mean(), 3)});
   }
@@ -32,11 +32,16 @@ void run_series(const char* title, util::Table& table,
 }  // namespace
 
 int main(int argc, char** argv) {
-  const auto args = bench::parse_args(argc, argv);
-  const int trials = bench::resolve_trials(args, 120, 1080);
+  bench::ArgParser args("fig6b", argc, argv);
+  const int trials = args.resolve_trials(120, 1080);
   std::printf("Fig. 6(b): SurfNet parameter sensitivity — %d trials per "
               "point, seed %llu\n\n",
-              trials, static_cast<unsigned long long>(args.seed));
+              trials, static_cast<unsigned long long>(args.seed()));
+
+  core::RunOptions options;
+  options.seed = args.seed();
+  options.threads = args.threads();
+  options.sink = args.sink();
 
   const auto base = core::make_scenario(core::FacilityLevel::Sufficient,
                                         core::ConnectionQuality::Good);
@@ -50,7 +55,7 @@ int main(int argc, char** argv) {
       params.topology.storage_capacity = capacity;
       points.emplace_back(std::to_string(capacity), params);
     }
-    run_series("b.1 capacity", table, points, trials, args.seed, args.threads);
+    run_series("b.1 capacity", table, points, trials, options);
   }
 
   // (b.2) entanglement generation rate (expected pairs per slot; the
@@ -64,7 +69,7 @@ int main(int argc, char** argv) {
           std::max(7, static_cast<int>(rate * 7));
       points.emplace_back(util::Table::fmt(rate, 1), params);
     }
-    run_series("b.2 ent-rate", table, points, trials, args.seed, args.threads);
+    run_series("b.2 ent-rate", table, points, trials, options);
   }
 
   // (b.3) messages per request.
@@ -75,7 +80,7 @@ int main(int argc, char** argv) {
       params.max_codes_per_request = messages;
       points.emplace_back(std::to_string(messages), params);
     }
-    run_series("b.3 msgs/req", table, points, trials, args.seed, args.threads);
+    run_series("b.3 msgs/req", table, points, trials, options);
   }
 
   // (b.4) routing fidelity threshold, reported as 1/2^Wc like the paper.
@@ -88,10 +93,10 @@ int main(int argc, char** argv) {
       const double threshold = std::pow(2.0, -wc);
       points.emplace_back(util::Table::fmt(threshold, 3), params);
     }
-    run_series("b.4 fid-thresh", table, points, trials, args.seed, args.threads);
+    run_series("b.4 fid-thresh", table, points, trials, options);
   }
 
-  if (args.csv) table.print_csv(std::cout);
+  if (args.csv()) table.print_csv(std::cout);
   else table.print(std::cout);
 
   std::printf("\nPaper shape check: fidelity and throughput rise with "

@@ -19,11 +19,16 @@ int main(int argc, char** argv) {
   using core::FacilityLevel;
   using core::NetworkDesign;
 
-  const auto args = bench::parse_args(argc, argv);
-  const int trials = bench::resolve_trials(args, 120, 1080);
+  bench::ArgParser args("fig7", argc, argv);
+  const int trials = args.resolve_trials(120, 1080);
   std::printf("Fig. 7: averaged communication fidelity of five designs — "
               "%d trials per cell, seed %llu\n\n",
-              trials, static_cast<unsigned long long>(args.seed));
+              trials, static_cast<unsigned long long>(args.seed()));
+
+  core::RunOptions options;
+  options.seed = args.seed();
+  options.threads = args.threads();
+  options.sink = args.sink();
 
   const NetworkDesign designs[] = {
       NetworkDesign::SurfNet, NetworkDesign::Raw,
@@ -41,13 +46,13 @@ int main(int argc, char** argv) {
                                    "/" +
                                    std::string(core::to_string(quality))};
       for (const auto design : designs) {
-        const auto agg = core::run_trials_parallel(params, design, trials, args.seed, args.threads);
+        const auto agg = core::run_trials(params, design, trials, options);
         row.push_back(util::Table::fmt(agg.fidelity.mean(), 3));
       }
       table.add_row(std::move(row));
     }
   }
-  if (args.csv) table.print_csv(std::cout);
+  if (args.csv()) table.print_csv(std::cout);
   else table.print(std::cout);
 
   std::printf("\nPaper shape check: SurfNet achieves the highest fidelity "

@@ -23,12 +23,12 @@
 int main(int argc, char** argv) {
   using namespace surfnet;
 
-  const auto args = bench::parse_args(argc, argv);
-  const int trials = bench::resolve_trials(args, 4000, 40000);
+  bench::ArgParser args("fig8", argc, argv);
+  const int trials = args.resolve_trials(4000, 40000);
   std::printf("Fig. 8: decoder thresholds — %d trials per point, seed "
               "%llu, %d thread(s)\n\n",
-              trials, static_cast<unsigned long long>(args.seed),
-              args.threads);
+              trials, static_cast<unsigned long long>(args.seed()),
+              args.threads());
 
   const std::vector<int> distances{9, 11, 13, 15};
   const std::vector<double> pauli_rates{0.050, 0.055, 0.060, 0.065,
@@ -52,8 +52,9 @@ int main(int argc, char** argv) {
           partition, pauli_rates[pi], erasure);
       for (int dec = 0; dec < 2; ++dec) {
         decoder::TrialRunnerOptions opts;
-        opts.threads = args.threads;
-        opts.seed = args.seed + 1000 * di + pi;
+        opts.threads = args.threads();
+        opts.sink = args.sink();
+        opts.seed = args.seed() + 1000 * di + pi;
         const auto report = decoder::run_logical_error_trials(
             lattice, profile, qec::PauliChannel::IndependentXZ,
             *decoders[dec], trials, opts);
@@ -74,7 +75,7 @@ int main(int argc, char** argv) {
             rates[static_cast<std::size_t>(dec)][di][pi], 4));
       table.add_row(std::move(row));
     }
-    if (args.csv) table.print_csv(std::cout);
+    if (args.csv()) table.print_csv(std::cout);
     else table.print(std::cout);
     std::printf("\n");
   }

@@ -22,12 +22,12 @@
 int main(int argc, char** argv) {
   using namespace surfnet;
 
-  const auto args = bench::parse_args(argc, argv);
-  const int trials = bench::resolve_trials(args, 6000, 40000);
+  bench::ArgParser args("rotated", argc, argv);
+  const int trials = args.resolve_trials(6000, 40000);
   std::printf("Extension: rotated vs unrotated layout — erasure 15%%, "
               "%d trials per point, seed %llu, %d thread(s)\n\n",
-              trials, static_cast<unsigned long long>(args.seed),
-              args.threads);
+              trials, static_cast<unsigned long long>(args.seed()),
+              args.threads());
 
   const decoder::UnionFindDecoder union_find;
   const decoder::SurfNetDecoder surfnet;
@@ -51,8 +51,9 @@ int main(int argc, char** argv) {
              {static_cast<const decoder::Decoder*>(&union_find),
               static_cast<const decoder::Decoder*>(&surfnet)}) {
           decoder::TrialRunnerOptions opts;
-          opts.threads = args.threads;
-          opts.seed = args.seed + static_cast<std::uint64_t>(d);
+          opts.threads = args.threads();
+          opts.sink = args.sink();
+          opts.seed = args.seed() + static_cast<std::uint64_t>(d);
           ler[i++] = decoder::run_logical_error_trials(
                          *lattice, profile,
                          qec::PauliChannel::IndependentXZ, *dec, trials,

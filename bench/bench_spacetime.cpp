@@ -23,12 +23,12 @@
 int main(int argc, char** argv) {
   using namespace surfnet;
 
-  const auto args = bench::parse_args(argc, argv);
-  const int trials = bench::resolve_trials(args, 1500, 10000);
+  bench::ArgParser args("spacetime", argc, argv);
+  const int trials = args.resolve_trials(1500, 10000);
   std::printf("Extension: noisy-measurement (phenomenological) decoding — "
               "%d trials per point, seed %llu, %d thread(s)\n\n",
-              trials, static_cast<unsigned long long>(args.seed),
-              args.threads);
+              trials, static_cast<unsigned long long>(args.seed()),
+              args.threads());
 
   const std::vector<int> distances{3, 5, 7};
   const std::vector<double> rates{0.01, 0.02, 0.025, 0.03, 0.035, 0.04};
@@ -50,8 +50,9 @@ int main(int argc, char** argv) {
         const qec::SpaceTimeGraph z_graph(lattice, qec::GraphKind::Z, d);
         const qec::SpaceTimeGraph x_graph(lattice, qec::GraphKind::X, d);
         decoder::TrialRunnerOptions opts;
-        opts.threads = args.threads;
-        opts.seed = args.seed + static_cast<std::uint64_t>(d);
+        opts.threads = args.threads();
+        opts.sink = args.sink();
+        opts.seed = args.seed() + static_cast<std::uint64_t>(d);
         const auto report = decoder::run_trials(
             trials, opts, [&]() -> decoder::TrialFn {
               return [&](std::int64_t, util::Rng& rng) {

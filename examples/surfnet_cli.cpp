@@ -2,13 +2,19 @@
 //
 //   surfnet_cli decode   [--distance D] [--rotated] [--pauli P]
 //                        [--erasure E] [--decoder uf|surfnet|mwpm]
-//                        [--trials N] [--seed S] [--draw]
+//                        [--trials N] [--seed S] [--threads T] [--draw]
 //   surfnet_cli trial    [--facilities abundant|sufficient|insufficient]
 //                        [--fibers good|poor]
 //                        [--design surfnet|raw|p1|p2|p9]
-//                        [--trials N] [--seed S]
+//                        [--trials N] [--seed S] [--threads T]
 //   surfnet_cli topology [--facilities ...] [--fibers ...] [--seed S]
 //                        [--routes]         (emits Graphviz DOT on stdout)
+//
+// Observability (decode and trial): --metrics-out FILE writes the metrics
+// JSON document, --trace-out FILE streams the JSONL event trace ("-" =
+// stdout for either). The trial trace carries the simulator's per-slot
+// events (pool levels, segment jumps, decodes, deliveries); decode runs
+// report engine counters and timers into the metrics document.
 
 #include <cstdio>
 #include <cstring>
@@ -19,9 +25,11 @@
 #include "core/surfnet.h"
 #include "decoder/code_trial.h"
 #include "decoder/mwpm.h"
+#include "decoder/trial_runner.h"
 #include "decoder/surfnet_decoder.h"
 #include "decoder/union_find.h"
 #include "netsim/dot.h"
+#include "obs/session.h"
 #include "qec/core_support.h"
 #include "qec/lattice.h"
 #include "qec/render.h"
@@ -45,8 +53,11 @@ struct Args {
   std::string design = "surfnet";
   int trials = 2000;
   std::uint64_t seed = 42;
+  int threads = 1;
   bool draw = false;
   bool routes = false;
+  std::string metrics_out;
+  std::string trace_out;
 };
 
 Args parse(int argc, char** argv) {
@@ -72,6 +83,10 @@ Args parse(int argc, char** argv) {
     else if (const char* v8 = value("--trials")) args.trials = std::atoi(v8);
     else if (const char* v9 = value("--seed"))
       args.seed = std::strtoull(v9, nullptr, 10);
+    else if (const char* v10 = value("--threads"))
+      args.threads = std::atoi(v10);
+    else if (const char* v11 = value("--metrics-out")) args.metrics_out = v11;
+    else if (const char* v12 = value("--trace-out")) args.trace_out = v12;
     else if (std::strcmp(argv[i], "--rotated") == 0) args.rotated = true;
     else if (std::strcmp(argv[i], "--draw") == 0) args.draw = true;
     else if (std::strcmp(argv[i], "--routes") == 0) args.routes = true;
@@ -112,13 +127,20 @@ int run_decode(const Args& args) {
                     .c_str());
   }
 
-  const double ler = decoder::logical_error_rate(
+  obs::FileSession session(args.metrics_out, args.trace_out);
+  decoder::TrialRunnerOptions options;
+  options.threads = args.threads;
+  options.seed = args.seed;
+  options.sink = session.sink();
+  const auto report = decoder::run_logical_error_trials(
       *lattice, profile, qec::PauliChannel::IndependentXZ, *dec, args.trials,
-      rng);
+      options);
+  session.finish();
   std::printf("%s decoder, d=%d, pauli=%.3f, erasure=%.3f: logical error "
-              "rate %.4f (%d trials)\n",
+              "rate %.4f +- %.4f (%lld trials, %d thread(s))\n",
               dec->name().data(), args.distance, args.pauli, args.erasure,
-              ler, args.trials);
+              report.error_rate(), report.error_rate_ci95(),
+              static_cast<long long>(report.trials), report.threads);
   return 0;
 }
 
@@ -142,8 +164,14 @@ int run_trial(const Args& args) {
       args.fibers == "poor" ? core::ConnectionQuality::Poor
                             : core::ConnectionQuality::Good);
   const int trials = std::max(1, args.trials / 100);
-  const auto agg = core::run_trials(params, design_of(args.design), trials,
-                                    args.seed);
+  obs::FileSession session(args.metrics_out, args.trace_out);
+  core::RunOptions options;
+  options.seed = args.seed;
+  options.threads = args.threads;
+  options.sink = session.sink();
+  const auto agg =
+      core::run_trials(params, design_of(args.design), trials, options);
+  session.finish();
   std::printf("%s on %s/%s (%d trials): fidelity %.3f +- %.3f, latency "
               "%.1f slots, throughput %.3f\n",
               core::to_string(design_of(args.design)).data(),

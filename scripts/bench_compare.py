@@ -3,11 +3,20 @@
 
 Usage:
     bench_compare.py baseline.json candidate.json [--threshold 0.10]
+    bench_compare.py --validate FILE [FILE ...]
 
-Both files must hold a JSON array of flat records, as emitted by
-`bench_decoder_speed --json` or `bench_ablation_routing --json`. Records
-are joined on their string/identity fields (e.g. decoder + distance, or
-grid + requests); numeric fields are then compared pairwise.
+Each input is either the shared bench envelope
+``{"bench": ..., "schema_version": 1, "results": [...]}`` (emitted by every
+bench's --json mode) or, for backward compatibility, a bare JSON array of
+flat records. Records are joined on their string/identity fields (e.g.
+decoder + distance, or grid + requests); numeric fields are then compared
+pairwise.
+
+``--validate`` checks files structurally instead of comparing: bench
+envelopes, observability metrics documents (``{"schema_version": ...,
+"counters": ...}`` from --metrics-out), and JSONL event traces (one
+``{"ev": ...}`` object per line from --trace-out) are each recognized by
+shape and validated against their schema. Exit 0 = all valid.
 
 Whether a change is a regression depends on the field: for time-like
 fields (``*_ms``, ``ns_per_decode``, ``*_iterations``, ``iters``) an
@@ -56,27 +65,191 @@ def record_key(record):
     return tuple(parts)
 
 
+def unwrap_envelope(data, path):
+    """Accept the shared bench envelope or a bare legacy record array."""
+    if isinstance(data, dict) and "results" in data:
+        results = data["results"]
+        if not isinstance(results, list):
+            sys.exit(f"bench_compare: {path}: envelope 'results' is not "
+                     "an array")
+        return results
+    return data
+
+
 def load(path):
     try:
         with open(path, "r", encoding="utf-8") as fh:
             data = json.load(fh)
     except (OSError, json.JSONDecodeError) as err:
         sys.exit(f"bench_compare: cannot read {path}: {err}")
+    data = unwrap_envelope(data, path)
     if not isinstance(data, list) or not all(
             isinstance(r, dict) for r in data):
         sys.exit(f"bench_compare: {path} is not a JSON array of records")
     return data
 
 
+# ---------------------------------------------------------------------------
+# --validate: structural checks for the three machine-readable outputs.
+
+#: JSONL keys required per trace event kind (src/obs/trace.h).
+TRACE_SCHEMA = {
+    "pool": {"slot", "pairs_total", "pairs_min"},
+    "fiber_down": {"slot", "fiber", "until_slot"},
+    "recovery": {"slot", "request", "channel"},
+    "segment_jump": {"slot", "request", "from_node", "to_node", "fibers",
+                     "success"},
+    "decode": {"slot", "request", "node", "ec", "erasures", "syndromes",
+               "logical_error"},
+    "delivered": {"slot", "request", "slots", "corrections", "outcome"},
+    "timeout": {"slot", "request", "slots"},
+    "lp_solve": {"iterations", "refactorizations", "warm_start", "status",
+                 "objective"},
+}
+
+
+def validate_envelope(data, path, errors):
+    if not isinstance(data.get("bench"), str):
+        errors.append(f"{path}: envelope 'bench' missing or not a string")
+    if not isinstance(data.get("schema_version"), int):
+        errors.append(f"{path}: envelope 'schema_version' missing")
+    results = data.get("results")
+    if not isinstance(results, list) or not all(
+            isinstance(r, dict) for r in results):
+        errors.append(f"{path}: envelope 'results' is not an array of "
+                      "records")
+        return
+    for i, record in enumerate(results):
+        for name, value in record.items():
+            if not isinstance(value, (str, int, float, bool)):
+                errors.append(f"{path}: results[{i}].{name} is not a flat "
+                              "scalar")
+
+
+def validate_metrics(data, path, errors):
+    if not isinstance(data.get("schema_version"), int):
+        errors.append(f"{path}: metrics 'schema_version' missing")
+    for section in ("counters", "gauges", "timers", "histograms"):
+        if section not in data:
+            errors.append(f"{path}: metrics '{section}' section missing")
+        elif not isinstance(data[section], dict):
+            errors.append(f"{path}: metrics '{section}' is not an object")
+    for name, value in data.get("counters", {}).items():
+        if not isinstance(value, int):
+            errors.append(f"{path}: counter '{name}' is not an integer")
+    for name, hist in data.get("histograms", {}).items():
+        if not isinstance(hist, dict):
+            errors.append(f"{path}: histogram '{name}' is not an object")
+            continue
+        bounds = hist.get("bounds")
+        counts = hist.get("counts")
+        if not isinstance(bounds, list) or not isinstance(counts, list):
+            errors.append(f"{path}: histogram '{name}' lacks bounds/counts")
+        elif len(counts) != len(bounds) + 1:
+            errors.append(f"{path}: histogram '{name}' needs "
+                          "len(counts) == len(bounds) + 1")
+        elif "total" in hist and sum(counts) != hist["total"]:
+            errors.append(f"{path}: histogram '{name}' counts do not sum "
+                          "to total")
+
+
+def validate_trace_line(obj, where, errors):
+    kind = obj.get("ev")
+    if kind not in TRACE_SCHEMA:
+        errors.append(f"{where}: unknown event kind {kind!r}")
+        return
+    required = TRACE_SCHEMA[kind]
+    keys = set(obj) - {"ev", "trial"}
+    missing = required - keys
+    extra = keys - required
+    if missing:
+        errors.append(f"{where}: '{kind}' event missing keys "
+                      f"{sorted(missing)}")
+    if extra:
+        errors.append(f"{where}: '{kind}' event has unexpected keys "
+                      f"{sorted(extra)}")
+
+
+def validate_file(path, errors):
+    try:
+        with open(path, "r", encoding="utf-8") as fh:
+            text = fh.read()
+    except OSError as err:
+        errors.append(f"{path}: cannot read: {err}")
+        return
+    stripped = text.lstrip()
+    first_line = stripped.splitlines()[0] if stripped else ""
+    # A JSONL trace has one self-contained object per line.
+    is_jsonl = False
+    if first_line.startswith("{"):
+        try:
+            json.loads(first_line)
+            is_jsonl = "\n" in stripped.rstrip("\n") or \
+                '"ev"' in first_line
+        except json.JSONDecodeError:
+            is_jsonl = False
+    if is_jsonl and '"ev"' in first_line:
+        for lineno, line in enumerate(text.splitlines(), 1):
+            if not line.strip():
+                continue
+            try:
+                obj = json.loads(line)
+            except json.JSONDecodeError as err:
+                errors.append(f"{path}:{lineno}: invalid JSON: {err}")
+                continue
+            validate_trace_line(obj, f"{path}:{lineno}", errors)
+        return
+    try:
+        data = json.loads(text)
+    except json.JSONDecodeError as err:
+        errors.append(f"{path}: invalid JSON: {err}")
+        return
+    if isinstance(data, dict) and "results" in data:
+        validate_envelope(data, path, errors)
+    elif isinstance(data, dict) and "counters" in data:
+        validate_metrics(data, path, errors)
+    elif isinstance(data, list):
+        if not all(isinstance(r, dict) for r in data):
+            errors.append(f"{path}: not a JSON array of records")
+    else:
+        errors.append(f"{path}: unrecognized document shape (expected a "
+                      "bench envelope, a metrics document, a record array, "
+                      "or a JSONL trace)")
+
+
+def run_validate(paths):
+    errors = []
+    for path in paths:
+        before = len(errors)
+        validate_file(path, errors)
+        print(f"{path}: {'OK' if len(errors) == before else 'INVALID'}")
+    for line in errors:
+        print(f"  {line}", file=sys.stderr)
+    return 1 if errors else 0
+
+
 def main():
     parser = argparse.ArgumentParser(
-        description="Diff two --json bench outputs, flag regressions.")
-    parser.add_argument("baseline")
-    parser.add_argument("candidate")
+        description="Diff two --json bench outputs, flag regressions; or "
+                    "--validate observability outputs structurally.")
+    parser.add_argument("baseline", nargs="?")
+    parser.add_argument("candidate", nargs="?")
     parser.add_argument("--threshold", type=float, default=0.10,
                         help="relative change that counts as a regression "
                              "(default 0.10 = 10%%)")
+    parser.add_argument("--validate", nargs="+", metavar="FILE",
+                        help="validate files (bench envelopes, metrics "
+                             "documents, JSONL traces) instead of comparing")
     args = parser.parse_args()
+
+    if args.validate:
+        if args.baseline or args.candidate:
+            parser.error("--validate takes its own file list; do not also "
+                         "pass baseline/candidate")
+        return run_validate(args.validate)
+    if not args.baseline or not args.candidate:
+        parser.error("baseline and candidate are required unless --validate "
+                     "is given")
 
     base = {record_key(r): r for r in load(args.baseline)}
     cand = {record_key(r): r for r in load(args.candidate)}

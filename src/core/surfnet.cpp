@@ -6,6 +6,8 @@
 
 #include "decoder/surfnet_decoder.h"
 #include "netsim/schedule.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "routing/lp_router.h"
 #include "routing/purification.h"
 #include "util/rng.h"
@@ -23,17 +25,6 @@ std::string_view to_string(FacilityLevel level) {
 
 std::string_view to_string(ConnectionQuality quality) {
   return quality == ConnectionQuality::Good ? "good" : "poor";
-}
-
-std::string_view to_string(NetworkDesign design) {
-  switch (design) {
-    case NetworkDesign::SurfNet: return "SurfNet";
-    case NetworkDesign::Raw: return "Raw";
-    case NetworkDesign::Purification1: return "Purification N=1";
-    case NetworkDesign::Purification2: return "Purification N=2";
-    case NetworkDesign::Purification9: return "Purification N=9";
-  }
-  return "?";
 }
 
 ScenarioParams make_scenario(FacilityLevel level, ConnectionQuality quality) {
@@ -88,52 +79,47 @@ ScenarioParams make_scenario(FacilityLevel level, ConnectionQuality quality) {
 
 TrialMetrics run_trial(const ScenarioParams& params, NetworkDesign design,
                        std::uint64_t seed) {
+  return run_trial(params, design, seed, obs::Sink{});
+}
+
+TrialMetrics run_trial(const ScenarioParams& params, NetworkDesign design,
+                       std::uint64_t seed, const obs::Sink& sink) {
   util::Rng rng(seed);
   const auto topology = netsim::make_random_topology(params.topology, rng);
   const auto requests = netsim::random_requests(
       topology, params.num_requests, params.max_codes_per_request, rng);
 
+  netsim::SimulationParams simulation = params.simulation;
+  simulation.sink = sink;
+
   netsim::Schedule schedule;
-  netsim::SimulationResult sim;
   switch (design) {
-    case NetworkDesign::SurfNet: {
-      routing::RoutingParams routing = params.routing;
-      routing.dual_channel = true;
-      schedule = routing::route_lp(topology, requests, routing, rng).schedule;
-      const decoder::SurfNetDecoder dec;
-      sim = netsim::simulate_surfnet(topology, schedule, params.simulation,
-                                     dec, rng);
-      break;
-    }
+    case NetworkDesign::SurfNet:
     case NetworkDesign::Raw: {
       routing::RoutingParams routing = params.routing;
-      routing.dual_channel = false;
+      routing.dual_channel = design == NetworkDesign::SurfNet;
+      routing.sink = sink;
       schedule = routing::route_lp(topology, requests, routing, rng).schedule;
-      const decoder::SurfNetDecoder dec;
-      sim = netsim::simulate_surfnet(topology, schedule, params.simulation,
-                                     dec, rng);
       break;
     }
     case NetworkDesign::Purification1:
     case NetworkDesign::Purification2:
     case NetworkDesign::Purification9: {
       routing::PurificationParams purification;
-      purification.extra_pairs =
-          design == NetworkDesign::Purification1
-              ? 1
-              : (design == NetworkDesign::Purification2 ? 2 : 9);
+      purification.extra_pairs = netsim::purification_rounds(design);
       // All designs share the same per-fiber pair budget; a message costs
       // (1 + N) pairs per hop here versus n Core qubits per hop in
       // SurfNet, which keeps throughput comparable (Fig. 7 methodology).
       purification.budget_scale = 1.0;
       schedule =
           routing::route_purification(topology, requests, purification, rng);
-      sim = netsim::simulate_purification(topology, schedule,
-                                          purification.extra_pairs,
-                                          params.simulation, rng);
       break;
     }
   }
+
+  const decoder::SurfNetDecoder dec;
+  const auto simulator = netsim::make_simulator(design, dec);
+  const auto sim = simulator->run(topology, schedule, simulation, rng);
 
   TrialMetrics metrics;
   metrics.fidelity = sim.fidelity();
@@ -164,38 +150,73 @@ AggregateMetrics aggregate_in_order(const std::vector<TrialMetrics>& all) {
 
 AggregateMetrics run_trials(const ScenarioParams& params,
                             NetworkDesign design, int trials,
-                            std::uint64_t seed) {
-  return run_trials_parallel(params, design, trials, seed, 1);
-}
-
-AggregateMetrics run_trials_parallel(const ScenarioParams& params,
-                                     NetworkDesign design, int trials,
-                                     std::uint64_t seed, int threads) {
+                            const RunOptions& options) {
   if (trials < 0) throw std::invalid_argument("negative trial count");
   std::vector<std::uint64_t> seeds(static_cast<std::size_t>(trials));
-  util::Rng seeder(seed);
+  util::Rng seeder(options.seed);
   for (auto& s : seeds) s = seeder();
+
+  // Each trial records into private buffers; the merge below runs in trial
+  // order, so metrics and traces do not depend on the worker count.
+  std::vector<obs::TraceBuffer> traces;
+  std::vector<obs::MetricsRegistry> registries;
+  if (options.sink.trace) traces.resize(static_cast<std::size_t>(trials));
+  if (options.sink.metrics)
+    registries.resize(static_cast<std::size_t>(trials));
+
+  auto trial_sink = [&](std::size_t t) {
+    obs::Sink sink;
+    if (options.sink.metrics) sink.metrics = &registries[t];
+    if (options.sink.trace) sink.trace = &traces[t];
+    return sink;
+  };
 
   std::vector<TrialMetrics> results(static_cast<std::size_t>(trials));
   const int workers =
-      std::max(1, std::min(threads, trials > 0 ? trials : 1));
+      std::max(1, std::min(options.threads, trials > 0 ? trials : 1));
   if (workers == 1) {
-    for (int t = 0; t < trials; ++t)
-      results[static_cast<std::size_t>(t)] =
-          run_trial(params, design, seeds[static_cast<std::size_t>(t)]);
+    for (int t = 0; t < trials; ++t) {
+      const auto i = static_cast<std::size_t>(t);
+      results[i] = run_trial(params, design, seeds[i], trial_sink(i));
+    }
   } else {
     std::vector<std::thread> pool;
     pool.reserve(static_cast<std::size_t>(workers));
     for (int w = 0; w < workers; ++w) {
       pool.emplace_back([&, w] {
-        for (int t = w; t < trials; t += workers)
-          results[static_cast<std::size_t>(t)] =
-              run_trial(params, design, seeds[static_cast<std::size_t>(t)]);
+        for (int t = w; t < trials; t += workers) {
+          const auto i = static_cast<std::size_t>(t);
+          results[i] = run_trial(params, design, seeds[i], trial_sink(i));
+        }
       });
     }
     for (auto& th : pool) th.join();
   }
+
+  if (options.sink.metrics)
+    for (const auto& registry : registries)
+      options.sink.metrics->merge(registry);
+  if (options.sink.trace)
+    for (std::size_t t = 0; t < traces.size(); ++t)
+      traces[t].flush_to(*options.sink.trace, static_cast<std::int32_t>(t));
   return aggregate_in_order(results);
+}
+
+AggregateMetrics run_trials(const ScenarioParams& params,
+                            NetworkDesign design, int trials,
+                            std::uint64_t seed) {
+  RunOptions options;
+  options.seed = seed;
+  return run_trials(params, design, trials, options);
+}
+
+AggregateMetrics run_trials_parallel(const ScenarioParams& params,
+                                     NetworkDesign design, int trials,
+                                     std::uint64_t seed, int threads) {
+  RunOptions options;
+  options.seed = seed;
+  options.threads = threads;
+  return run_trials(params, design, trials, options);
 }
 
 }  // namespace surfnet::core

@@ -9,12 +9,21 @@
 // metrics (Sec. VI-C): fidelity (success rate of executed communications),
 // latency (average slots per communication), and throughput (executed /
 // requested communications).
+//
+// The batch entry point is run_trials(params, design, trials, RunOptions):
+// RunOptions bundles the base seed, the worker-thread count, and an
+// observability sink. Per-trial seeds are fixed up front and results are
+// merged in trial order, so aggregates — and, with a sink attached, the
+// exported metrics and the event trace — are bitwise-identical for any
+// thread count. The former seed/threads overloads survive as deprecated
+// wrappers.
 
 #include <cstdint>
 #include <string_view>
 
 #include "netsim/simulator.h"
 #include "netsim/topology.h"
+#include "obs/sink.h"
 #include "routing/formulation.h"
 #include "util/stats.h"
 
@@ -26,18 +35,13 @@ enum class FacilityLevel { Abundant, Sufficient, Insufficient };
 /// Fiber-quality scenarios: good = gamma in [0.75, 1], poor = [0.5, 1].
 enum class ConnectionQuality { Good, Poor };
 
-/// The five network designs compared in Fig. 7.
-enum class NetworkDesign {
-  SurfNet,
-  Raw,
-  Purification1,
-  Purification2,
-  Purification9,
-};
+/// The five network designs compared in Fig. 7 (defined next to the
+/// simulators that execute them; re-exported here for the facade API).
+using netsim::NetworkDesign;
 
 std::string_view to_string(FacilityLevel level);
 std::string_view to_string(ConnectionQuality quality);
-std::string_view to_string(NetworkDesign design);
+using netsim::to_string;
 
 /// Everything one trial needs. Produced by make_scenario and then freely
 /// overridden for the Fig. 6(b) parameter sweeps.
@@ -65,20 +69,44 @@ struct TrialMetrics {
 TrialMetrics run_trial(const ScenarioParams& params, NetworkDesign design,
                        std::uint64_t seed);
 
+/// Observed variant: the sink is handed down into the routing protocol
+/// (LP solve metrics/events) and the simulator (per-slot events). A null
+/// sink behaves exactly like the overload above.
+TrialMetrics run_trial(const ScenarioParams& params, NetworkDesign design,
+                       std::uint64_t seed, const obs::Sink& sink);
+
 struct AggregateMetrics {
   util::RunningStat fidelity;
   util::RunningStat latency;
   util::RunningStat throughput;
 };
 
-/// Run `trials` independent seeded trials and aggregate.
+/// How a batch of trials runs.
+struct RunOptions {
+  std::uint64_t seed = 20240607;  ///< base of the per-trial seed sequence
+  int threads = 1;                ///< worker threads (clamped to [1, trials])
+  /// Observability handle. Each trial records into private buffers that are
+  /// merged into this sink in trial order after the workers join, so both
+  /// the metrics document and the trace are thread-count invariant.
+  obs::Sink sink{};
+};
+
+/// Run `trials` independent seeded trials and aggregate. Per-trial seeds
+/// derive from options.seed alone, and per-trial results are merged in
+/// trial order: the aggregate (and any observability output) is identical
+/// for every options.threads value.
+AggregateMetrics run_trials(const ScenarioParams& params,
+                            NetworkDesign design, int trials,
+                            const RunOptions& options = {});
+
+[[deprecated("use run_trials(params, design, trials, RunOptions{.seed = seed})")]]
 AggregateMetrics run_trials(const ScenarioParams& params,
                             NetworkDesign design, int trials,
                             std::uint64_t seed);
 
-/// Same trials, fanned out over `threads` worker threads. Per-trial seeds
-/// are identical to the sequential version and results are merged in
-/// trial order, so the aggregate matches run_trials exactly.
+[[deprecated(
+    "use run_trials(params, design, trials, RunOptions{.seed = seed, "
+    ".threads = threads})")]]
 AggregateMetrics run_trials_parallel(const ScenarioParams& params,
                                      NetworkDesign design, int trials,
                                      std::uint64_t seed, int threads);

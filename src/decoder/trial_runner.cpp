@@ -8,6 +8,7 @@
 #include <stdexcept>
 #include <thread>
 
+#include "obs/metrics.h"
 #include "util/stats.h"
 
 namespace surfnet::decoder {
@@ -120,6 +121,15 @@ TrialReport run_trials(std::int64_t trials,
     report.busy_seconds += tally.busy_seconds;
   }
   report.wall_seconds = seconds_since(wall_start);
+  if (options.sink.metrics) {
+    obs::MetricsRegistry& m = *options.sink.metrics;
+    m.count("trials.count", report.trials);
+    m.count("trials.failures", report.failures);
+    m.count("trials.invalid", report.invalid);
+    m.count("trials.valid_but_wrong", report.valid_but_wrong);
+    m.time("trials.busy_seconds", report.busy_seconds);
+    m.time("trials.wall_seconds", report.wall_seconds);
+  }
   return report;
 }
 

@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "decoder/code_trial.h"
+#include "obs/sink.h"
 #include "util/rng.h"
 
 namespace surfnet::decoder {
@@ -22,6 +23,12 @@ struct TrialRunnerOptions {
   int threads = 1;
   /// Base seed of the counter-based per-trial streams.
   std::uint64_t seed = 20240607;
+  /// Observability handle. After the workers join, the engine reports the
+  /// merged run into it: counters "trials.count" / "trials.failures" /
+  /// "trials.invalid" / "trials.valid_but_wrong" (exact, thread-count
+  /// invariant) and timers "trials.busy_seconds" / "trials.wall_seconds"
+  /// (measured). Null (the default) disables reporting.
+  obs::Sink sink{};
 };
 
 /// Resolve a --threads style value: <= 0 means hardware concurrency

@@ -8,10 +8,57 @@
 
 #include "decoder/code_trial.h"
 #include "netsim/channel.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "qec/core_support.h"
 #include "qec/lattice.h"
+#include "qec/syndrome.h"
 
 namespace surfnet::netsim {
+
+std::string_view to_string(NetworkDesign design) {
+  switch (design) {
+    case NetworkDesign::SurfNet: return "SurfNet";
+    case NetworkDesign::Raw: return "Raw";
+    case NetworkDesign::Purification1: return "Purification N=1";
+    case NetworkDesign::Purification2: return "Purification N=2";
+    case NetworkDesign::Purification9: return "Purification N=9";
+  }
+  return "?";
+}
+
+int purification_rounds(NetworkDesign design) {
+  switch (design) {
+    case NetworkDesign::Purification1: return 1;
+    case NetworkDesign::Purification2: return 2;
+    case NetworkDesign::Purification9: return 9;
+    default: return 0;
+  }
+}
+
+std::string_view to_string(CodeOutcome outcome) {
+  switch (outcome) {
+    case CodeOutcome::Succeeded: return "success";
+    case CodeOutcome::LogicalError: return "logical_error";
+    case CodeOutcome::TimedOut: return "timeout";
+  }
+  return "?";
+}
+
+std::unique_ptr<Simulator> make_simulator(NetworkDesign design,
+                                          const decoder::Decoder& decoder) {
+  switch (design) {
+    case NetworkDesign::SurfNet:
+    case NetworkDesign::Raw:
+      return std::make_unique<SurfNetSimulator>(decoder);
+    case NetworkDesign::Purification1:
+    case NetworkDesign::Purification2:
+    case NetworkDesign::Purification9:
+      return std::make_unique<PurificationSimulator>(
+          purification_rounds(design));
+  }
+  throw std::invalid_argument("unknown network design");
+}
 
 namespace {
 
@@ -91,6 +138,7 @@ struct ActiveCode {
   int jumps_since_ec = 0;
   int start_slot = 0;
   int cooldown = 0;
+  int corrections = 0;
   bool corrupted = false;
 };
 
@@ -98,6 +146,20 @@ int find_on_path(const std::vector<int>& path, int node, int from) {
   for (std::size_t i = static_cast<std::size_t>(from); i < path.size(); ++i)
     if (path[i] == node) return static_cast<int>(i);
   return -1;
+}
+
+/// Bucket bounds for the per-slot pool-total histogram ("sim.pool_total").
+const std::vector<double>& pool_bounds() {
+  static const std::vector<double> bounds{0,  10,  25,  50,   100,
+                                          250, 500, 1000, 2500, 5000};
+  return bounds;
+}
+
+/// Bucket bounds for delivered-code latency ("sim.latency_slots").
+const std::vector<double>& latency_bounds() {
+  static const std::vector<double> bounds{5,   10,  20,  40,   80,
+                                          160, 320, 640, 1280, 2560};
+  return bounds;
 }
 
 }  // namespace
@@ -110,6 +172,7 @@ SimulationResult simulate_surfnet(const Topology& topology,
   SimulationResult result;
   result.codes_scheduled = schedule.scheduled_codes();
   if (schedule.scheduled.empty()) return result;
+  const obs::Sink& sink = params.sink;
 
   std::map<int, CodeGeometry> geometries;
   auto geometry_for = [&](int distance) -> const CodeGeometry& {
@@ -205,8 +268,12 @@ SimulationResult simulate_surfnet(const Topology& topology,
     return true;
   };
 
-  // Decode over the noise accumulated since the last correction.
-  auto run_correction = [&](const RequestPlan& plan, ActiveCode& code) {
+  // Decode over the noise accumulated since the last correction. The
+  // tracing path samples and decodes explicitly so that it can report
+  // erasure and syndrome counts; it draws the same random-variate sequence
+  // as run_code_trial, so traced and untraced runs stay bitwise-identical.
+  auto run_correction = [&](const RequestPlan& plan, ActiveCode& code,
+                            int slot, int node, bool is_ec) {
     const auto& geometry = *plan.geometry;
     const double support_pauli =
         pauli_rate_of_noise(params.noise_scale * code.acc_support_mu);
@@ -232,9 +299,37 @@ SimulationResult simulate_surfnet(const Topology& topology,
                : qec::QubitNoise{support_pauli, support_erasure};
     }
     const qec::NoiseProfile profile{std::move(rates)};
-    const auto trial = decoder::run_code_trial(geometry.lattice, profile,
-                                               params.channel, decoder, rng);
-    if (!trial.success()) code.corrupted = true;
+    bool success;
+    if (sink.trace) {
+      const auto sample = qec::sample_errors(profile, params.channel, rng);
+      const auto prior = profile.component_error_prob(params.channel);
+      success =
+          decoder::decode_sample(geometry.lattice, sample, prior, decoder)
+              .success();
+      int erasures = 0;
+      for (const char e : sample.erased) erasures += e ? 1 : 0;
+      int syndromes = 0;
+      for (const auto kind : {qec::GraphKind::Z, qec::GraphKind::X}) {
+        const auto flips = qec::edge_flips(geometry.lattice, kind,
+                                           sample.error);
+        const auto bitmap =
+            qec::syndrome_bitmap(geometry.lattice.graph(kind), flips);
+        for (const char s : bitmap) syndromes += s ? 1 : 0;
+      }
+      sink.trace->record(obs::Event::decode(slot, plan.sched->request_index,
+                                            node, is_ec, erasures, syndromes,
+                                            !success));
+    } else {
+      success = decoder::run_code_trial(geometry.lattice, profile,
+                                        params.channel, decoder, rng)
+                    .success();
+    }
+    if (sink.metrics) {
+      sink.metrics->count("sim.decodes");
+      if (!success) sink.metrics->count("sim.decode_logical_errors");
+    }
+    if (!success) code.corrupted = true;
+    ++code.corrections;
     code.acc_support_mu = 0.0;
     code.acc_core_mu = 0.0;
     code.acc_support_hops = 0;
@@ -245,8 +340,10 @@ SimulationResult simulate_surfnet(const Topology& topology,
   for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
 
   int in_flight_or_pending = result.codes_scheduled;
+  int final_slot = 0;
   for (int slot = 0; slot < params.max_slots && in_flight_or_pending > 0;
        ++slot) {
+    final_slot = slot;
     // Entanglement generation routine at every switch; fiber failures.
     for (std::size_t e = 0; e < pairs.size(); ++e) {
       const int cap =
@@ -259,8 +356,25 @@ SimulationResult simulate_surfnet(const Topology& topology,
     if (params.fiber_failure_rate > 0.0) {
       for (std::size_t e = 0; e < down_until.size(); ++e)
         if (!fiber_down(static_cast<int>(e), slot) &&
-            rng.bernoulli(params.fiber_failure_rate))
+            rng.bernoulli(params.fiber_failure_rate)) {
           down_until[e] = slot + params.fiber_failure_duration;
+          if (sink.metrics) sink.metrics->count("sim.fiber_failures");
+          if (sink.trace)
+            sink.trace->record(obs::Event::fiber_down(
+                slot, static_cast<int>(e), down_until[e]));
+        }
+    }
+    if (sink.enabled() && !pairs.empty()) {
+      int total = 0;
+      int min_level = pairs[0];
+      for (const int p : pairs) {
+        total += p;
+        min_level = std::min(min_level, p);
+      }
+      if (sink.metrics)
+        sink.metrics->observe("sim.pool_total", total, pool_bounds());
+      if (sink.trace)
+        sink.trace->record(obs::Event::pool(slot, total, min_level));
     }
 
     // Randomize service order so no request systematically wins contention.
@@ -298,6 +412,10 @@ SimulationResult simulate_surfnet(const Topology& topology,
                    reroute(code.s_path, code.s_pos, barrier.node, slot)) {
           code.s_target = find_on_path(code.s_path, barrier.node,
                                        code.s_pos);
+          if (sink.metrics) sink.metrics->count("sim.recoveries");
+          if (sink.trace)
+            sink.trace->record(obs::Event::recovery(
+                slot, plan.sched->request_index, /*core_channel=*/false));
         }
       }
 
@@ -319,9 +437,14 @@ SimulationResult simulate_surfnet(const Topology& topology,
         }
         if (broken) {
           if (params.enable_recovery &&
-              reroute(code.c_path, code.c_pos, barrier.node, slot))
+              reroute(code.c_path, code.c_pos, barrier.node, slot)) {
             code.c_target = find_on_path(code.c_path, barrier.node,
                                          code.c_pos);
+            if (sink.metrics) sink.metrics->count("sim.recoveries");
+            if (sink.trace)
+              sink.trace->record(obs::Event::recovery(
+                  slot, plan.sched->request_index, /*core_channel=*/true));
+          }
         } else if (ready) {
           double segment_mu = 0.0;
           for (int h = 0; h < segment; ++h) {
@@ -336,6 +459,16 @@ SimulationResult simulate_surfnet(const Topology& topology,
           const bool success =
               params.swap_success >= 1.0 ||
               rng.bernoulli(std::pow(params.swap_success, segment));
+          if (sink.metrics) {
+            sink.metrics->count("sim.segment_jumps");
+            if (!success) sink.metrics->count("sim.segment_jump_failures");
+          }
+          if (sink.trace)
+            sink.trace->record(obs::Event::segment_jump(
+                slot, plan.sched->request_index,
+                code.c_path[static_cast<std::size_t>(code.c_pos)],
+                code.c_path[static_cast<std::size_t>(code.c_pos + segment)],
+                segment, success));
           if (success) {
             code.c_pos += segment;
             code.acc_core_mu += segment_mu;
@@ -348,13 +481,28 @@ SimulationResult simulate_surfnet(const Topology& topology,
       const bool support_done = code.s_pos >= code.s_target;
       const bool core_done = plan.raw || code.c_pos >= code.c_target;
       if (support_done && core_done) {
-        run_correction(plan, code);
+        run_correction(plan, code, slot, barrier.node, barrier.is_ec);
         const bool final_barrier =
             code.barrier + 1 == static_cast<int>(plan.barriers.size());
         if (final_barrier) {
           ++result.codes_delivered;
           if (!code.corrupted) ++result.codes_succeeded;
-          result.total_latency += slot - code.start_slot + 1;
+          const int slots = slot - code.start_slot + 1;
+          result.total_latency += slots;
+          result.codes.push_back(
+              {plan.sched->request_index, slots, code.corrections,
+               code.corrupted ? CodeOutcome::LogicalError
+                              : CodeOutcome::Succeeded});
+          if (sink.metrics) {
+            sink.metrics->count("sim.delivered");
+            if (!code.corrupted) sink.metrics->count("sim.succeeded");
+            sink.metrics->observe("sim.latency_slots", slots,
+                                  latency_bounds());
+          }
+          if (sink.trace)
+            sink.trace->record(obs::Event::delivered(
+                slot, plan.sched->request_index, slots, code.corrections,
+                code.corrupted));
           has_active[idx] = 0;
           --in_flight_or_pending;
         } else {
@@ -364,6 +512,20 @@ SimulationResult simulate_surfnet(const Topology& topology,
         }
       }
     }
+  }
+
+  // Codes still in flight when the run ended are timeouts; their slot
+  // counts are censored at the last simulated slot.
+  for (std::size_t idx = 0; idx < plans.size(); ++idx) {
+    if (!has_active[idx]) continue;
+    const ActiveCode& code = active[idx];
+    const int slots = final_slot - code.start_slot + 1;
+    result.codes.push_back({plans[idx].sched->request_index, slots,
+                            code.corrections, CodeOutcome::TimedOut});
+    if (sink.metrics) sink.metrics->count("sim.timeouts");
+    if (sink.trace)
+      sink.trace->record(obs::Event::timeout(
+          final_slot, plans[idx].sched->request_index, slots));
   }
   return result;
 }
@@ -376,6 +538,7 @@ SimulationResult simulate_purification(const Topology& topology,
   SimulationResult result;
   result.codes_scheduled = schedule.scheduled_codes();
   if (schedule.scheduled.empty()) return result;
+  const obs::Sink& sink = params.sink;
 
   struct Plan {
     const ScheduledRequest* sched;
@@ -419,7 +582,9 @@ SimulationResult simulate_purification(const Topology& topology,
   for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
 
   int pending = result.codes_scheduled;
+  int final_slot = 0;
   for (int slot = 0; slot < params.max_slots && pending > 0; ++slot) {
+    final_slot = slot;
     for (std::size_t e = 0; e < pairs.size(); ++e) {
       const int cap =
           topology.fiber(static_cast<int>(e)).entanglement_capacity;
@@ -431,8 +596,26 @@ SimulationResult simulate_purification(const Topology& topology,
     if (params.fiber_failure_rate > 0.0) {
       for (std::size_t e = 0; e < down_until.size(); ++e)
         if (slot >= down_until[e] &&
-            rng.bernoulli(params.fiber_failure_rate))
+            rng.bernoulli(params.fiber_failure_rate)) {
           down_until[e] = slot + params.fiber_failure_duration;
+          if (sink.metrics) sink.metrics->count("sim.fiber_failures");
+          if (sink.trace)
+            sink.trace->record(obs::Event::fiber_down(
+                slot, static_cast<int>(e),
+                static_cast<int>(down_until[e])));
+        }
+    }
+    if (sink.enabled() && !pairs.empty()) {
+      int total = 0;
+      int min_level = pairs[0];
+      for (const int p : pairs) {
+        total += p;
+        min_level = std::min(min_level, p);
+      }
+      if (sink.metrics)
+        sink.metrics->observe("sim.pool_total", total, pool_bounds());
+      if (sink.trace)
+        sink.trace->record(obs::Event::pool(slot, total, min_level));
     }
     for (std::size_t i = order.size(); i > 1; --i)
       std::swap(order[i - 1], order[rng.below(i)]);
@@ -461,12 +644,37 @@ SimulationResult simulate_purification(const Topology& topology,
       }
       if (state.pos + 1 == static_cast<int>(path.size())) {
         ++result.codes_delivered;
-        if (rng.bernoulli(plan.success_prob)) ++result.codes_succeeded;
-        result.total_latency += slot - state.start + 1;
+        const bool ok = rng.bernoulli(plan.success_prob);
+        if (ok) ++result.codes_succeeded;
+        const int slots = slot - state.start + 1;
+        result.total_latency += slots;
+        result.codes.push_back(
+            {plan.sched->request_index, slots, 0,
+             ok ? CodeOutcome::Succeeded : CodeOutcome::LogicalError});
+        if (sink.metrics) {
+          sink.metrics->count("sim.delivered");
+          if (ok) sink.metrics->count("sim.succeeded");
+          sink.metrics->observe("sim.latency_slots", slots,
+                                latency_bounds());
+        }
+        if (sink.trace)
+          sink.trace->record(obs::Event::delivered(
+              slot, plan.sched->request_index, slots, 0, !ok));
         has_active[idx] = 0;
         --pending;
       }
     }
+  }
+
+  for (std::size_t idx = 0; idx < plans.size(); ++idx) {
+    if (!has_active[idx]) continue;
+    const int slots = final_slot - active[idx].start + 1;
+    result.codes.push_back({plans[idx].sched->request_index, slots, 0,
+                            CodeOutcome::TimedOut});
+    if (sink.metrics) sink.metrics->count("sim.timeouts");
+    if (sink.trace)
+      sink.trace->record(obs::Event::timeout(
+          final_slot, plans[idx].sched->request_index, slots));
   }
   return result;
 }

@@ -19,15 +19,47 @@
 //
 // Fidelity is the fraction of delivered codes with no logical error at any
 // correction point; latency is the average number of slots per code.
+//
+// The five network designs of the paper's evaluation (Fig. 7) select a
+// Simulator implementation through make_simulator; SurfNet and Raw share
+// the surface-code simulator (a Raw request simply has no Core path),
+// the purification designs share the bare-qubit teleportation simulator.
+//
+// Observability: SimulationParams carries an obs::Sink. With a trace sink
+// attached the simulator emits per-slot events (entanglement-pool levels,
+// segment jumps, decode invocations with erasure/syndrome counts and
+// logical-error verdicts, fiber failures and recoveries, deliveries and
+// timeouts — see obs/trace.h for the schema); with a metrics registry it
+// feeds "sim.*" counters and histograms. The null sink adds one branch
+// per site and keeps the default path bitwise-identical.
+
+#include <memory>
+#include <string_view>
 
 #include "decoder/decoder.h"
 #include "netsim/entanglement.h"
 #include "netsim/schedule.h"
 #include "netsim/topology.h"
+#include "obs/sink.h"
 #include "qec/error_model.h"
 #include "util/rng.h"
 
 namespace surfnet::netsim {
+
+/// The five network designs compared in Fig. 7.
+enum class NetworkDesign {
+  SurfNet,
+  Raw,
+  Purification1,
+  Purification2,
+  Purification9,
+};
+
+std::string_view to_string(NetworkDesign design);
+
+/// Purified pairs consumed per hop beyond the teleportation pair
+/// (0 for the non-purification designs).
+int purification_rounds(NetworkDesign design);
 
 struct SimulationParams {
   int code_distance = 4;        ///< paper's 25-qubit example code
@@ -63,6 +95,26 @@ struct SimulationParams {
   bool enable_recovery = true;
   int max_slots = 20000;        ///< safety cap; starved codes time out
   qec::PauliChannel channel = qec::PauliChannel::IndependentXZ;
+  /// Observability handle (metrics + trace); null = no instrumentation.
+  obs::Sink sink{};
+};
+
+/// Why one simulated code ended the way it did.
+enum class CodeOutcome {
+  Succeeded,     ///< delivered, no logical error at any correction point
+  LogicalError,  ///< delivered, but silently corrupted along the way
+  TimedOut,      ///< still in flight when the simulation hit max_slots
+};
+
+std::string_view to_string(CodeOutcome outcome);
+
+/// Per-code record of one simulated communication, appended as codes
+/// finish (delivery or, at the end of the run, timeout).
+struct CodeRecord {
+  int request = -1;    ///< ScheduledRequest::request_index
+  int slots = 0;       ///< in-flight slots (censored at max_slots on timeout)
+  int corrections = 0; ///< decode invocations (EC servers + final readout)
+  CodeOutcome outcome = CodeOutcome::TimedOut;
 };
 
 struct SimulationResult {
@@ -70,6 +122,10 @@ struct SimulationResult {
   int codes_delivered = 0;  ///< completed before max_slots
   int codes_succeeded = 0;  ///< delivered with no logical error
   double total_latency = 0.0;
+  /// One record per launched code (delivered or timed out); codes never
+  /// launched before max_slots have no record. Totals above are exactly
+  /// the tallies of these records plus the never-launched remainder.
+  std::vector<CodeRecord> codes;
 
   /// Paper Sec. VI-C: success rate of executed communications.
   double fidelity() const {
@@ -100,5 +156,58 @@ SimulationResult simulate_purification(const Topology& topology,
                                        int extra_pairs,
                                        const SimulationParams& params,
                                        util::Rng& rng);
+
+/// Unified execution interface over the two simulation models. A Simulator
+/// is stateless across runs; the same instance may execute many schedules.
+class Simulator {
+ public:
+  virtual ~Simulator() = default;
+  virtual SimulationResult run(const Topology& topology,
+                               const Schedule& schedule,
+                               const SimulationParams& params,
+                               util::Rng& rng) const = 0;
+  virtual std::string_view name() const = 0;
+};
+
+/// Surface-code transfer (SurfNet and Raw designs). The decoder is
+/// borrowed and must outlive the simulator.
+class SurfNetSimulator final : public Simulator {
+ public:
+  explicit SurfNetSimulator(const decoder::Decoder& decoder)
+      : decoder_(&decoder) {}
+  SimulationResult run(const Topology& topology, const Schedule& schedule,
+                       const SimulationParams& params,
+                       util::Rng& rng) const override {
+    return simulate_surfnet(topology, schedule, params, *decoder_, rng);
+  }
+  std::string_view name() const override { return "surfnet"; }
+
+ private:
+  const decoder::Decoder* decoder_;
+};
+
+/// Hop-by-hop teleportation of bare qubits over purified pairs
+/// (Purification N=1,2,9 designs).
+class PurificationSimulator final : public Simulator {
+ public:
+  explicit PurificationSimulator(int extra_pairs)
+      : extra_pairs_(extra_pairs) {}
+  SimulationResult run(const Topology& topology, const Schedule& schedule,
+                       const SimulationParams& params,
+                       util::Rng& rng) const override {
+    return simulate_purification(topology, schedule, extra_pairs_, params,
+                                 rng);
+  }
+  std::string_view name() const override { return "purification"; }
+  int extra_pairs() const { return extra_pairs_; }
+
+ private:
+  int extra_pairs_;
+};
+
+/// The simulator a network design executes on. The decoder is borrowed by
+/// the surface-code designs (SurfNet, Raw) and ignored by the rest.
+std::unique_ptr<Simulator> make_simulator(NetworkDesign design,
+                                          const decoder::Decoder& decoder);
 
 }  // namespace surfnet::netsim

@@ -1,0 +1,138 @@
+#include "obs/metrics.h"
+
+#include <cmath>
+#include <cstdio>
+#include <stdexcept>
+
+namespace surfnet::obs {
+
+namespace {
+
+/// JSON number formatting: integers stay integral, doubles get enough
+/// digits to round-trip, and non-finite values (JSON has none) are boxed
+/// to +-1e308 so the export always parses.
+void append_number(std::string& out, double value) {
+  if (!std::isfinite(value)) value = value > 0 ? 1e308 : -1e308;
+  char buf[32];
+  if (value == static_cast<std::int64_t>(value) && std::abs(value) < 1e15)
+    std::snprintf(buf, sizeof buf, "%lld",
+                  static_cast<long long>(static_cast<std::int64_t>(value)));
+  else
+    std::snprintf(buf, sizeof buf, "%.17g", value);
+  out += buf;
+}
+
+void append_quoted(std::string& out, const std::string& name) {
+  out += '"';
+  for (const char c : name) {
+    if (c == '"' || c == '\\') out += '\\';
+    out += c;
+  }
+  out += '"';
+}
+
+}  // namespace
+
+void MetricsRegistry::observe(const std::string& name, double value,
+                              const std::vector<double>& bounds) {
+  auto it = histograms_.find(name);
+  if (it == histograms_.end()) {
+    Histogram h;
+    h.bounds = bounds;
+    h.counts.assign(bounds.size() + 1, 0);
+    it = histograms_.emplace(name, std::move(h)).first;
+  }
+  it->second.observe(value);
+}
+
+void MetricsRegistry::merge(const MetricsRegistry& other) {
+  for (const auto& [name, value] : other.counters_) counters_[name] += value;
+  for (const auto& [name, value] : other.gauges_) gauges_[name] = value;
+  for (const auto& [name, value] : other.timers_) timers_[name] += value;
+  for (const auto& [name, h] : other.histograms_) {
+    auto it = histograms_.find(name);
+    if (it == histograms_.end()) {
+      histograms_.emplace(name, h);
+      continue;
+    }
+    Histogram& mine = it->second;
+    if (mine.bounds != h.bounds)
+      throw std::invalid_argument(
+          "MetricsRegistry::merge: histogram bucket layouts differ for '" +
+          name + "'");
+    for (std::size_t b = 0; b < h.counts.size(); ++b)
+      mine.counts[b] += h.counts[b];
+    mine.total += h.total;
+    mine.sum += h.sum;
+  }
+}
+
+std::string MetricsRegistry::to_json() const {
+  std::string out = "{\"schema_version\": 1";
+
+  const auto open_section = [&](const char* name) {
+    out += ", \"";
+    out += name;
+    out += "\": {";
+  };
+
+  open_section("counters");
+  bool first = true;
+  for (const auto& [name, value] : counters_) {
+    if (!first) out += ", ";
+    first = false;
+    append_quoted(out, name);
+    out += ": ";
+    append_number(out, static_cast<double>(value));
+  }
+  out += '}';
+
+  open_section("gauges");
+  first = true;
+  for (const auto& [name, value] : gauges_) {
+    if (!first) out += ", ";
+    first = false;
+    append_quoted(out, name);
+    out += ": ";
+    append_number(out, value);
+  }
+  out += '}';
+
+  open_section("timers");
+  first = true;
+  for (const auto& [name, value] : timers_) {
+    if (!first) out += ", ";
+    first = false;
+    append_quoted(out, name);
+    out += ": ";
+    append_number(out, value);
+  }
+  out += '}';
+
+  open_section("histograms");
+  first = true;
+  for (const auto& [name, h] : histograms_) {
+    if (!first) out += ", ";
+    first = false;
+    append_quoted(out, name);
+    out += ": {\"bounds\": [";
+    for (std::size_t b = 0; b < h.bounds.size(); ++b) {
+      if (b) out += ", ";
+      append_number(out, h.bounds[b]);
+    }
+    out += "], \"counts\": [";
+    for (std::size_t b = 0; b < h.counts.size(); ++b) {
+      if (b) out += ", ";
+      append_number(out, static_cast<double>(h.counts[b]));
+    }
+    out += "], \"total\": ";
+    append_number(out, static_cast<double>(h.total));
+    out += ", \"sum\": ";
+    append_number(out, h.sum);
+    out += '}';
+  }
+  out += "}}";
+  return out;
+}
+
+}  // namespace surfnet::obs

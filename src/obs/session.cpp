@@ -1,0 +1,45 @@
+#include "obs/session.h"
+
+#include <cstdio>
+#include <stdexcept>
+
+namespace surfnet::obs {
+
+FileSession::FileSession(const std::string& metrics_path,
+                         const std::string& trace_path)
+    : metrics_path_(metrics_path), metrics_enabled_(!metrics_path.empty()) {
+  if (!trace_path.empty()) {
+    if (trace_path == "-")
+      trace_ = std::make_unique<JsonlTraceWriter>(stdout);
+    else
+      trace_ = std::make_unique<JsonlTraceWriter>(trace_path);
+  }
+}
+
+Sink FileSession::sink() {
+  Sink s;
+  if (metrics_enabled_) s.metrics = &metrics_;
+  if (trace_) s.trace = trace_.get();
+  return s;
+}
+
+void FileSession::finish() {
+  if (finished_) return;
+  finished_ = true;
+  trace_.reset();  // flush + close before the metrics summary lands
+  if (!metrics_enabled_) return;
+  const std::string json = metrics_.to_json();
+  if (metrics_path_ == "-") {
+    std::fwrite(json.data(), 1, json.size(), stdout);
+    std::fputc('\n', stdout);
+    return;
+  }
+  std::FILE* f = std::fopen(metrics_path_.c_str(), "w");
+  if (!f)
+    throw std::runtime_error("FileSession: cannot open " + metrics_path_);
+  std::fwrite(json.data(), 1, json.size(), f);
+  std::fputc('\n', f);
+  std::fclose(f);
+}
+
+}  // namespace surfnet::obs

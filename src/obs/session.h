@@ -1,0 +1,44 @@
+#pragma once
+
+// Convenience wiring for command-line tools: turn `--metrics-out FILE` /
+// `--trace-out FILE` into a live Sink. The session owns the registry and
+// the JSONL writer; finish() (or the destructor) writes the metrics JSON
+// document and closes the trace stream. Empty paths disable the
+// corresponding plane, so an all-defaults FileSession hands out the null
+// sink and costs nothing.
+
+#include <memory>
+#include <string>
+
+#include "obs/metrics.h"
+#include "obs/sink.h"
+#include "obs/trace.h"
+
+namespace surfnet::obs {
+
+class FileSession {
+ public:
+  FileSession() = default;
+  /// Either path may be empty (that plane stays disabled). "-" streams to
+  /// stdout.
+  FileSession(const std::string& metrics_path, const std::string& trace_path);
+  ~FileSession() { finish(); }
+  FileSession(const FileSession&) = delete;
+  FileSession& operator=(const FileSession&) = delete;
+
+  Sink sink();
+  MetricsRegistry& metrics() { return metrics_; }
+
+  /// Write the metrics JSON (if a metrics path was given) and close the
+  /// trace stream. Idempotent.
+  void finish();
+
+ private:
+  MetricsRegistry metrics_;
+  std::string metrics_path_;
+  std::unique_ptr<JsonlTraceWriter> trace_;
+  bool metrics_enabled_ = false;
+  bool finished_ = false;
+};
+
+}  // namespace surfnet::obs

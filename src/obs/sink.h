@@ -1,0 +1,27 @@
+#pragma once
+
+// Lightweight observability handle threaded through the params structs of
+// the simulator, the decoder trial engine, and the routing solvers. A Sink
+// is two raw, non-owning pointers; the default (null) sink makes every
+// instrumentation site a single predictable branch, so the uninstrumented
+// hot paths stay bitwise-identical and allocation-free.
+//
+// Ownership and lifetime are the caller's: whoever builds the registry /
+// trace sink keeps them alive across the instrumented call. Instrumented
+// code includes obs/metrics.h and obs/trace.h from its .cpp only; public
+// headers need nothing beyond this file.
+
+namespace surfnet::obs {
+
+class MetricsRegistry;
+class TraceSink;
+
+struct Sink {
+  MetricsRegistry* metrics = nullptr;
+  TraceSink* trace = nullptr;
+
+  bool enabled() const { return metrics != nullptr || trace != nullptr; }
+  bool tracing() const { return trace != nullptr; }
+};
+
+}  // namespace surfnet::obs

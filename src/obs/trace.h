@@ -1,0 +1,157 @@
+#pragma once
+
+// Trace plane of the observability layer: structured per-event records of
+// what the simulator, the decoders, and the LP solver actually did,
+// exported as stable-schema JSONL (one JSON object per line).
+//
+// Events are a single flat POD so that recording into a pre-grown
+// TraceBuffer costs a few stores and no allocation at steady state. The
+// field meaning per kind — and the exact JSONL key set, which the golden
+// schema test pins — is:
+//
+//   pool         {"ev","trial","slot","pairs_total","pairs_min"}
+//                per-slot entanglement inventory over all fibers
+//   fiber_down   {"ev","trial","slot","fiber","until_slot"}
+//   recovery     {"ev","trial","slot","request","channel"}
+//                a reroute around a failed fiber; channel is
+//                "support" or "core"
+//   segment_jump {"ev","trial","slot","request","from_node","to_node",
+//                 "fibers","success"}
+//                an opportunistic multi-fiber move (success=false: the
+//                swap failed and the consumed pairs were wasted)
+//   decode       {"ev","trial","slot","request","node","ec","erasures",
+//                 "syndromes","logical_error"}
+//                one full decode at an EC server (ec=true) or at the
+//                destination readout; erasures counts erased data qubits,
+//                syndromes counts lit checks over both graphs
+//   delivered    {"ev","trial","slot","request","slots","corrections",
+//                 "outcome"}   outcome is "success" or "logical_error"
+//   timeout      {"ev","trial","slot","request","slots"}
+//                a code still in flight when the simulation hit max_slots
+//   lp_solve     {"ev","trial","iterations","refactorizations",
+//                 "warm_start","status","objective"}
+//                status encodes routing::LpStatus: 0 optimal,
+//                1 infeasible, 2 unbounded, 3 iteration limit
+//
+// "trial" is stamped by the trial engine when per-trial buffers are merged
+// (deterministically, in trial order — so traces are bitwise-identical for
+// any thread count); fields with value -1 ("trial" or "slot" outside any
+// trial/slot context) are omitted from the JSONL line.
+
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace surfnet::obs {
+
+enum class EventKind : std::uint8_t {
+  PoolLevel,
+  FiberDown,
+  Recovery,
+  SegmentJump,
+  Decode,
+  Delivered,
+  Timeout,
+  LpSolve,
+};
+
+std::string_view to_string(EventKind kind);
+
+struct Event {
+  EventKind kind = EventKind::PoolLevel;
+  std::int32_t trial = -1;
+  std::int32_t slot = -1;
+  std::int32_t a = 0;  ///< meaning depends on kind (see header comment)
+  std::int32_t b = 0;
+  std::int32_t c = 0;
+  std::int32_t d = 0;
+  double value = 0.0;
+  bool flag = false;
+  bool flag2 = false;
+
+  static Event pool(int slot, int pairs_total, int pairs_min) {
+    return {EventKind::PoolLevel, -1, slot, pairs_total, pairs_min,
+            0,                    0,  0.0,  false,       false};
+  }
+  static Event fiber_down(int slot, int fiber, int until_slot) {
+    return {EventKind::FiberDown, -1, slot, fiber, until_slot,
+            0,                    0,  0.0,  false, false};
+  }
+  static Event recovery(int slot, int request, bool core_channel) {
+    return {EventKind::Recovery, -1,  slot,  request, core_channel ? 1 : 0,
+            0,                   0,   0.0,   false,   false};
+  }
+  static Event segment_jump(int slot, int request, int from_node,
+                            int to_node, int fibers, bool success) {
+    return {EventKind::SegmentJump, -1,     slot, request, from_node,
+            to_node,                fibers, 0.0,  success, false};
+  }
+  static Event decode(int slot, int request, int node, bool ec, int erasures,
+                      int syndromes, bool logical_error) {
+    return {EventKind::Decode, -1,        slot, request,       node,
+            erasures,          syndromes, 0.0,  logical_error, ec};
+  }
+  static Event delivered(int slot, int request, int slots, int corrections,
+                         bool logical_error) {
+    return {EventKind::Delivered, -1, slot, request,       slots,
+            corrections,          0,  0.0,  logical_error, false};
+  }
+  static Event timeout(int slot, int request, int slots) {
+    return {EventKind::Timeout, -1, slot,  request, slots,
+            0,                  0,  0.0,   false,   false};
+  }
+  static Event lp_solve(int iterations, int refactorizations, bool warm,
+                        int status, double objective) {
+    return {EventKind::LpSolve, -1,     -1,        iterations, refactorizations,
+            status,             0,      objective, warm,       false};
+  }
+};
+
+/// One JSONL line (no trailing newline) with the kind's key set.
+std::string to_jsonl(const Event& event);
+
+class TraceSink {
+ public:
+  virtual ~TraceSink() = default;
+  virtual void record(const Event& event) = 0;
+};
+
+/// In-memory sink. Parallel engines give each trial its own buffer and
+/// flush the buffers in trial order, which makes the combined trace
+/// deterministic and thread-count invariant.
+class TraceBuffer final : public TraceSink {
+ public:
+  void record(const Event& event) override { events_.push_back(event); }
+  const std::vector<Event>& events() const { return events_; }
+  void clear() { events_.clear(); }
+
+  /// Forward every event to `out` in recorded order, stamping `trial` into
+  /// events that do not carry a trial id yet.
+  void flush_to(TraceSink& out, std::int32_t trial) const;
+
+ private:
+  std::vector<Event> events_;
+};
+
+/// Streams events as JSONL to a file (owned) or a stdio stream (borrowed,
+/// e.g. stdout).
+class JsonlTraceWriter final : public TraceSink {
+ public:
+  explicit JsonlTraceWriter(const std::string& path);
+  explicit JsonlTraceWriter(std::FILE* stream) : stream_(stream) {}
+  ~JsonlTraceWriter() override;
+  JsonlTraceWriter(const JsonlTraceWriter&) = delete;
+  JsonlTraceWriter& operator=(const JsonlTraceWriter&) = delete;
+
+  void record(const Event& event) override;
+  std::int64_t events_written() const { return events_written_; }
+
+ private:
+  std::FILE* stream_ = nullptr;
+  bool owned_ = false;
+  std::int64_t events_written_ = 0;
+};
+
+}  // namespace surfnet::obs

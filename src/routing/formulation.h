@@ -20,6 +20,7 @@
 
 #include "netsim/schedule.h"
 #include "netsim/topology.h"
+#include "obs/sink.h"
 #include "routing/simplex.h"
 
 namespace surfnet::routing {
@@ -42,6 +43,9 @@ struct RoutingParams {
   /// use a compact distance-3 code, noisy routes escalate to distance 5,
   /// and the noise thresholds scale with the code's error tolerance.
   bool adaptive_code_distance = false;
+  /// Observability handle: LP solves report iterations / refactorizations /
+  /// warm-start hits into it. Null (the default) disables instrumentation.
+  obs::Sink sink{};
 
   /// Core qubits of the distance-d cross: 2d - 1.
   static int core_qubits_for(int distance) { return 2 * distance - 1; }

@@ -158,7 +158,7 @@ LpRouteResult route_lp(const Topology& topology,
 
   RoutingFormulation formulation(topology, requests, params);
   SimplexState state;
-  const LpSolution lp = solve_lp(formulation.problem(), state);
+  const LpSolution lp = solve_lp(formulation.problem(), state, params.sink);
   result.status = lp.status;
   result.cold_iterations = lp.iterations;
   // Report the throughput part of the objective (sum of Y_k), not the
@@ -300,7 +300,8 @@ LpRouteResult route_lp(const Topology& topology,
       formulation.set_entanglement_capacity(
           e, std::max(0.0, tracker.fiber_pairs_remaining(e)));
 
-    const LpSolution relp = solve_lp(formulation.problem(), state);
+    const LpSolution relp =
+        solve_lp(formulation.problem(), state, params.sink);
     ++result.resolves;
     result.warm_iterations += relp.iterations;
     if (relp.status != LpStatus::Optimal) break;

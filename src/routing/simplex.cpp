@@ -4,6 +4,9 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
 namespace surfnet::routing {
 
 void LpProblem::add_term(int var, double coeff) {
@@ -103,6 +106,7 @@ class RevisedSimplex {
   /// back to Gauss-Jordan product form with partial pivoting. Basis columns
   /// may get reassigned to different rows; false = numerically singular.
   bool refactorize() {
+    ++refactor_count_;
     eta_pivot_row_.clear();
     eta_pivot_val_.clear();
     eta_row_.clear();
@@ -334,6 +338,7 @@ class RevisedSimplex {
   std::vector<int> eta_row_;
   std::vector<double> eta_val_;
   int pivots_since_refactor_ = 0;
+  int refactor_count_ = 0;  ///< total basis rebuilds this solve
 
   std::vector<double> work_;  ///< dense row-sized scratch (FTRAN target)
   std::vector<double> y_;     ///< dense row-sized scratch (BTRAN target)
@@ -635,12 +640,14 @@ LpSolution RevisedSimplex::solve(SimplexState& state) {
   }
 
   solution.iterations = static_cast<int>(iterations);
+  solution.refactorizations = refactor_count_;
   save_state(state);
   if (solution.status != LpStatus::Optimal) return solution;
 
   // One fresh factorization before extraction scrubs the drift a long eta
   // file accumulates.
   if (pivots_since_refactor_ > 0 && refactorize()) compute_basic_values();
+  solution.refactorizations = refactor_count_;
   save_state(state);
 
   solution.x.assign(static_cast<std::size_t>(nstruct_), 0.0);
@@ -673,6 +680,25 @@ LpSolution solve_lp(const LpProblem& problem) {
 LpSolution solve_lp(const LpProblem& problem, SimplexState& state) {
   RevisedSimplex simplex(problem);
   return simplex.solve(state);
+}
+
+LpSolution solve_lp(const LpProblem& problem, SimplexState& state,
+                    const obs::Sink& sink) {
+  obs::ScopedTimer timer(sink.metrics, "lp.solve_seconds");
+  RevisedSimplex simplex(problem);
+  const LpSolution solution = simplex.solve(state);
+  if (sink.metrics) {
+    sink.metrics->count("lp.solves");
+    sink.metrics->count("lp.iterations", solution.iterations);
+    sink.metrics->count("lp.refactorizations", solution.refactorizations);
+    if (solution.warm_started) sink.metrics->count("lp.warm_starts");
+  }
+  if (sink.trace)
+    sink.trace->record(obs::Event::lp_solve(
+        solution.iterations, solution.refactorizations,
+        solution.warm_started, static_cast<int>(solution.status),
+        solution.objective));
+  return solution;
 }
 
 }  // namespace surfnet::routing

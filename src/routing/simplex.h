@@ -26,6 +26,8 @@
 #include <utility>
 #include <vector>
 
+#include "obs/sink.h"
+
 namespace surfnet::routing {
 
 enum class ConstraintType { LessEqual, GreaterEqual, Equal };
@@ -124,6 +126,7 @@ struct LpSolution {
   std::vector<double> x;
   double objective = 0.0;
   int iterations = 0;        ///< simplex pivots + bound flips, both phases
+  int refactorizations = 0;  ///< basis rebuilds (periodic + recovery + final)
   bool warm_started = false; ///< a prior basis was installed successfully
 };
 
@@ -150,5 +153,12 @@ LpSolution solve_lp(const LpProblem& problem);
 /// Solve reusing `state` when it matches the problem's shape (warm start);
 /// the final basis is stored back into `state` either way.
 LpSolution solve_lp(const LpProblem& problem, SimplexState& state);
+
+/// Observed solve: additionally times the solve into the sink's metrics
+/// ("lp.solve_seconds", counters "lp.solves" / "lp.iterations" /
+/// "lp.refactorizations" / "lp.warm_starts") and records one lp_solve
+/// trace event. A null sink behaves exactly like the overload above.
+LpSolution solve_lp(const LpProblem& problem, SimplexState& state,
+                    const obs::Sink& sink);
 
 }  // namespace surfnet::routing

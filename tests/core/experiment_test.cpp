@@ -1,11 +1,17 @@
 // Integration tests of the SurfNet facade: every (scenario, design) pair
-// runs end to end, metrics are well-formed, and trials are reproducible.
+// runs end to end, metrics are well-formed, trials are reproducible, and
+// the observability plane (sinks through RunOptions) is deterministic
+// under any thread count.
 
 #include "core/surfnet.h"
 
 #include <gtest/gtest.h>
 
+#include <string>
 #include <tuple>
+
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace surfnet::core {
 namespace {
@@ -51,7 +57,8 @@ INSTANTIATE_TEST_SUITE_P(
 TEST(Experiment, AggregateCountsTrials) {
   const auto params =
       make_scenario(FacilityLevel::Abundant, ConnectionQuality::Good);
-  const auto agg = run_trials(params, NetworkDesign::SurfNet, 5, 99);
+  const auto agg = run_trials(params, NetworkDesign::SurfNet, 5,
+                              RunOptions{.seed = 99});
   EXPECT_EQ(agg.throughput.count(), 5u);
   EXPECT_LE(agg.fidelity.count(), 5u);
   EXPECT_GE(agg.fidelity.mean(), 0.0);
@@ -63,8 +70,10 @@ TEST(Experiment, SurfNetBeatsPurification1OnFidelity) {
   // communication fidelity than the single-round purification network.
   const auto params =
       make_scenario(FacilityLevel::Abundant, ConnectionQuality::Good);
-  const auto surfnet = run_trials(params, NetworkDesign::SurfNet, 25, 4);
-  const auto purif = run_trials(params, NetworkDesign::Purification1, 25, 4);
+  const auto surfnet = run_trials(params, NetworkDesign::SurfNet, 25,
+                                  RunOptions{.seed = 4});
+  const auto purif = run_trials(params, NetworkDesign::Purification1, 25,
+                                RunOptions{.seed = 4});
   EXPECT_GT(surfnet.fidelity.mean(), purif.fidelity.mean());
 }
 
@@ -88,13 +97,127 @@ TEST(Experiment, ScenarioDefaultsMatchPaperExample) {
 TEST(Experiment, ParallelMatchesSequential) {
   const auto params =
       make_scenario(FacilityLevel::Sufficient, ConnectionQuality::Good);
-  const auto serial = run_trials(params, NetworkDesign::SurfNet, 8, 5);
-  const auto parallel =
-      run_trials_parallel(params, NetworkDesign::SurfNet, 8, 5, 4);
+  const auto serial = run_trials(params, NetworkDesign::SurfNet, 8,
+                                 RunOptions{.seed = 5, .threads = 1});
+  const auto parallel = run_trials(params, NetworkDesign::SurfNet, 8,
+                                   RunOptions{.seed = 5, .threads = 4});
   EXPECT_DOUBLE_EQ(parallel.fidelity.mean(), serial.fidelity.mean());
   EXPECT_DOUBLE_EQ(parallel.latency.mean(), serial.latency.mean());
   EXPECT_DOUBLE_EQ(parallel.throughput.mean(), serial.throughput.mean());
   EXPECT_EQ(parallel.fidelity.count(), serial.fidelity.count());
+}
+
+TEST(Experiment, DeprecatedWrappersMatchRunOptionsApi) {
+  const auto params =
+      make_scenario(FacilityLevel::Sufficient, ConnectionQuality::Good);
+  const auto current = run_trials(params, NetworkDesign::SurfNet, 6,
+                                  RunOptions{.seed = 31});
+  const auto threaded = run_trials(params, NetworkDesign::SurfNet, 6,
+                                   RunOptions{.seed = 31, .threads = 3});
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
+  const auto legacy = run_trials(params, NetworkDesign::SurfNet, 6, 31);
+  const auto legacy_parallel =
+      run_trials_parallel(params, NetworkDesign::SurfNet, 6, 31, 3);
+#pragma GCC diagnostic pop
+  EXPECT_DOUBLE_EQ(legacy.fidelity.mean(), current.fidelity.mean());
+  EXPECT_DOUBLE_EQ(legacy.latency.mean(), current.latency.mean());
+  EXPECT_DOUBLE_EQ(legacy_parallel.fidelity.mean(),
+                   threaded.fidelity.mean());
+  EXPECT_DOUBLE_EQ(legacy_parallel.throughput.mean(),
+                   threaded.throughput.mean());
+}
+
+namespace {
+
+/// Run `trials` with a capture buffer + registry attached and return the
+/// concatenated JSONL trace and the metrics JSON document.
+std::pair<std::string, std::string> traced_run(int trials, int threads) {
+  const auto params =
+      make_scenario(FacilityLevel::Sufficient, ConnectionQuality::Good);
+  obs::TraceBuffer trace;
+  obs::MetricsRegistry metrics;
+  RunOptions options;
+  options.seed = 2024;
+  options.threads = threads;
+  options.sink = {&metrics, &trace};
+  run_trials(params, NetworkDesign::SurfNet, trials, options);
+  std::string jsonl;
+  for (const auto& event : trace.events()) {
+    jsonl += obs::to_jsonl(event);
+    jsonl += '\n';
+  }
+  return {std::move(jsonl), metrics.to_json()};
+}
+
+}  // namespace
+
+namespace {
+
+/// Blank the "timers" section of a metrics JSON document: timers hold
+/// measured wall-clock seconds, the one legitimately run-varying part.
+std::string without_timers(std::string json) {
+  const auto begin = json.find("\"timers\": {");
+  if (begin == std::string::npos) return json;
+  const auto end = json.find('}', begin);
+  return json.erase(begin, end - begin + 1);
+}
+
+}  // namespace
+
+TEST(Experiment, TraceIsThreadCountInvariant) {
+  const auto [trace1, metrics1] = traced_run(6, /*threads=*/1);
+  const auto [trace8, metrics8] = traced_run(6, /*threads=*/8);
+  EXPECT_FALSE(trace1.empty());
+  EXPECT_EQ(trace1, trace8);
+  // Counters and histograms are integer sums merged in trial order, so
+  // everything except the measured wall-clock timers must match byte for
+  // byte.
+  EXPECT_EQ(without_timers(metrics1), without_timers(metrics8));
+}
+
+TEST(Experiment, SinkDoesNotPerturbResults) {
+  const auto params =
+      make_scenario(FacilityLevel::Sufficient, ConnectionQuality::Good);
+  const auto bare = run_trials(params, NetworkDesign::SurfNet, 5,
+                               RunOptions{.seed = 12});
+  obs::TraceBuffer trace;
+  obs::MetricsRegistry metrics;
+  const auto traced =
+      run_trials(params, NetworkDesign::SurfNet, 5,
+                 RunOptions{.seed = 12, .sink = {&metrics, &trace}});
+  EXPECT_DOUBLE_EQ(traced.fidelity.mean(), bare.fidelity.mean());
+  EXPECT_DOUBLE_EQ(traced.latency.mean(), bare.latency.mean());
+  EXPECT_DOUBLE_EQ(traced.throughput.mean(), bare.throughput.mean());
+  EXPECT_GT(metrics.counter("sim.decodes"), 0);
+  EXPECT_GT(metrics.counter("lp.solves"), 0);
+}
+
+TEST(Experiment, TrialEventTotalsReconcileWithMetrics) {
+  // The acceptance check from the trace design: per-event totals in the
+  // trace agree exactly with the aggregated counters.
+  obs::TraceBuffer trace;
+  obs::MetricsRegistry metrics;
+  const auto params =
+      make_scenario(FacilityLevel::Sufficient, ConnectionQuality::Good);
+  run_trials(params, NetworkDesign::SurfNet, 4,
+             RunOptions{.seed = 77, .sink = {&metrics, &trace}});
+  std::int64_t decodes = 0, delivered = 0, jumps = 0, pool_samples = 0;
+  for (const auto& event : trace.events()) {
+    switch (event.kind) {
+      case obs::EventKind::Decode: ++decodes; break;
+      case obs::EventKind::Delivered: ++delivered; break;
+      case obs::EventKind::SegmentJump: ++jumps; break;
+      case obs::EventKind::PoolLevel: ++pool_samples; break;
+      default: break;
+    }
+  }
+  EXPECT_EQ(decodes, metrics.counter("sim.decodes"));
+  EXPECT_EQ(delivered, metrics.counter("sim.delivered"));
+  EXPECT_EQ(jumps, metrics.counter("sim.segment_jumps"));
+  const auto* pool = metrics.histogram("sim.pool_total");
+  ASSERT_NE(pool, nullptr);
+  EXPECT_EQ(pool_samples, pool->total);
 }
 
 }  // namespace

@@ -4,6 +4,8 @@
 
 #include "decoder/surfnet_decoder.h"
 #include "netsim/schedule.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "util/rng.h"
 
 namespace surfnet::netsim {
@@ -212,6 +214,162 @@ TEST(Simulator, RejectsBrokenSchedules) {
   EXPECT_THROW(
       simulate_surfnet(topo, bad_ec, SimulationParams{}, dec, rng),
       std::invalid_argument);
+}
+
+TEST(Simulator, PerCodeRecordsReconcileWithTotals) {
+  const auto topo = line_topology(0.9);
+  const decoder::SurfNetDecoder dec;
+  util::Rng rng(21);
+  SimulationParams params;
+  params.noise_scale = 0.6;
+  const auto result = simulate_surfnet(topo, line_schedule(40, true), params,
+                                       dec, rng);
+  int delivered = 0, succeeded = 0;
+  double latency = 0.0;
+  for (const auto& record : result.codes) {
+    EXPECT_EQ(record.request, 0);
+    EXPECT_GT(record.slots, 0);
+    if (record.outcome != CodeOutcome::TimedOut) {
+      ++delivered;
+      latency += record.slots;
+      EXPECT_GT(record.corrections, 0);  // at least the final readout
+      if (record.outcome == CodeOutcome::Succeeded) ++succeeded;
+    }
+  }
+  EXPECT_EQ(delivered, result.codes_delivered);
+  EXPECT_EQ(succeeded, result.codes_succeeded);
+  EXPECT_DOUBLE_EQ(latency, result.total_latency);
+}
+
+TEST(Simulator, PurificationRecordsReconcileWithTotals) {
+  const auto topo = line_topology(0.85);
+  util::Rng rng(22);
+  SimulationParams params;
+  const auto result = simulate_purification(topo, line_schedule(30, true), 1,
+                                            params, rng);
+  int delivered = 0, succeeded = 0;
+  for (const auto& record : result.codes) {
+    if (record.outcome != CodeOutcome::TimedOut) {
+      ++delivered;
+      if (record.outcome == CodeOutcome::Succeeded) ++succeeded;
+    }
+  }
+  EXPECT_EQ(delivered, result.codes_delivered);
+  EXPECT_EQ(succeeded, result.codes_succeeded);
+}
+
+TEST(Simulator, TimedOutCodesGetRecordsToo) {
+  const auto topo = line_topology(0.95, /*pair_capacity=*/0);
+  const decoder::SurfNetDecoder dec;
+  util::Rng rng(23);
+  SimulationParams params;
+  params.entanglement_rate = 0.0;
+  params.max_slots = 100;
+  const auto result = simulate_surfnet(topo, line_schedule(2, true), params,
+                                       dec, rng);
+  EXPECT_EQ(result.codes_delivered, 0);
+  ASSERT_FALSE(result.codes.empty());
+  for (const auto& record : result.codes) {
+    EXPECT_EQ(record.outcome, CodeOutcome::TimedOut);
+    EXPECT_LE(record.slots, params.max_slots);
+  }
+}
+
+TEST(Simulator, InterfaceSelectsModelByDesign) {
+  const decoder::SurfNetDecoder dec;
+  const auto surfnet = make_simulator(NetworkDesign::SurfNet, dec);
+  const auto raw = make_simulator(NetworkDesign::Raw, dec);
+  const auto p2 = make_simulator(NetworkDesign::Purification2, dec);
+  EXPECT_EQ(surfnet->name(), "surfnet");
+  EXPECT_EQ(raw->name(), "surfnet");  // Raw shares the surface-code model
+  EXPECT_EQ(p2->name(), "purification");
+
+  // Polymorphic run matches the free function it wraps.
+  const auto topo = line_topology(0.95);
+  SimulationParams params;
+  util::Rng rng1(24), rng2(24);
+  const auto via_iface =
+      surfnet->run(topo, line_schedule(5, true), params, rng1);
+  const auto direct =
+      simulate_surfnet(topo, line_schedule(5, true), params, dec, rng2);
+  EXPECT_EQ(via_iface.codes_delivered, direct.codes_delivered);
+  EXPECT_DOUBLE_EQ(via_iface.total_latency, direct.total_latency);
+
+  util::Rng rng3(25), rng4(25);
+  const auto p2_iface = p2->run(topo, line_schedule(5, true), params, rng3);
+  const auto p2_direct =
+      simulate_purification(topo, line_schedule(5, true), 2, params, rng4);
+  EXPECT_EQ(p2_iface.codes_delivered, p2_direct.codes_delivered);
+  EXPECT_DOUBLE_EQ(p2_iface.total_latency, p2_direct.total_latency);
+}
+
+TEST(Simulator, DesignNamesAndPurificationRounds) {
+  EXPECT_EQ(to_string(NetworkDesign::SurfNet), "SurfNet");
+  EXPECT_EQ(purification_rounds(NetworkDesign::SurfNet), 0);
+  EXPECT_EQ(purification_rounds(NetworkDesign::Purification1), 1);
+  EXPECT_EQ(purification_rounds(NetworkDesign::Purification2), 2);
+  EXPECT_EQ(purification_rounds(NetworkDesign::Purification9), 9);
+}
+
+TEST(Simulator, TraceEventsReconcileExactlyWithResult) {
+  // Acceptance check: on the paper's d=4 code every decode, delivery, and
+  // timeout in the event trace matches the SimulationResult exactly, and
+  // attaching the sink does not change the simulation itself.
+  const auto topo = line_topology(0.9);
+  const decoder::SurfNetDecoder dec;
+  SimulationParams params;
+  params.code_distance = 4;
+  params.noise_scale = 0.6;
+
+  util::Rng bare_rng(26);
+  const auto bare = simulate_surfnet(topo, line_schedule(60, true), params,
+                                     dec, bare_rng);
+
+  obs::TraceBuffer trace;
+  obs::MetricsRegistry metrics;
+  params.sink = {&metrics, &trace};
+  util::Rng rng(26);
+  const auto result = simulate_surfnet(topo, line_schedule(60, true), params,
+                                       dec, rng);
+
+  // Identical RNG consumption: the traced run reproduces the bare run.
+  EXPECT_EQ(result.codes_delivered, bare.codes_delivered);
+  EXPECT_EQ(result.codes_succeeded, bare.codes_succeeded);
+  EXPECT_DOUBLE_EQ(result.total_latency, bare.total_latency);
+
+  int decode_events = 0, decode_errors = 0;
+  int delivered_events = 0, success_outcomes = 0, timeout_events = 0;
+  int corrections_from_records = 0;
+  for (const auto& event : trace.events()) {
+    switch (event.kind) {
+      case obs::EventKind::Decode:
+        ++decode_events;
+        if (event.flag) ++decode_errors;
+        break;
+      case obs::EventKind::Delivered:
+        ++delivered_events;
+        if (!event.flag) ++success_outcomes;
+        break;
+      case obs::EventKind::Timeout:
+        ++timeout_events;
+        break;
+      default:
+        break;
+    }
+  }
+  for (const auto& record : result.codes)
+    corrections_from_records += record.corrections;
+
+  EXPECT_EQ(delivered_events, result.codes_delivered);
+  EXPECT_EQ(success_outcomes, result.codes_succeeded);
+  EXPECT_EQ(timeout_events,
+            static_cast<int>(result.codes.size()) - result.codes_delivered);
+  // Every correction is one decode event, and the metrics plane agrees.
+  EXPECT_EQ(decode_events, corrections_from_records);
+  EXPECT_EQ(decode_events, metrics.counter("sim.decodes"));
+  EXPECT_EQ(decode_errors, metrics.counter("sim.decode_logical_errors"));
+  EXPECT_EQ(metrics.counter("sim.delivered"), result.codes_delivered);
+  EXPECT_EQ(metrics.counter("sim.succeeded"), result.codes_succeeded);
 }
 
 TEST(Schedule, ThroughputDefinition) {
