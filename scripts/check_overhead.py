@@ -1,0 +1,85 @@
+#!/usr/bin/env python3
+"""Gate the zero-overhead-when-disabled guarantee of the contract layer.
+
+Compares a bench_decoder_speed --json run against a baseline (by default
+the committed seed baseline from a Release build with SURFNET_CHECKS=OFF)
+and fails if any (decoder, distance) row's throughput dropped by more than
+the tolerance. Rows are matched by (decoder, distance, threads); rows
+missing from either side fail the check, so the bench cannot silently
+shrink its coverage.
+
+Passing several candidate files compares the per-row BEST across them:
+shared machines show large bimodal run-to-run swings (frequency scaling,
+noisy neighbors), and the best of a few runs is the stable estimator of
+what the binary can do. Tolerance guidance: best-of-3 on the machine that
+produced the baseline, 10% covers residual noise; across CI runner
+generations use something much looser (the CI job passes 50% — it exists
+to catch "contracts accidentally compiled into Release", a >2x cliff on
+the hot decode loop, not single-digit regressions).
+
+Usage:
+  scripts/check_overhead.py RUN.json [RUN2.json ...] [--baseline FILE]
+                            [--tolerance F]
+"""
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+DEFAULT_BASELINE = REPO / "bench" / "baselines" / "decoder_speed_release.json"
+
+
+def rows_by_key(report):
+    rows = {}
+    for row in report["results"]:
+        rows[(row["decoder"], row["distance"], row["threads"])] = row
+    return rows
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("candidates", nargs="+", metavar="RUN.json",
+                        help="bench_decoder_speed --json outputs; several "
+                             "runs are merged row-wise by best throughput")
+    parser.add_argument("--baseline", default=str(DEFAULT_BASELINE))
+    parser.add_argument("--tolerance", type=float, default=0.10,
+                        help="allowed fractional throughput drop (0.10=10%%)")
+    args = parser.parse_args()
+
+    baseline = rows_by_key(json.loads(Path(args.baseline).read_text()))
+    candidate = {}
+    for path in args.candidates:
+        for key, row in rows_by_key(json.loads(Path(path).read_text())).items():
+            if (key not in candidate or
+                    row["trials_per_sec"] > candidate[key]["trials_per_sec"]):
+                candidate[key] = row
+
+    failures = []
+    if set(baseline) != set(candidate):
+        failures.append(f"row sets differ: baseline-only "
+                        f"{sorted(set(baseline) - set(candidate))}, "
+                        f"candidate-only {sorted(set(candidate) - set(baseline))}")
+    worst = 0.0
+    for key in sorted(set(baseline) & set(candidate)):
+        base = baseline[key]["trials_per_sec"]
+        cand = candidate[key]["trials_per_sec"]
+        drop = (base - cand) / base
+        worst = max(worst, drop)
+        status = "FAIL" if drop > args.tolerance else "ok"
+        print(f"{status}  {key[0]:>16} d={key[1]:<3} threads={key[2]:<3} "
+              f"{base:>12.1f} -> {cand:>12.1f} trials/s ({drop:+.1%})")
+        if drop > args.tolerance:
+            failures.append(f"{key}: throughput dropped {drop:.1%} "
+                            f"(tolerance {args.tolerance:.0%})")
+
+    print(f"check_overhead: worst drop {worst:+.1%}, "
+          f"tolerance {args.tolerance:.0%}", file=sys.stderr)
+    for failure in failures:
+        print(f"error: {failure}", file=sys.stderr)
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,247 @@
+#!/usr/bin/env python3
+"""Project-specific lint rules the compiler cannot enforce.
+
+Rules (scoped per tree; see RULES below):
+
+  wallclock-seeding   No std::rand / srand / std::random_device /
+                      system_clock / time(...) anywhere outside
+                      bench/bench_common.h (the ArgParser owns the only
+                      wall-clock entropy escape hatch, and nothing uses it
+                      today). Monotonic timing (steady_clock) is fine;
+                      nondeterministic *seeding* is what breaks the
+                      bitwise-reproducibility contract of the trial runner
+                      and the traced simulator.
+
+  stdio-in-src        No std::cout / std::cerr / <iostream> / printf /
+                      puts in src/: library code reports through the obs
+                      layer (metrics + trace sinks), never directly to the
+                      process streams. snprintf into buffers and fprintf
+                      to explicit FILE* handles are fine.
+
+  unordered-iteration No range-for over a std::unordered_{map,set,...}
+                      variable in src/: iteration order is
+                      implementation-defined, which silently breaks the
+                      stable trace/metric schemas and thread-count-
+                      invariant merges. (Heuristic: flags iteration over
+                      identifiers declared as unordered containers in the
+                      same file.)
+
+  header-hygiene      Every header starts with #pragma once as its first
+                      non-comment line, and no #ifndef-style include
+                      guards (the pragma is the project idiom).
+
+Suppression: a line containing `lint: allow(<rule>)` in a comment
+suppresses that rule for the whole file (use sparingly, state why).
+
+Usage:
+  scripts/lint_surfnet.py                 # lint the default trees
+  scripts/lint_surfnet.py FILE...         # lint specific files
+  scripts/lint_surfnet.py --changed BASE  # lint files changed since BASE
+
+Exits nonzero when any finding is reported.
+"""
+
+import argparse
+import re
+import subprocess
+import sys
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+DEFAULT_TREES = ("src", "bench", "tests", "examples")
+CXX_SUFFIXES = {".h", ".hpp", ".cpp", ".cc"}
+
+WALLCLOCK_PATTERNS = [
+    (re.compile(r"\bstd::rand\b"), "std::rand"),
+    (re.compile(r"\bsrand\s*\("), "srand"),
+    (re.compile(r"\brandom_device\b"), "std::random_device"),
+    (re.compile(r"\bsystem_clock\b"), "system_clock"),
+    (re.compile(r"\bstd::time\s*\("), "std::time"),
+    (re.compile(r"(?<![\w:])time\s*\(\s*(?:NULL|nullptr|0)?\s*\)"), "time()"),
+    (re.compile(r"\bgettimeofday\b"), "gettimeofday"),
+]
+
+STDIO_PATTERNS = [
+    (re.compile(r"\bstd::cout\b"), "std::cout"),
+    (re.compile(r"\bstd::cerr\b"), "std::cerr"),
+    (re.compile(r"#\s*include\s*<iostream>"), "<iostream>"),
+    (re.compile(r"(?<![\w:])printf\s*\("), "printf"),
+    (re.compile(r"\bfprintf\s*\(\s*stdout\b"), "fprintf(stdout)"),
+    (re.compile(r"(?<![\w:])puts\s*\("), "puts"),
+]
+
+UNORDERED_DECL = re.compile(
+    r"\bunordered_(?:map|set|multimap|multiset)\s*<[^;{]*?>\s+(\w+)")
+RANGE_FOR = re.compile(r"\bfor\s*\(\s*[^;:()]+:\s*(\w+)\s*\)")
+
+LINE_COMMENT = re.compile(r"//.*$")
+ALLOW = re.compile(r"lint:\s*allow\(([\w-]+)\)")
+
+
+def strip_strings(line):
+    """Blank out string/char literals so patterns never match inside them."""
+    out = []
+    i, n = 0, len(line)
+    quote = None
+    while i < n:
+        ch = line[i]
+        if quote:
+            if ch == "\\":
+                i += 2
+                continue
+            if ch == quote:
+                quote = None
+            i += 1
+            continue
+        if ch in "\"'":
+            quote = ch
+            out.append(ch)
+            i += 1
+            continue
+        out.append(ch)
+        i += 1
+    return "".join(out) if quote is None else "".join(out)
+
+
+class FileLinter:
+    def __init__(self, path, repo_rel):
+        self.path = path
+        self.rel = repo_rel
+        self.text = path.read_text(encoding="utf-8", errors="replace")
+        self.lines = self.text.splitlines()
+        self.allowed = set(ALLOW.findall(self.text))
+        self.findings = []
+
+    def report(self, rule, line_no, message):
+        if rule in self.allowed:
+            return
+        self.findings.append(f"{self.rel}:{line_no}: [{rule}] {message}")
+
+    def code_lines(self):
+        """(line_no, code) with comments and string literals blanked."""
+        in_block = False
+        for no, raw in enumerate(self.lines, 1):
+            line = strip_strings(raw)
+            if in_block:
+                end = line.find("*/")
+                if end < 0:
+                    continue
+                line = line[end + 2:]
+                in_block = False
+            while True:
+                start = line.find("/*")
+                if start < 0:
+                    break
+                end = line.find("*/", start + 2)
+                if end < 0:
+                    line = line[:start]
+                    in_block = True
+                    break
+                line = line[:start] + line[end + 2:]
+            line = LINE_COMMENT.sub("", line)
+            if line.strip():
+                yield no, line
+
+    def lint_wallclock(self):
+        if self.rel.as_posix() == "bench/bench_common.h":
+            return  # the ArgParser owns the only wall-clock escape hatch
+        for no, line in self.code_lines():
+            for pattern, name in WALLCLOCK_PATTERNS:
+                if pattern.search(line):
+                    self.report(
+                        "wallclock-seeding", no,
+                        f"{name} breaks deterministic seeding; derive "
+                        "randomness from an explicit seed (util/rng.h)")
+
+    def lint_stdio(self):
+        if self.rel.parts[0] != "src":
+            return
+        for no, line in self.code_lines():
+            for pattern, name in STDIO_PATTERNS:
+                if pattern.search(line):
+                    self.report(
+                        "stdio-in-src", no,
+                        f"{name} in library code; report through the obs "
+                        "layer (src/obs) instead")
+
+    def lint_unordered(self):
+        if self.rel.parts[0] != "src":
+            return
+        declared = {}
+        for no, line in self.code_lines():
+            for match in UNORDERED_DECL.finditer(line):
+                declared[match.group(1)] = no
+        if not declared:
+            return
+        for no, line in self.code_lines():
+            match = RANGE_FOR.search(line)
+            if match and match.group(1) in declared:
+                self.report(
+                    "unordered-iteration", no,
+                    f"iterating '{match.group(1)}' (unordered container, "
+                    f"declared line {declared[match.group(1)]}): order is "
+                    "implementation-defined and breaks trace/metric "
+                    "determinism; copy into a sorted vector first")
+
+    def lint_header(self):
+        if self.path.suffix not in (".h", ".hpp"):
+            return
+        first = None
+        for no, line in self.code_lines():
+            first = (no, line.strip())
+            break
+        if first is None or first[1] != "#pragma once":
+            self.report("header-hygiene", first[0] if first else 1,
+                        "first non-comment line must be '#pragma once'")
+        for no, line in self.code_lines():
+            if re.match(r"#\s*ifndef\s+\w+_H\b", line.strip()):
+                self.report("header-hygiene", no,
+                            "#ifndef include guard; use #pragma once")
+
+    def run(self):
+        self.lint_wallclock()
+        self.lint_stdio()
+        self.lint_unordered()
+        self.lint_header()
+        return self.findings
+
+
+def gather_files(args):
+    if args.files:
+        return [Path(f).resolve() for f in args.files]
+    if args.changed:
+        out = subprocess.run(
+            ["git", "diff", "--name-only", "--diff-filter=d", args.changed],
+            cwd=REPO, capture_output=True, text=True, check=True).stdout
+        return [REPO / f for f in out.splitlines()
+                if f.split("/")[0] in DEFAULT_TREES]
+    files = []
+    for tree in DEFAULT_TREES:
+        files.extend(sorted((REPO / tree).rglob("*")))
+    return files
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("files", nargs="*", help="files to lint")
+    parser.add_argument("--changed", metavar="BASE",
+                        help="lint files changed since this git ref")
+    args = parser.parse_args()
+
+    findings = []
+    checked = 0
+    for path in gather_files(args):
+        if path.suffix not in CXX_SUFFIXES or not path.is_file():
+            continue
+        checked += 1
+        findings.extend(FileLinter(path, path.relative_to(REPO)).run())
+
+    for finding in findings:
+        print(finding)
+    print(f"lint_surfnet: {checked} files, {len(findings)} finding(s)",
+          file=sys.stderr)
+    return 1 if findings else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

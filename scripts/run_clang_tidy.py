@@ -1,0 +1,119 @@
+#!/usr/bin/env python3
+"""Run clang-tidy over the project's compilation database.
+
+Reads compile_commands.json (written by CMake; configure with
+-DCMAKE_EXPORT_COMPILE_COMMANDS=ON, which the top-level CMakeLists.txt
+already forces), filters to first-party translation units, and runs
+clang-tidy on each in parallel. The check set lives in .clang-tidy.
+
+If no clang-tidy binary is available (the local toolchain only ships
+g++), this exits 0 with a SKIPPED note so pre-commit use never blocks;
+CI installs the tool and runs the real thing.
+
+Usage:
+  scripts/run_clang_tidy.py [-p BUILD_DIR] [--changed BASE] [-j N] [FILE...]
+"""
+
+import argparse
+import concurrent.futures
+import json
+import shutil
+import subprocess
+import sys
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+FIRST_PARTY = ("src", "bench", "tests", "examples")
+TOOL_CANDIDATES = ("clang-tidy", "clang-tidy-18", "clang-tidy-17",
+                   "clang-tidy-16", "clang-tidy-15", "clang-tidy-14")
+
+
+def find_tool():
+    for name in TOOL_CANDIDATES:
+        path = shutil.which(name)
+        if path:
+            return path
+    return None
+
+
+def changed_files(base):
+    out = subprocess.run(
+        ["git", "diff", "--name-only", "--diff-filter=d", base],
+        cwd=REPO, capture_output=True, text=True, check=True).stdout
+    return {str(REPO / f) for f in out.splitlines()}
+
+
+def gather_units(build_dir, only_files):
+    db_path = build_dir / "compile_commands.json"
+    if not db_path.is_file():
+        sys.exit(f"error: {db_path} not found; configure the build first "
+                 "(cmake -B build -S .)")
+    units = []
+    for entry in json.loads(db_path.read_text()):
+        source = str((Path(entry["directory"]) / entry["file"]).resolve())
+        rel = Path(source)
+        try:
+            rel = rel.relative_to(REPO)
+        except ValueError:
+            continue
+        if rel.parts[0] not in FIRST_PARTY:
+            continue
+        if only_files is not None and source not in only_files:
+            continue
+        units.append(source)
+    return sorted(set(units))
+
+
+def run_one(tool, build_dir, source):
+    proc = subprocess.run(
+        [tool, "-p", str(build_dir), "--quiet", source],
+        capture_output=True, text=True)
+    return source, proc.returncode, proc.stdout + proc.stderr
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("files", nargs="*", help="restrict to these sources")
+    parser.add_argument("-p", "--build-dir", default="build",
+                        help="build dir holding compile_commands.json")
+    parser.add_argument("--changed", metavar="BASE",
+                        help="only lint sources changed since this git ref")
+    parser.add_argument("-j", "--jobs", type=int, default=4)
+    args = parser.parse_args()
+
+    tool = find_tool()
+    if tool is None:
+        print("run_clang_tidy: SKIPPED (no clang-tidy binary on PATH)")
+        return 0
+
+    only = None
+    if args.files:
+        only = {str(Path(f).resolve()) for f in args.files}
+    elif args.changed:
+        only = changed_files(args.changed)
+
+    build_dir = (REPO / args.build_dir).resolve()
+    units = gather_units(build_dir, only)
+    if not units:
+        print("run_clang_tidy: no matching translation units")
+        return 0
+
+    failures = 0
+    with concurrent.futures.ThreadPoolExecutor(args.jobs) as pool:
+        futures = [pool.submit(run_one, tool, build_dir, u) for u in units]
+        for future in concurrent.futures.as_completed(futures):
+            source, code, output = future.result()
+            rel = Path(source).relative_to(REPO)
+            if code != 0 or "warning:" in output or "error:" in output:
+                failures += 1
+                print(f"--- {rel}")
+                print(output.rstrip())
+            else:
+                print(f"ok  {rel}")
+    print(f"run_clang_tidy: {len(units)} units, {failures} with findings",
+          file=sys.stderr)
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -3,6 +3,9 @@
 #include <stdexcept>
 #include <utility>
 
+#include "decoder/validate.h"
+#include "util/contracts.h"
+
 namespace surfnet::decoder {
 
 namespace {
@@ -155,6 +158,9 @@ const std::vector<char>& grow_clusters(const qec::DecodingGraph& graph,
     std::swap(ws.active, ws.next_active);
   }
 
+#if SURFNET_CHECKS
+  check_growth_invariants(graph, syndrome, config, ws);
+#endif
   return ws.region;
 }
 

@@ -48,6 +48,12 @@ struct GrowthWorkspace {
   std::vector<int> active;
   std::vector<int> next_active;
   std::vector<std::size_t> newly_grown;
+  /// Scratch of check_growth_invariants (SURFNET_CHECKS); owned by the
+  /// workspace so the validated decode path stays allocation-free at
+  /// steady state.
+  std::vector<int> dbg_members;
+  std::vector<char> dbg_parity;
+  std::vector<char> dbg_boundary;
 };
 
 /// Run cluster growth; returns the per-edge region mask (grown edges, which

@@ -8,6 +8,8 @@
 #include <numeric>
 #include <vector>
 
+#include "util/contracts.h"
+
 namespace surfnet::decoder {
 
 class Dsu {
@@ -23,7 +25,11 @@ class Dsu {
     std::iota(parent_.begin(), parent_.end(), 0);
   }
 
+  std::size_t num_elements() const { return parent_.size(); }
+
   int find(int x) {
+    SURFNET_EXPECTS(x >= 0 && static_cast<std::size_t>(x) < parent_.size(),
+                    "element %d of %zu", x, parent_.size());
     int root = x;
     while (parent_[static_cast<std::size_t>(root)] != root)
       root = parent_[static_cast<std::size_t>(root)];

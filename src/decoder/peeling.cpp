@@ -2,6 +2,9 @@
 
 #include <stdexcept>
 
+#include "decoder/validate.h"
+#include "util/contracts.h"
+
 namespace surfnet::decoder {
 
 std::vector<char> peel_correction(const qec::DecodingGraph& graph,
@@ -74,6 +77,9 @@ const std::vector<char>& peel_correction(const qec::DecodingGraph& graph,
       throw std::logic_error(
           "peel: unmatched syndrome (region component has odd parity and no "
           "boundary)");
+#if SURFNET_CHECKS
+  check_peel_invariants(graph, region, syndrome, ws.correction, ws.dbg_parity);
+#endif
   return ws.correction;
 }
 

@@ -28,6 +28,10 @@ struct PeelWorkspace {
   std::vector<TreeEdge> forest;
   std::vector<int> stack;
   std::vector<char> correction;
+  /// Scratch of check_peel_invariants (SURFNET_CHECKS); owned by the
+  /// workspace so the validated decode path stays allocation-free at
+  /// steady state.
+  std::vector<char> dbg_parity;
 };
 
 /// Peel a correction out of `region`. `syndrome` is a bitmap over real

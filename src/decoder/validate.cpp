@@ -1,0 +1,130 @@
+#include "decoder/validate.h"
+
+#include <cstddef>
+
+#include "util/contracts.h"
+
+namespace surfnet::decoder {
+
+namespace {
+
+// Must match the growth threshold in cluster_growth.cpp.
+constexpr double kFullyGrown = 1.0 - 1e-9;
+
+}  // namespace
+
+void check_growth_invariants(const qec::DecodingGraph& graph,
+                             const std::vector<char>& syndrome,
+                             const GrowthConfig& config, GrowthWorkspace& ws) {
+  const auto nv = static_cast<std::size_t>(graph.num_real_vertices());
+  const std::size_t ne = graph.num_edges();
+  SURFNET_ASSERT(syndrome.size() == nv, "syndrome %zu for %zu vertices",
+                 syndrome.size(), nv);
+  SURFNET_ASSERT(ws.parity.size() == nv && ws.touches_boundary.size() == nv,
+                 "cluster metadata sized %zu/%zu for %zu vertices",
+                 ws.parity.size(), ws.touches_boundary.size(), nv);
+  SURFNET_ASSERT(ws.region.size() == ne && ws.growth.size() == ne,
+                 "region/growth sized %zu/%zu for %zu edges", ws.region.size(),
+                 ws.growth.size(), ne);
+
+  // Region <-> growth consistency and erased-edge absorption.
+  for (std::size_t e = 0; e < ne; ++e) {
+    const bool pregrown = !config.pregrown.empty() && config.pregrown[e];
+    if (pregrown)
+      SURFNET_ASSERT(ws.region[e], "erased edge %zu not absorbed", e);
+    if (ws.region[e])
+      SURFNET_ASSERT(ws.growth[e] >= kFullyGrown,
+                     "region edge %zu has growth %g", e, ws.growth[e]);
+    else
+      SURFNET_ASSERT(ws.growth[e] < kFullyGrown,
+                     "fully grown edge %zu missing from region", e);
+  }
+
+  // Fusion closure: region edges between real vertices connect fused
+  // clusters; region edges into a boundary mark their cluster.
+  ws.dbg_boundary.assign(nv, 0);
+  std::vector<char>& boundary_reach = ws.dbg_boundary;
+  for (std::size_t e = 0; e < ne; ++e) {
+    if (!ws.region[e]) continue;
+    const qec::GraphEdge& edge = graph.edge(e);
+    const bool bu = graph.is_boundary(edge.u);
+    const bool bv = graph.is_boundary(edge.v);
+    if (bu && bv) continue;
+    if (bu || bv) {
+      const int real = bu ? edge.v : edge.u;
+      boundary_reach[static_cast<std::size_t>(ws.dsu.find(real))] = 1;
+    } else {
+      SURFNET_ASSERT(ws.dsu.same(edge.u, edge.v),
+                     "region edge %zu (%d, %d) spans two clusters", e, edge.u,
+                     edge.v);
+    }
+  }
+
+  // Per-root parity, boundary flags, member counts and termination.
+  ws.dbg_members.assign(nv, 0);
+  ws.dbg_parity.assign(nv, 0);
+  std::vector<int>& members = ws.dbg_members;
+  std::vector<char>& parity = ws.dbg_parity;
+  for (std::size_t v = 0; v < nv; ++v) {
+    const auto root = static_cast<std::size_t>(ws.dsu.find(static_cast<int>(v)));
+    ++members[root];
+    parity[root] = static_cast<char>(parity[root] ^ (syndrome[v] ? 1 : 0));
+  }
+  for (std::size_t v = 0; v < nv; ++v) {
+    if (static_cast<std::size_t>(ws.dsu.find(static_cast<int>(v))) != v)
+      continue;  // not a root
+    SURFNET_ASSERT(ws.dsu.size_of(static_cast<int>(v)) ==
+                       static_cast<std::size_t>(members[v]),
+                   "root %zu claims size %zu, has %d members", v,
+                   ws.dsu.size_of(static_cast<int>(v)), members[v]);
+    SURFNET_ASSERT((ws.parity[v] != 0) == (parity[v] != 0),
+                   "root %zu parity flag %d, syndrome XOR %d", v,
+                   ws.parity[v] ? 1 : 0, parity[v] ? 1 : 0);
+    SURFNET_ASSERT((ws.touches_boundary[v] != 0) == (boundary_reach[v] != 0),
+                   "root %zu boundary flag %d, boundary reach %d", v,
+                   ws.touches_boundary[v] ? 1 : 0, boundary_reach[v] ? 1 : 0);
+    SURFNET_ASSERT(!ws.parity[v] || ws.touches_boundary[v],
+                   "odd cluster at root %zu survived growth", v);
+  }
+}
+
+void check_peel_invariants(const qec::DecodingGraph& graph,
+                           const std::vector<char>& region,
+                           const std::vector<char>& syndrome,
+                           const std::vector<char>& correction) {
+  std::vector<char> scratch;
+  check_peel_invariants(graph, region, syndrome, correction, scratch);
+}
+
+void check_peel_invariants(const qec::DecodingGraph& graph,
+                           const std::vector<char>& region,
+                           const std::vector<char>& syndrome,
+                           const std::vector<char>& correction,
+                           std::vector<char>& scratch) {
+  const std::size_t ne = graph.num_edges();
+  const auto nv = static_cast<std::size_t>(graph.num_real_vertices());
+  SURFNET_ASSERT(correction.size() == ne, "correction %zu for %zu edges",
+                 correction.size(), ne);
+  SURFNET_ASSERT(region.size() == ne && syndrome.size() == nv,
+                 "region %zu / syndrome %zu for %zu edges / %zu vertices",
+                 region.size(), syndrome.size(), ne, nv);
+
+  scratch.assign(nv, 0);
+  std::vector<char>& reproduced = scratch;
+  for (std::size_t e = 0; e < ne; ++e) {
+    if (!correction[e]) continue;
+    SURFNET_ASSERT(region[e], "correction edge %zu outside the region", e);
+    const qec::GraphEdge& edge = graph.edge(e);
+    if (!graph.is_boundary(edge.u))
+      reproduced[static_cast<std::size_t>(edge.u)] ^= 1;
+    if (!graph.is_boundary(edge.v))
+      reproduced[static_cast<std::size_t>(edge.v)] ^= 1;
+  }
+  for (std::size_t v = 0; v < nv; ++v)
+    SURFNET_ASSERT((reproduced[v] != 0) == (syndrome[v] != 0),
+                   "correction reproduces syndrome %d at vertex %zu, "
+                   "expected %d",
+                   reproduced[v] ? 1 : 0, v, syndrome[v] ? 1 : 0);
+}
+
+}  // namespace surfnet::decoder

@@ -1,0 +1,47 @@
+#pragma once
+
+// Debug invariant validators for the cluster decoders (Union-Find family).
+// grow_clusters and peel_correction call these on their own results when
+// SURFNET_CHECKS is on; tests call them directly against deliberately
+// corrupted state to prove each check fires. A broken invariant reports
+// through util/contracts.h (abort by default, ContractViolation under the
+// test handler).
+
+#include <vector>
+
+#include "decoder/cluster_growth.h"
+#include "qec/graph.h"
+
+namespace surfnet::decoder {
+
+/// Post-growth cluster invariants (paper Algorithm 2 / ref. [32]):
+///   * region/growth consistency: an edge is in the region iff its growth
+///     reached a full edge (pregrown/erased edges are absorbed at 1.0);
+///   * fusion closure: the real endpoints of every region edge share a DSU
+///     root, and DSU cluster sizes match the actual member counts;
+///   * parity: each root's parity flag equals the XOR of the syndrome bits
+///     of its members;
+///   * boundary flags: a root is marked boundary-touching iff some region
+///     edge leaves the cluster into a boundary vertex;
+///   * termination: no odd-parity cluster remains without a boundary.
+/// `ws` is mutated only through DSU path compression.
+void check_growth_invariants(const qec::DecodingGraph& graph,
+                             const std::vector<char>& syndrome,
+                             const GrowthConfig& config, GrowthWorkspace& ws);
+
+/// Post-peeling invariants (Delfosse-Zemor): the correction is supported
+/// on the region, and flipping its edges reproduces the syndrome exactly
+/// (per real vertex, the parity of incident correction edges equals the
+/// syndrome bit). The overload with `scratch` performs no allocations once
+/// the scratch buffer is warm (peel_correction passes its workspace's).
+void check_peel_invariants(const qec::DecodingGraph& graph,
+                           const std::vector<char>& region,
+                           const std::vector<char>& syndrome,
+                           const std::vector<char>& correction);
+void check_peel_invariants(const qec::DecodingGraph& graph,
+                           const std::vector<char>& region,
+                           const std::vector<char>& syndrome,
+                           const std::vector<char>& correction,
+                           std::vector<char>& scratch);
+
+}  // namespace surfnet::decoder

@@ -2,6 +2,9 @@
 
 #include <stdexcept>
 
+#include "qec/validate.h"
+#include "util/contracts.h"
+
 namespace surfnet::qec {
 
 namespace {
@@ -76,6 +79,17 @@ SurfaceCodeLattice::SurfaceCodeLattice(int distance) : d_(distance) {
     }
     x_graph_ = DecodingGraph(num_real, boundary, std::move(edges));
   }
+
+  // Paper Fig. 2(a): d^2 site + (d-1)^2 cell data qubits, d(d-1) measure
+  // qubits per stabilizer type.
+  SURFNET_ENSURES(num_data_qubits() == d_ * d_ + (d_ - 1) * (d_ - 1),
+                  "%d data qubits for distance %d", num_data_qubits(), d_);
+  SURFNET_ENSURES(num_measure_z() + num_measure_x() == 2 * d_ * (d_ - 1),
+                  "%d measure qubits for distance %d",
+                  num_measure_z() + num_measure_x(), d_);
+#if SURFNET_CHECKS
+  check_lattice_invariants(*this);
+#endif
 }
 
 int SurfaceCodeLattice::data_index(Coord rc) const {

@@ -3,6 +3,9 @@
 #include <stdexcept>
 #include <vector>
 
+#include "qec/validate.h"
+#include "util/contracts.h"
+
 namespace surfnet::qec {
 
 namespace {
@@ -95,6 +98,18 @@ RotatedSurfaceCodeLattice::RotatedSurfaceCodeLattice(int distance)
       x_cut_ = std::move(cut);
     }
   }
+
+  // Rotated layout: d^2 data qubits, (d^2 - 1) / 2 stabilizers per type.
+  SURFNET_ENSURES(num_data_qubits() == d_ * d_, "%d data qubits for distance %d",
+                  num_data_qubits(), d_);
+  SURFNET_ENSURES(z_graph_.num_real_vertices() == (d_ * d_ - 1) / 2 &&
+                      x_graph_.num_real_vertices() == (d_ * d_ - 1) / 2,
+                  "%d + %d stabilizers for distance %d",
+                  z_graph_.num_real_vertices(), x_graph_.num_real_vertices(),
+                  d_);
+#if SURFNET_CHECKS
+  check_lattice_invariants(*this);
+#endif
 }
 
 std::vector<int> RotatedSurfaceCodeLattice::logical_operator(

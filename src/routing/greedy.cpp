@@ -6,6 +6,8 @@
 #include <queue>
 
 #include "netsim/channel.h"
+#include "routing/validate.h"
+#include "util/contracts.h"
 
 namespace surfnet::routing {
 
@@ -339,6 +341,10 @@ Schedule route_greedy(const Topology& topology,
       schedule.scheduled.push_back(std::move(s));
     }
   }
+
+#if SURFNET_CHECKS
+  check_schedule_invariants(topology, requests, params, schedule);
+#endif
   return schedule;
 }
 

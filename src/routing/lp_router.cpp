@@ -6,6 +6,8 @@
 
 #include "netsim/channel.h"
 #include "routing/greedy.h"
+#include "routing/validate.h"
+#include "util/contracts.h"
 
 namespace surfnet::routing {
 
@@ -172,7 +174,8 @@ LpRouteResult route_lp(const Topology& topology,
   if (lp.status == LpStatus::Optimal) result.lp_objective = throughput(lp);
   result.schedule.lp_objective = result.lp_objective;
   if (lp.status != LpStatus::Optimal) {
-    // Fall back entirely to the greedy scheduler.
+    // Fall back entirely to the greedy scheduler (which validates its own
+    // schedule under SURFNET_CHECKS).
     result.schedule = route_greedy(topology, requests, params, rng);
     result.schedule.lp_objective = 0.0;
     return result;
@@ -328,6 +331,12 @@ LpRouteResult route_lp(const Topology& topology,
       result.schedule.scheduled.push_back(std::move(s));
     }
   }
+
+#if SURFNET_CHECKS
+  // The rounded schedule must satisfy the integer program's constraints
+  // (Eqs. (1)-(6)) no matter how the LP/rounding/top-up interplay went.
+  check_schedule_invariants(topology, requests, params, result.schedule);
+#endif
   return result;
 }
 

@@ -6,6 +6,8 @@
 
 #include "obs/metrics.h"
 #include "obs/trace.h"
+#include "routing/validate.h"
+#include "util/contracts.h"
 
 namespace surfnet::routing {
 
@@ -301,6 +303,82 @@ class RevisedSimplex {
     return refactorize();
   }
 
+  /// Debug validator (SURFNET_CHECKS): structural sanity of the basis and
+  /// the variable-status flags. Compiled to nothing when checks are off.
+  void check_basis_invariants() const {
+#if SURFNET_CHECKS
+    std::vector<char> seen(static_cast<std::size_t>(ncols_), 0);
+    for (int r = 0; r < m_; ++r) {
+      const int j = basis_[static_cast<std::size_t>(r)];
+      SURFNET_ASSERT(j >= 0 && j < ncols_, "row %d holds column %d of %d", r,
+                     j, ncols_);
+      SURFNET_ASSERT(!seen[static_cast<std::size_t>(j)],
+                     "column %d basic in two rows", j);
+      seen[static_cast<std::size_t>(j)] = 1;
+      SURFNET_ASSERT(vstat_[static_cast<std::size_t>(j)] == kBasic,
+                     "basic column %d has status %d", j,
+                     vstat_[static_cast<std::size_t>(j)]);
+    }
+    int basic_count = 0;
+    for (int j = 0; j < ncols_; ++j) {
+      const auto status = vstat_[static_cast<std::size_t>(j)];
+      if (status == kBasic) ++basic_count;
+      if (status == kAtUpper)
+        SURFNET_ASSERT(std::isfinite(upper_[static_cast<std::size_t>(j)]),
+                       "column %d at-upper with infinite bound", j);
+    }
+    SURFNET_ASSERT(basic_count == m_, "%d basic flags for %d rows",
+                   basic_count, m_);
+#endif
+  }
+
+  /// Debug validator (SURFNET_CHECKS): eta-file refactorization residual.
+  /// With x assembled from the basic values and the nonbasic-at-upper
+  /// bounds, A x must reproduce b — a drifting eta file or a corrupt basis
+  /// shows up here as a large residual.
+  void check_primal_residual() {
+#if SURFNET_CHECKS
+    check_basis_invariants();
+    std::vector<double> residual(b_.begin(), b_.end());
+    double scale = 1.0;
+    for (const double rhs : b_) scale = std::max(scale, std::abs(rhs));
+    const auto apply_column = [&](int j, double x) {
+      if (x == 0.0) return;
+      for (int k = col_start_[static_cast<std::size_t>(j)];
+           k < col_start_[static_cast<std::size_t>(j) + 1]; ++k)
+        residual[static_cast<std::size_t>(
+            col_row_[static_cast<std::size_t>(k)])] -=
+            col_val_[static_cast<std::size_t>(k)] * x;
+    };
+    for (int j = 0; j < ncols_; ++j)
+      if (vstat_[static_cast<std::size_t>(j)] == kAtUpper)
+        apply_column(j, upper_[static_cast<std::size_t>(j)]);
+    for (int r = 0; r < m_; ++r)
+      apply_column(basis_[static_cast<std::size_t>(r)],
+                   x_basic_[static_cast<std::size_t>(r)]);
+    for (int r = 0; r < m_; ++r)
+      SURFNET_ASSERT(std::abs(residual[static_cast<std::size_t>(r)]) <=
+                         1e-5 * scale,
+                     "row %d residual %g (scale %g)", r,
+                     residual[static_cast<std::size_t>(r)], scale);
+#endif
+  }
+
+  /// Debug validator (SURFNET_CHECKS): on phase-1 exit every basic value
+  /// must sit inside its bounds — Optimal with a bound violation means the
+  /// phase transition logic broke.
+  void check_exit_feasibility() const {
+#if SURFNET_CHECKS
+    for (int r = 0; r < m_; ++r) {
+      const double v = x_basic_[static_cast<std::size_t>(r)];
+      const double u =
+          upper_[static_cast<std::size_t>(basis_[static_cast<std::size_t>(r)])];
+      SURFNET_ASSERT(v >= -1e-5 && v <= u + 1e-5,
+                     "basic value %g outside [0, %g] in row %d", v, u, r);
+    }
+#endif
+  }
+
   void save_state(SimplexState& state) const {
     state.basis.assign(basis_.begin(), basis_.end());
     state.at_upper.assign(static_cast<std::size_t>(ncols_), 0);
@@ -457,6 +535,7 @@ LpSolution RevisedSimplex::solve(SimplexState& state) {
   }
   solution.warm_started = warm;
   compute_basic_values();
+  check_primal_residual();
 
   const long max_iterations = 4096 + 32L * (m_ + nstruct_);
   long iterations = 0;
@@ -647,6 +726,8 @@ LpSolution RevisedSimplex::solve(SimplexState& state) {
   // One fresh factorization before extraction scrubs the drift a long eta
   // file accumulates.
   if (pivots_since_refactor_ > 0 && refactorize()) compute_basic_values();
+  check_primal_residual();
+  check_exit_feasibility();
   solution.refactorizations = refactor_count_;
   save_state(state);
 
@@ -679,7 +760,12 @@ LpSolution solve_lp(const LpProblem& problem) {
 
 LpSolution solve_lp(const LpProblem& problem, SimplexState& state) {
   RevisedSimplex simplex(problem);
-  return simplex.solve(state);
+  const LpSolution solution = simplex.solve(state);
+#if SURFNET_CHECKS
+  // The snapshot handed back for warm starts must always be installable.
+  if (state.valid()) check_simplex_state_invariants(problem, state);
+#endif
+  return solution;
 }
 
 LpSolution solve_lp(const LpProblem& problem, SimplexState& state,

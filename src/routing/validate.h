@@ -1,0 +1,46 @@
+#pragma once
+
+// Debug invariant validators for the routing layer. route_lp and
+// route_greedy validate their schedules against the integer program's
+// constraints (paper Eqs. (1)-(6)) before returning when SURFNET_CHECKS is
+// on; solve_lp validates the basis snapshot it hands back. Tests call the
+// validators directly against deliberately corrupted schedules and bases
+// to prove each check fires. A broken invariant reports through
+// util/contracts.h (abort by default, ContractViolation under the test
+// handler).
+
+#include <vector>
+
+#include "netsim/schedule.h"
+#include "netsim/topology.h"
+#include "routing/formulation.h"
+#include "routing/simplex.h"
+
+namespace surfnet::routing {
+
+/// Validate a routing solution against the integer-program constraints:
+///   * bookkeeping: request indices in range, positive code counts,
+///     per-request scheduled codes <= requested codes (Eq. (2) bounds),
+///     requested_codes matches the request list;
+///   * initialization/termination (Eq. (3)): every Support (and, when
+///     present, Core) path is a src..dst walk over existing fibers;
+///   * server coupling (Eq. (4)): every EC server is a server node lying
+///     on both paths, in path order, and the EC count respects the
+///     Eq. (6) lower bound floor(path noise / omega);
+///   * capacity (Eq. (5)): accumulated storage demand per node and
+///     entangled-pair demand per fiber stay within the topology's
+///     capacities (with the Raw bonus when single-channel).
+void check_schedule_invariants(const netsim::Topology& topology,
+                               const std::vector<netsim::Request>& requests,
+                               const RoutingParams& params,
+                               const netsim::Schedule& schedule);
+
+/// Validate a simplex basis snapshot against its problem: the shape
+/// matches the problem's internal column layout (structural + slack +
+/// artificial), the basis holds one distinct in-range column per row, and
+/// at-upper flags only sit on nonbasic columns (structural ones must have
+/// a finite positive bound to rest on).
+void check_simplex_state_invariants(const LpProblem& problem,
+                                    const SimplexState& state);
+
+}  // namespace surfnet::routing

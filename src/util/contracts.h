@@ -1,0 +1,113 @@
+#pragma once
+
+// Project-wide contract macros (the checking layer behind every validator
+// in SurfNet):
+//
+//   SURFNET_ASSERT(cond, ...)   — internal invariant, mid-algorithm
+//   SURFNET_EXPECTS(cond, ...)  — precondition at a module boundary
+//   SURFNET_ENSURES(cond, ...)  — postcondition at a module boundary
+//
+// The optional trailing arguments are a printf-style context message
+// ("index %d out of %d", i, n) attached to the failure report.
+//
+// All three are gated by the SURFNET_CHECKS compile definition (CMake
+// option of the same name: ON in Debug/RelWithDebInfo and in CI, OFF in
+// Release). When disabled the macros expand to an unevaluated-operand
+// sizeof, so the condition and message arguments are type-checked and
+// count as used — no -Wunused warnings — but generate zero code and never
+// evaluate their operands.
+//
+// On failure the installed handler receives a ContractFailure describing
+// file:line, the failed expression and the formatted context. The default
+// handler prints the report to stderr and aborts; tests install a throwing
+// handler (ScopedContractHandler + throw_contract_violation) to turn
+// failures into catchable ContractViolation exceptions.
+
+#include <stdexcept>
+#include <string>
+
+#ifndef SURFNET_CHECKS
+#define SURFNET_CHECKS 0
+#endif
+
+namespace surfnet::util {
+
+/// Everything known about one failed contract.
+struct ContractFailure {
+  const char* kind = "";        ///< "assertion", "precondition", ...
+  const char* expression = "";  ///< stringified condition
+  const char* file = "";
+  int line = 0;
+  std::string message;  ///< formatted context; empty when none given
+};
+
+/// Renders "file:line: kind failed: expr (message)".
+std::string format_contract_failure(const ContractFailure& failure);
+
+/// Thrown by throw_contract_violation (the test-friendly handler).
+class ContractViolation : public std::logic_error {
+ public:
+  explicit ContractViolation(const ContractFailure& failure)
+      : std::logic_error(format_contract_failure(failure)) {}
+};
+
+/// A handler may throw to unwind (tests) or return to request the default
+/// abort (so a handler cannot accidentally continue past a violation).
+using ContractHandler = void (*)(const ContractFailure&);
+
+/// Install a handler; returns the previous one. Passing nullptr restores
+/// the default print-and-abort handler.
+ContractHandler set_contract_handler(ContractHandler handler);
+
+/// Ready-made handler that throws ContractViolation.
+void throw_contract_violation(const ContractFailure& failure);
+
+/// RAII handler installation for tests.
+class ScopedContractHandler {
+ public:
+  explicit ScopedContractHandler(ContractHandler handler)
+      : previous_(set_contract_handler(handler)) {}
+  ~ScopedContractHandler() { set_contract_handler(previous_); }
+  ScopedContractHandler(const ScopedContractHandler&) = delete;
+  ScopedContractHandler& operator=(const ScopedContractHandler&) = delete;
+
+ private:
+  ContractHandler previous_;
+};
+
+/// Failure trampoline behind the macros. Never returns normally: either
+/// the handler throws or the process aborts.
+[[noreturn]] void contract_fail(const char* kind, const char* expression,
+                                const char* file, int line);
+[[noreturn]] __attribute__((format(printf, 5, 6))) void contract_fail(
+    const char* kind, const char* expression, const char* file, int line,
+    const char* format, ...);
+
+namespace contracts_detail {
+
+/// Declared, never defined: the disabled macros wrap their arguments in
+/// sizeof(contract_sink(...)), an unevaluated operand, so the operands are
+/// type-checked and "used" but cost nothing at runtime.
+template <typename... Args>
+int contract_sink(Args&&...);
+
+}  // namespace contracts_detail
+}  // namespace surfnet::util
+
+#if SURFNET_CHECKS
+#define SURFNET_CONTRACT_IMPL(kind, cond, ...)                            \
+  ((cond) ? static_cast<void>(0)                                          \
+          : ::surfnet::util::contract_fail(kind, #cond, __FILE__,         \
+                                           __LINE__ __VA_OPT__(, ) __VA_ARGS__))
+#else
+#define SURFNET_CONTRACT_IMPL(kind, cond, ...)                       \
+  static_cast<void>(sizeof(::surfnet::util::contracts_detail::contract_sink( \
+      (cond)__VA_OPT__(, ) __VA_ARGS__)))
+#endif
+
+#define SURFNET_ASSERT(cond, ...) \
+  SURFNET_CONTRACT_IMPL("assertion", cond __VA_OPT__(, ) __VA_ARGS__)
+#define SURFNET_EXPECTS(cond, ...) \
+  SURFNET_CONTRACT_IMPL("precondition", cond __VA_OPT__(, ) __VA_ARGS__)
+#define SURFNET_ENSURES(cond, ...) \
+  SURFNET_CONTRACT_IMPL("postcondition", cond __VA_OPT__(, ) __VA_ARGS__)

@@ -1,0 +1,143 @@
+// Corruption tests for the cluster-decoder validators: run a real growth +
+// peeling pass, then flip one piece of workspace state at a time and
+// confirm the matching invariant check fires. Skipped when the build
+// compiles contracts out.
+
+#include "decoder/validate.h"
+
+#include <gtest/gtest.h>
+
+#include <cstddef>
+#include <vector>
+
+#include "decoder/cluster_growth.h"
+#include "decoder/peeling.h"
+#include "qec/lattice.h"
+#include "util/contracts.h"
+
+namespace surfnet::decoder {
+namespace {
+
+using qec::GraphKind;
+using qec::SurfaceCodeLattice;
+using util::ContractViolation;
+using util::ScopedContractHandler;
+using util::throw_contract_violation;
+
+#if SURFNET_CHECKS
+
+struct GrownFixture {
+  GrownFixture() : lattice(5), graph(lattice.graph(GraphKind::Z)) {
+    config.speed.assign(graph.num_edges(), 0.5);
+    syndrome.assign(static_cast<std::size_t>(graph.num_real_vertices()), 0);
+    syndrome[2] = 1;
+    syndrome[static_cast<std::size_t>(graph.num_real_vertices()) / 2] = 1;
+    grow_clusters(graph, syndrome, config, ws);
+  }
+
+  SurfaceCodeLattice lattice;
+  const qec::DecodingGraph& graph;
+  GrowthConfig config;
+  std::vector<char> syndrome;
+  GrowthWorkspace ws;
+};
+
+TEST(GrowthValidator, AcceptsHealthyWorkspace) {
+  GrownFixture fix;
+  ScopedContractHandler scoped(throw_contract_violation);
+  EXPECT_NO_THROW(
+      check_growth_invariants(fix.graph, fix.syndrome, fix.config, fix.ws));
+}
+
+TEST(GrowthValidator, RejectsCorruptedClusterParity) {
+  GrownFixture fix;
+  // Flip the parity flag at the root owning the first syndrome vertex: it
+  // no longer equals the XOR of the members' syndrome bits.
+  const int root = fix.ws.dsu.find(2);
+  fix.ws.parity[static_cast<std::size_t>(root)] ^= 1;
+  ScopedContractHandler scoped(throw_contract_violation);
+  EXPECT_THROW(
+      check_growth_invariants(fix.graph, fix.syndrome, fix.config, fix.ws),
+      ContractViolation);
+}
+
+TEST(GrowthValidator, RejectsRegionEdgeThatNeverGrew) {
+  GrownFixture fix;
+  std::size_t ungrown = fix.graph.num_edges();
+  for (std::size_t e = 0; e < fix.graph.num_edges(); ++e)
+    if (!fix.ws.region[e] && fix.ws.growth[e] < 0.5) ungrown = e;
+  ASSERT_LT(ungrown, fix.graph.num_edges());
+  fix.ws.region[ungrown] = 1;  // region claims an edge growth never filled
+  ScopedContractHandler scoped(throw_contract_violation);
+  EXPECT_THROW(
+      check_growth_invariants(fix.graph, fix.syndrome, fix.config, fix.ws),
+      ContractViolation);
+}
+
+TEST(GrowthValidator, RejectsDroppedRegionEdge) {
+  GrownFixture fix;
+  std::size_t grown = fix.graph.num_edges();
+  for (std::size_t e = 0; e < fix.graph.num_edges(); ++e)
+    if (fix.ws.region[e]) grown = e;
+  ASSERT_LT(grown, fix.graph.num_edges());
+  fix.ws.region[grown] = 0;  // fully grown edge missing from the region
+  ScopedContractHandler scoped(throw_contract_violation);
+  EXPECT_THROW(
+      check_growth_invariants(fix.graph, fix.syndrome, fix.config, fix.ws),
+      ContractViolation);
+}
+
+TEST(PeelValidator, AcceptsHealthyCorrection) {
+  GrownFixture fix;
+  const auto correction = peel_correction(fix.graph, fix.ws.region,
+                                          fix.syndrome);
+  ScopedContractHandler scoped(throw_contract_violation);
+  EXPECT_NO_THROW(
+      check_peel_invariants(fix.graph, fix.ws.region, fix.syndrome,
+                            correction));
+}
+
+TEST(PeelValidator, RejectsCorrectionOutsideRegion) {
+  GrownFixture fix;
+  auto correction = peel_correction(fix.graph, fix.ws.region, fix.syndrome);
+  std::size_t outside = fix.graph.num_edges();
+  for (std::size_t e = 0; e < fix.graph.num_edges(); ++e)
+    if (!fix.ws.region[e]) outside = e;
+  ASSERT_LT(outside, fix.graph.num_edges());
+  correction[outside] = 1;
+  ScopedContractHandler scoped(throw_contract_violation);
+  EXPECT_THROW(check_peel_invariants(fix.graph, fix.ws.region, fix.syndrome,
+                                     correction),
+               ContractViolation);
+}
+
+TEST(PeelValidator, RejectsCorrectionBreakingSyndromeParity) {
+  GrownFixture fix;
+  auto correction = peel_correction(fix.graph, fix.ws.region, fix.syndrome);
+  // Flip one in-region real-real edge of the correction: the parity at its
+  // endpoints no longer reproduces the syndrome.
+  std::size_t flip = fix.graph.num_edges();
+  for (std::size_t e = 0; e < fix.graph.num_edges(); ++e) {
+    const auto& edge = fix.graph.edge(e);
+    if (fix.ws.region[e] && !fix.graph.is_boundary(edge.u) &&
+        !fix.graph.is_boundary(edge.v))
+      flip = e;
+  }
+  ASSERT_LT(flip, fix.graph.num_edges());
+  correction[flip] ^= 1;
+  ScopedContractHandler scoped(throw_contract_violation);
+  EXPECT_THROW(check_peel_invariants(fix.graph, fix.ws.region, fix.syndrome,
+                                     correction),
+               ContractViolation);
+}
+
+#else  // !SURFNET_CHECKS
+
+TEST(GrowthValidator, SkippedWithoutChecks) {
+  GTEST_SKIP() << "SURFNET_CHECKS is off; validators compile to no-ops";
+}
+
+#endif  // SURFNET_CHECKS
+
+}  // namespace
+}  // namespace surfnet::decoder

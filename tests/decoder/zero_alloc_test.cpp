@@ -35,6 +35,11 @@ void count_allocation() {
 
 }  // namespace
 
+// GCC pairs the replaced operator delete's std::free with the standard
+// operator new and reports -Wmismatched-new-delete; the pairing is in fact
+// consistent (both operators are replaced malloc/free shims).
+#pragma GCC diagnostic ignored "-Wmismatched-new-delete"
+
 void* operator new(std::size_t size) {
   count_allocation();
   if (void* p = std::malloc(size ? size : 1)) return p;

@@ -1,0 +1,147 @@
+// Corruption tests for the lattice/graph validators: build a healthy
+// structure, break one invariant at a time through a delegating fake, and
+// confirm the matching check fires (ContractViolation under the throwing
+// handler). Skipped when the build compiles contracts out.
+
+#include "qec/validate.h"
+
+#include <gtest/gtest.h>
+
+#include <optional>
+#include <utility>
+#include <vector>
+
+#include "qec/lattice.h"
+#include "util/contracts.h"
+
+namespace surfnet::qec {
+namespace {
+
+using util::ContractViolation;
+using util::ScopedContractHandler;
+using util::throw_contract_violation;
+
+#if SURFNET_CHECKS
+
+/// Wraps a healthy lattice and lets one accessor at a time lie.
+class CorruptibleLattice final : public CodeLattice {
+ public:
+  explicit CorruptibleLattice(int distance) : inner_(distance) {}
+
+  int distance() const override { return inner_.distance(); }
+  int num_data_qubits() const override { return inner_.num_data_qubits(); }
+  const DecodingGraph& graph(GraphKind kind) const override {
+    if (graph_override && kind == GraphKind::Z) return *graph_override;
+    return inner_.graph(kind);
+  }
+  const std::vector<int>& logical_cut(GraphKind kind) const override {
+    if (cut_override) return *cut_override;
+    return inner_.logical_cut(kind);
+  }
+  std::vector<int> logical_operator(GraphKind kind) const override {
+    return inner_.logical_operator(kind);
+  }
+  Coord data_coord(int q) const override {
+    if (duplicate_coords && q == 1) return inner_.data_coord(0);
+    return inner_.data_coord(q);
+  }
+  CoreSupportPartition core_partition() const override {
+    if (partition_override) return *partition_override;
+    return inner_.core_partition();
+  }
+
+  std::optional<DecodingGraph> graph_override;
+  std::optional<std::vector<int>> cut_override;
+  std::optional<CoreSupportPartition> partition_override;
+  bool duplicate_coords = false;
+
+ private:
+  SurfaceCodeLattice inner_;
+};
+
+TEST(GraphValidator, AcceptsHealthyGraphs) {
+  const SurfaceCodeLattice lattice(5);
+  ScopedContractHandler scoped(throw_contract_violation);
+  EXPECT_NO_THROW(check_graph_invariants(lattice.graph(GraphKind::Z)));
+  EXPECT_NO_THROW(check_graph_invariants(lattice.graph(GraphKind::X)));
+}
+
+TEST(GraphValidator, RejectsBoundaryToBoundaryEdge) {
+  // Constructible (the ctor only range-checks) but invalid for decoding:
+  // an edge between the two virtual boundary vertices.
+  const DecodingGraph graph(2, BoundaryIds{2, 3},
+                            {{0, 2, 0}, {0, 1, 1}, {2, 3, 2}});
+  ScopedContractHandler scoped(throw_contract_violation);
+  EXPECT_THROW(check_graph_invariants(graph), ContractViolation);
+}
+
+TEST(LatticeValidator, AcceptsHealthyLattices) {
+  ScopedContractHandler scoped(throw_contract_violation);
+  EXPECT_NO_THROW(check_lattice_invariants(SurfaceCodeLattice(3)));
+  EXPECT_NO_THROW(check_lattice_invariants(SurfaceCodeLattice(5)));
+  EXPECT_NO_THROW(check_lattice_invariants(CorruptibleLattice(5)));
+}
+
+TEST(LatticeValidator, RejectsWrongEdgeCount) {
+  CorruptibleLattice lattice(3);
+  // A structurally fine graph whose edge count disagrees with the
+  // lattice's data-qubit count.
+  lattice.graph_override.emplace(2, BoundaryIds{2, 3},
+                                 std::vector<GraphEdge>{{0, 1, 0}, {1, 2, 1}});
+  ScopedContractHandler scoped(throw_contract_violation);
+  EXPECT_THROW(check_lattice_invariants(lattice), ContractViolation);
+}
+
+TEST(LatticeValidator, RejectsEmptyLogicalCut) {
+  CorruptibleLattice lattice(3);
+  lattice.cut_override.emplace();
+  ScopedContractHandler scoped(throw_contract_violation);
+  EXPECT_THROW(check_lattice_invariants(lattice), ContractViolation);
+}
+
+TEST(LatticeValidator, RejectsEvenCutCrossing) {
+  CorruptibleLattice lattice(3);
+  // A cut the representative logical operator never crosses: crossing
+  // parity 0 is even, violating the odd-crossing contract.
+  std::vector<char> on_operator(
+      static_cast<std::size_t>(lattice.num_data_qubits()), 0);
+  for (const int q : lattice.logical_operator(GraphKind::Z))
+    on_operator[static_cast<std::size_t>(q)] = 1;
+  std::vector<int> cut;
+  for (int q = 0; q < lattice.num_data_qubits(); ++q)
+    if (!on_operator[static_cast<std::size_t>(q)]) {
+      cut.push_back(q);
+      break;
+    }
+  ASSERT_FALSE(cut.empty());
+  lattice.cut_override = std::move(cut);
+  ScopedContractHandler scoped(throw_contract_violation);
+  EXPECT_THROW(check_lattice_invariants(lattice), ContractViolation);
+}
+
+TEST(LatticeValidator, RejectsDuplicateCoordinates) {
+  CorruptibleLattice lattice(3);
+  lattice.duplicate_coords = true;
+  ScopedContractHandler scoped(throw_contract_violation);
+  EXPECT_THROW(check_lattice_invariants(lattice), ContractViolation);
+}
+
+TEST(LatticeValidator, RejectsInconsistentCorePartition) {
+  CorruptibleLattice lattice(3);
+  CoreSupportPartition part = lattice.core_partition();
+  part.num_core += 1;  // mask no longer matches the claimed count
+  lattice.partition_override = std::move(part);
+  ScopedContractHandler scoped(throw_contract_violation);
+  EXPECT_THROW(check_lattice_invariants(lattice), ContractViolation);
+}
+
+#else  // !SURFNET_CHECKS
+
+TEST(LatticeValidator, SkippedWithoutChecks) {
+  GTEST_SKIP() << "SURFNET_CHECKS is off; validators compile to no-ops";
+}
+
+#endif  // SURFNET_CHECKS
+
+}  // namespace
+}  // namespace surfnet::qec

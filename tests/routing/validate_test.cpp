@@ -1,0 +1,192 @@
+// Corruption tests for the routing validators: produce a healthy schedule
+// and a healthy simplex basis snapshot, break one invariant at a time, and
+// confirm the matching check fires. Skipped when the build compiles
+// contracts out.
+
+#include "routing/validate.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "netsim/schedule.h"
+#include "netsim/topology.h"
+#include "routing/formulation.h"
+#include "routing/greedy.h"
+#include "util/contracts.h"
+#include "util/rng.h"
+
+namespace surfnet::routing {
+namespace {
+
+using netsim::Request;
+using netsim::Schedule;
+using netsim::Topology;
+using netsim::TopologySpec;
+using util::ContractViolation;
+using util::ScopedContractHandler;
+using util::throw_contract_violation;
+
+#if SURFNET_CHECKS
+
+struct ScheduleFixture {
+  ScheduleFixture() : rng(42) {
+    TopologySpec spec;
+    spec.num_nodes = 22;
+    spec.num_servers = 3;
+    spec.num_switches = 7;
+    spec.storage_capacity = 100;
+    spec.entanglement_capacity = 30;
+    topology = netsim::make_random_topology(spec, rng);
+    requests = netsim::random_requests(topology, 6, 3, rng);
+    params.core_noise_threshold = 0.6;
+    params.total_noise_threshold = 0.7;
+    params.ec_reduction = 0.15;
+    schedule = route_greedy(topology, requests, params, rng);
+    // route_greedy already self-validates under SURFNET_CHECKS, so the
+    // fixture's schedule is known-healthy and nonempty for these seeds.
+  }
+
+  util::Rng rng;
+  Topology topology;
+  std::vector<Request> requests;
+  RoutingParams params;
+  Schedule schedule;
+};
+
+TEST(ScheduleValidator, AcceptsHealthySchedule) {
+  ScheduleFixture fix;
+  ASSERT_FALSE(fix.schedule.scheduled.empty());
+  ScopedContractHandler scoped(throw_contract_violation);
+  EXPECT_NO_THROW(check_schedule_invariants(fix.topology, fix.requests,
+                                            fix.params, fix.schedule));
+}
+
+TEST(ScheduleValidator, RejectsRequestIndexOutOfRange) {
+  ScheduleFixture fix;
+  ASSERT_FALSE(fix.schedule.scheduled.empty());
+  fix.schedule.scheduled.front().request_index = 999;
+  ScopedContractHandler scoped(throw_contract_violation);
+  EXPECT_THROW(check_schedule_invariants(fix.topology, fix.requests,
+                                         fix.params, fix.schedule),
+               ContractViolation);
+}
+
+TEST(ScheduleValidator, RejectsOverschedulingARequest) {
+  ScheduleFixture fix;
+  ASSERT_FALSE(fix.schedule.scheduled.empty());
+  auto& entry = fix.schedule.scheduled.front();
+  const auto& req =
+      fix.requests[static_cast<std::size_t>(entry.request_index)];
+  entry.codes = req.codes + 1;  // more codes than the request asked for
+  ScopedContractHandler scoped(throw_contract_violation);
+  EXPECT_THROW(check_schedule_invariants(fix.topology, fix.requests,
+                                         fix.params, fix.schedule),
+               ContractViolation);
+}
+
+TEST(ScheduleValidator, RejectsBrokenSupportPath) {
+  ScheduleFixture fix;
+  ASSERT_FALSE(fix.schedule.scheduled.empty());
+  auto& entry = fix.schedule.scheduled.front();
+  entry.support_path.pop_back();  // no longer ends at the request's dst
+  ScopedContractHandler scoped(throw_contract_violation);
+  EXPECT_THROW(check_schedule_invariants(fix.topology, fix.requests,
+                                         fix.params, fix.schedule),
+               ContractViolation);
+}
+
+TEST(ScheduleValidator, RejectsNonServerEcNode) {
+  ScheduleFixture fix;
+  ASSERT_FALSE(fix.schedule.scheduled.empty());
+  auto& entry = fix.schedule.scheduled.front();
+  int non_server = -1;
+  for (int v = 0; v < fix.topology.num_nodes(); ++v)
+    if (!fix.topology.is_server(v)) non_server = v;
+  ASSERT_GE(non_server, 0);
+  entry.ec_servers.push_back(non_server);
+  ScopedContractHandler scoped(throw_contract_violation);
+  EXPECT_THROW(check_schedule_invariants(fix.topology, fix.requests,
+                                         fix.params, fix.schedule),
+               ContractViolation);
+}
+
+TEST(ScheduleValidator, RejectsCapacityOverflow) {
+  ScheduleFixture fix;
+  ASSERT_FALSE(fix.schedule.scheduled.empty());
+  // Inflate both the request and the scheduled codes so the per-request
+  // bound holds but the storage demand on interior nodes explodes.
+  auto& entry = fix.schedule.scheduled.front();
+  ASSERT_GE(entry.support_path.size(), 3u)
+      << "fixture schedule has no interior node";
+  auto& req = fix.requests[static_cast<std::size_t>(entry.request_index)];
+  req.codes += 100000;
+  fix.schedule.requested_codes += 100000;
+  entry.codes += 100000;
+  ScopedContractHandler scoped(throw_contract_violation);
+  EXPECT_THROW(check_schedule_invariants(fix.topology, fix.requests,
+                                         fix.params, fix.schedule),
+               ContractViolation);
+}
+
+struct SimplexStateFixture {
+  SimplexStateFixture() : fix(), formulation(fix.topology, fix.requests,
+                                             fix.params) {
+    solution = solve_lp(formulation.problem(), state);
+  }
+
+  ScheduleFixture fix;
+  RoutingFormulation formulation;
+  SimplexState state;
+  LpSolution solution;
+};
+
+TEST(SimplexStateValidator, AcceptsHealthySnapshot) {
+  SimplexStateFixture sf;
+  ASSERT_TRUE(sf.state.valid());
+  ScopedContractHandler scoped(throw_contract_violation);
+  EXPECT_NO_THROW(
+      check_simplex_state_invariants(sf.formulation.problem(), sf.state));
+}
+
+TEST(SimplexStateValidator, RejectsDuplicateBasicColumn) {
+  SimplexStateFixture sf;
+  ASSERT_TRUE(sf.state.valid());
+  ASSERT_GE(sf.state.basis.size(), 2u);
+  sf.state.basis[0] = sf.state.basis[1];
+  ScopedContractHandler scoped(throw_contract_violation);
+  EXPECT_THROW(
+      check_simplex_state_invariants(sf.formulation.problem(), sf.state),
+      ContractViolation);
+}
+
+TEST(SimplexStateValidator, RejectsBasicColumnFlaggedAtUpper) {
+  SimplexStateFixture sf;
+  ASSERT_TRUE(sf.state.valid());
+  sf.state.at_upper[static_cast<std::size_t>(sf.state.basis[0])] = 1;
+  ScopedContractHandler scoped(throw_contract_violation);
+  EXPECT_THROW(
+      check_simplex_state_invariants(sf.formulation.problem(), sf.state),
+      ContractViolation);
+}
+
+TEST(SimplexStateValidator, RejectsShapeMismatch) {
+  SimplexStateFixture sf;
+  ASSERT_TRUE(sf.state.valid());
+  sf.state.num_rows += 1;
+  ScopedContractHandler scoped(throw_contract_violation);
+  EXPECT_THROW(
+      check_simplex_state_invariants(sf.formulation.problem(), sf.state),
+      ContractViolation);
+}
+
+#else  // !SURFNET_CHECKS
+
+TEST(ScheduleValidator, SkippedWithoutChecks) {
+  GTEST_SKIP() << "SURFNET_CHECKS is off; validators compile to no-ops";
+}
+
+#endif  // SURFNET_CHECKS
+
+}  // namespace
+}  // namespace surfnet::routing

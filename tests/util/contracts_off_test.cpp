@@ -1,0 +1,72 @@
+// Proves the zero-overhead guarantee of disabled contracts. This TU forces
+// SURFNET_CHECKS to 0 before including the header — regardless of how the
+// rest of the build is configured — and then shows that the macros never
+// evaluate their operands (conditions or message arguments), yet still
+// compile against them (the operands are type-checked inside an unevaluated
+// sizeof, so a disabled build cannot hide a malformed contract).
+
+#undef SURFNET_CHECKS
+#define SURFNET_CHECKS 0
+#include "util/contracts.h"
+
+#include <gtest/gtest.h>
+
+namespace surfnet::util {
+namespace {
+
+int g_condition_calls = 0;
+int g_message_calls = 0;
+
+bool count_condition(bool result) {
+  ++g_condition_calls;
+  return result;
+}
+
+int count_message_arg() {
+  ++g_message_calls;
+  return 0;
+}
+
+TEST(ContractsDisabled, ConditionNeverEvaluated) {
+  g_condition_calls = 0;
+  SURFNET_ASSERT(count_condition(true));
+  SURFNET_ASSERT(count_condition(false));  // would abort if checks were on
+  SURFNET_EXPECTS(count_condition(false));
+  SURFNET_ENSURES(count_condition(false));
+  EXPECT_EQ(g_condition_calls, 0);
+}
+
+TEST(ContractsDisabled, MessageArgumentsNeverEvaluated) {
+  g_message_calls = 0;
+  SURFNET_ASSERT(false, "value %d", count_message_arg());
+  SURFNET_EXPECTS(false, "values %d %d", count_message_arg(),
+                  count_message_arg());
+  EXPECT_EQ(g_message_calls, 0);
+}
+
+TEST(ContractsDisabled, UsableInExpressionStatementsAndBranches) {
+  // The disabled expansion must still be a complete void expression:
+  // legal as a bare statement and as an unbraced if/else body.
+  if (true)
+    SURFNET_ASSERT(false);
+  else
+    SURFNET_ASSERT(false);
+  for (int i = 0; i < 2; ++i) SURFNET_ENSURES(i < 0, "i = %d", i);
+  SUCCEED();
+}
+
+TEST(ContractsDisabled, HandlerMachineryStillLinks) {
+  // The runtime half of the contract layer (handlers, formatting) is
+  // compiled unconditionally so mixed-configuration links always resolve.
+  ContractFailure failure;
+  failure.kind = "assertion";
+  failure.expression = "x";
+  failure.file = "f.cpp";
+  failure.line = 1;
+  EXPECT_EQ(format_contract_failure(failure), "f.cpp:1: assertion failed: x");
+  const ContractHandler previous = set_contract_handler(nullptr);
+  set_contract_handler(previous);
+}
+
+}  // namespace
+}  // namespace surfnet::util

@@ -1,0 +1,117 @@
+// Tests for the contract layer itself: failure formatting, handler
+// installation and scoping, macro semantics (single evaluation, throwing
+// handler, default abort). The disabled-macro guarantees live in
+// contracts_off_test.cpp, which compiles against SURFNET_CHECKS=0.
+
+#include "util/contracts.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+namespace surfnet::util {
+namespace {
+
+TEST(ContractFormat, RendersFileLineKindExpressionAndMessage) {
+  ContractFailure failure;
+  failure.kind = "assertion";
+  failure.expression = "x > 0";
+  failure.file = "foo.cpp";
+  failure.line = 42;
+  failure.message = "x = -3";
+  EXPECT_EQ(format_contract_failure(failure),
+            "foo.cpp:42: assertion failed: x > 0 (x = -3)");
+}
+
+TEST(ContractFormat, OmitsParenthesesWithoutMessage) {
+  ContractFailure failure;
+  failure.kind = "precondition";
+  failure.expression = "ptr != nullptr";
+  failure.file = "bar.h";
+  failure.line = 7;
+  EXPECT_EQ(format_contract_failure(failure),
+            "bar.h:7: precondition failed: ptr != nullptr");
+}
+
+TEST(ContractViolationException, CarriesFormattedReport) {
+  ContractFailure failure;
+  failure.kind = "postcondition";
+  failure.expression = "done";
+  failure.file = "baz.cpp";
+  failure.line = 3;
+  const ContractViolation violation(failure);
+  EXPECT_STREQ(violation.what(), "baz.cpp:3: postcondition failed: done");
+}
+
+TEST(ContractHandler, SetReturnsPreviousAndScopedRestores) {
+  const ContractHandler original = set_contract_handler(nullptr);
+  EXPECT_EQ(set_contract_handler(throw_contract_violation), nullptr);
+  {
+    ScopedContractHandler scoped(nullptr);
+    // Inside the scope the handler is nullptr (default abort). We cannot
+    // observe it without dying, but the destructor must restore the
+    // throwing handler, which the next block proves.
+  }
+  EXPECT_EQ(set_contract_handler(original), throw_contract_violation);
+}
+
+#if SURFNET_CHECKS
+
+TEST(ContractMacros, TrueConditionHasNoEffect) {
+  ScopedContractHandler scoped(throw_contract_violation);
+  EXPECT_NO_THROW(SURFNET_ASSERT(1 + 1 == 2));
+  EXPECT_NO_THROW(SURFNET_EXPECTS(true, "context %d", 5));
+  EXPECT_NO_THROW(SURFNET_ENSURES(2 > 1));
+}
+
+TEST(ContractMacros, ConditionEvaluatedExactlyOnce) {
+  ScopedContractHandler scoped(throw_contract_violation);
+  int calls = 0;
+  SURFNET_ASSERT(++calls > 0);
+  EXPECT_EQ(calls, 1);
+}
+
+TEST(ContractMacros, FailureThrowsUnderThrowingHandler) {
+  ScopedContractHandler scoped(throw_contract_violation);
+  EXPECT_THROW(SURFNET_ASSERT(false), ContractViolation);
+  EXPECT_THROW(SURFNET_EXPECTS(1 == 2), ContractViolation);
+  EXPECT_THROW(SURFNET_ENSURES(false, "unformatted"), ContractViolation);
+}
+
+TEST(ContractMacros, FailureReportNamesKindExpressionAndContext) {
+  ScopedContractHandler scoped(throw_contract_violation);
+  try {
+    const int index = 9, size = 4;
+    SURFNET_EXPECTS(index < size, "index %d of %d", index, size);
+    FAIL() << "contract did not fire";
+  } catch (const ContractViolation& violation) {
+    const std::string what = violation.what();
+    EXPECT_NE(what.find("precondition failed"), std::string::npos) << what;
+    EXPECT_NE(what.find("index < size"), std::string::npos) << what;
+    EXPECT_NE(what.find("index 9 of 4"), std::string::npos) << what;
+    EXPECT_NE(what.find("contracts_test.cpp"), std::string::npos) << what;
+  }
+}
+
+using ContractDeathTest = ::testing::Test;
+
+TEST(ContractDeathTest, DefaultHandlerPrintsAndAborts) {
+  EXPECT_DEATH(SURFNET_ASSERT(false, "fatal %s", "context"),
+               "assertion failed: false \\(fatal context\\)");
+}
+
+TEST(ContractDeathTest, ReturningHandlerStillAborts) {
+  // A handler that returns must not let execution continue past the
+  // violation: dispatch falls through to the default abort.
+  EXPECT_DEATH(
+      {
+        ScopedContractHandler scoped(+[](const ContractFailure&) {});
+        SURFNET_ASSERT(false);
+      },
+      "assertion failed");
+}
+
+#endif  // SURFNET_CHECKS
+
+}  // namespace
+}  // namespace surfnet::util
