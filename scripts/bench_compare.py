@@ -103,6 +103,11 @@ TRACE_SCHEMA = {
                "logical_error"},
     "delivered": {"slot", "request", "slots", "corrections", "outcome"},
     "timeout": {"slot", "request", "slots"},
+    "node_down": {"slot", "node", "until_slot"},
+    "degraded": {"slot", "fiber", "until_slot", "factor"},
+    "decode_stall": {"slot", "until_slot"},
+    "retry": {"slot", "request", "channel", "attempt", "backoff"},
+    "escalate": {"slot", "request", "channel", "action"},
     "lp_solve": {"iterations", "refactorizations", "warm_start", "status",
                  "objective"},
 }

@@ -8,6 +8,7 @@
 #include "netsim/schedule.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
+#include "routing/greedy.h"
 #include "routing/lp_router.h"
 #include "routing/purification.h"
 #include "util/rng.h"
@@ -99,7 +100,17 @@ TrialMetrics run_trial(const ScenarioParams& params, NetworkDesign design,
       routing::RoutingParams routing = params.routing;
       routing.dual_channel = design == NetworkDesign::SurfNet;
       routing.sink = sink;
-      schedule = routing::route_lp(topology, requests, routing, rng).schedule;
+      auto routed = routing::route_lp(topology, requests, routing, rng);
+      if (routed.status == routing::LpStatus::Optimal) {
+        schedule = std::move(routed.schedule);
+      } else {
+        // Graceful degradation: when the LP relaxation cannot be solved
+        // (infeasible, unbounded, or iteration-limited), fall back to the
+        // standalone greedy hierarchical scheduler instead of executing
+        // nothing.
+        if (sink.metrics) sink.metrics->count("route.greedy_fallbacks");
+        schedule = routing::route_greedy(topology, requests, routing, rng);
+      }
       break;
     }
     case NetworkDesign::Purification1:

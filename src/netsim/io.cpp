@@ -33,9 +33,18 @@ std::vector<int> read_node_list(std::istringstream& ss, int line) {
   int count = 0;
   if (!(ss >> count) || count < 0) fail(line, "bad node-list count");
   std::vector<int> nodes(static_cast<std::size_t>(count));
-  for (int& v : nodes)
+  for (int& v : nodes) {
     if (!(ss >> v)) fail(line, "truncated node list");
+    if (v < 0) fail(line, "negative node id in node list");
+  }
   return nodes;
+}
+
+/// Reject records with extra fields: a typo that sneaks a value past the
+/// parser would otherwise be silently dropped.
+void require_line_consumed(std::istringstream& ss, int line) {
+  std::string extra;
+  if (ss >> extra) fail(line, "trailing garbage '" + extra + "'");
 }
 
 void write_node_list(std::ostream& os, const std::vector<int>& nodes) {
@@ -77,8 +86,13 @@ Topology read_topology(std::istream& is) {
       int id = -1, capacity = 0;
       std::string role;
       if (!(ss >> id >> role >> capacity)) fail(line_no, "bad node record");
+      require_line_consumed(ss, line_no);
       if (id != static_cast<int>(nodes.size()))
         fail(line_no, "node ids must be dense and ordered");
+      if (capacity < 0)
+        fail(line_no, "node " + std::to_string(id) +
+                          " has negative storage capacity");
+      if (!fibers.empty()) fail(line_no, "node record after fiber records");
       Node node;
       node.role = role_of(role, line_no);
       node.storage_capacity = capacity;
@@ -87,6 +101,23 @@ Topology read_topology(std::istream& is) {
       Fiber f;
       if (!(ss >> f.a >> f.b >> f.fidelity >> f.entanglement_capacity))
         fail(line_no, "bad fiber record");
+      require_line_consumed(ss, line_no);
+      for (const int endpoint : {f.a, f.b})
+        if (endpoint < 0 || endpoint >= static_cast<int>(nodes.size()))
+          fail(line_no, "fiber endpoint " + std::to_string(endpoint) +
+                            " is not a declared node");
+      if (f.a == f.b)
+        fail(line_no,
+             "fiber is a self-loop at node " + std::to_string(f.a));
+      if (f.fidelity < 0.0 || f.fidelity > 1.0)
+        fail(line_no, "fiber fidelity outside [0, 1]");
+      if (f.entanglement_capacity < 0)
+        fail(line_no, "fiber has negative entanglement capacity");
+      for (const auto& other : fibers)
+        if ((other.a == f.a && other.b == f.b) ||
+            (other.a == f.b && other.b == f.a))
+          fail(line_no, "duplicate fiber between " + std::to_string(f.a) +
+                            " and " + std::to_string(f.b));
       fibers.push_back(f);
     } else {
       fail(line_no, "unknown record '" + tag + "'");
@@ -116,6 +147,7 @@ Schedule read_schedule(std::istream& is) {
   if (!std::getline(is, line) || line != "surfnet-schedule v1")
     fail(line_no, "expected header 'surfnet-schedule v1'");
   Schedule schedule;
+  bool saw_requested = false;
   while (std::getline(is, line)) {
     ++line_no;
     if (line.empty()) continue;
@@ -123,14 +155,22 @@ Schedule read_schedule(std::istream& is) {
     std::string tag;
     ss >> tag;
     if (tag == "requested") {
+      if (saw_requested) fail(line_no, "duplicate requested record");
       if (!(ss >> schedule.requested_codes))
         fail(line_no, "bad requested record");
+      require_line_consumed(ss, line_no);
+      if (schedule.requested_codes < 0)
+        fail(line_no, "negative requested code count");
+      saw_requested = true;
     } else if (tag == "request") {
       ScheduledRequest s;
       std::string keyword;
       if (!(ss >> s.request_index >> s.codes >> s.code_distance >> keyword) ||
           keyword != "support")
         fail(line_no, "bad request record");
+      if (s.request_index < 0) fail(line_no, "negative request index");
+      if (s.codes < 0) fail(line_no, "negative code count");
+      if (s.code_distance < 0) fail(line_no, "negative code distance");
       s.support_path = read_node_list(ss, line_no);
       if (!(ss >> keyword) || keyword != "core")
         fail(line_no, "expected 'core'");
@@ -138,6 +178,7 @@ Schedule read_schedule(std::istream& is) {
       if (!(ss >> keyword) || keyword != "ec")
         fail(line_no, "expected 'ec'");
       s.ec_servers = read_node_list(ss, line_no);
+      require_line_consumed(ss, line_no);
       schedule.scheduled.push_back(std::move(s));
     } else {
       fail(line_no, "unknown record '" + tag + "'");

@@ -14,7 +14,10 @@
 //           ec <n> <v...>
 //
 // Writers emit deterministic output; readers validate and throw
-// std::invalid_argument with a line number on malformed input.
+// std::invalid_argument with a line number on malformed input: unknown or
+// truncated records, trailing garbage, node records after fiber records,
+// dangling or self-loop fiber endpoints, duplicate fibers, negative
+// capacities/counts, out-of-range fidelities.
 
 #include <iosfwd>
 #include <string>

@@ -1,0 +1,112 @@
+#include "netsim/recovery.h"
+
+#include <algorithm>
+#include <queue>
+
+namespace surfnet::netsim {
+
+int RecoveryPolicy::backoff_slots(int attempt) const {
+  if (attempt < 1) attempt = 1;
+  long long slots = backoff_base_slots;
+  for (int i = 1; i < attempt && slots < backoff_cap_slots; ++i) slots <<= 1;
+  return static_cast<int>(
+      std::min<long long>(slots, backoff_cap_slots));
+}
+
+RecoveryPolicy RecoveryPolicy::disabled() {
+  RecoveryPolicy policy;
+  policy.local_reroute = false;
+  return policy;
+}
+
+RecoveryPolicy RecoveryPolicy::aggressive() {
+  RecoveryPolicy policy;
+  policy.local_reroute = true;
+  policy.max_swap_retries = 4;
+  policy.backoff_base_slots = 2;
+  policy.backoff_cap_slots = 16;
+  policy.escalate_after_reroutes = 2;
+  policy.code_timeout_slots = 1500;
+  return policy;
+}
+
+namespace {
+
+int find_on_path(const std::vector<int>& path, int node, int from) {
+  for (std::size_t i = static_cast<std::size_t>(from); i < path.size(); ++i)
+    if (path[i] == node) return static_cast<int>(i);
+  return -1;
+}
+
+/// BFS from `start` to `target` over live fibers, visiting only live
+/// switches/servers (the target itself may additionally be a user).
+/// Returns the node sequence start..target, or empty when unreachable.
+std::vector<int> live_bfs(const Topology& topology,
+                          const FaultInjector& injector, int slot, int start,
+                          int target) {
+  std::vector<int> parent(static_cast<std::size_t>(topology.num_nodes()), -2);
+  std::queue<int> queue;
+  queue.push(start);
+  parent[static_cast<std::size_t>(start)] = -1;
+  while (!queue.empty()) {
+    const int u = queue.front();
+    queue.pop();
+    if (u == target) break;
+    for (int e : topology.incident(u)) {
+      if (injector.fiber_down(e, slot)) continue;
+      const int v = topology.other_end(e, u);
+      if (parent[static_cast<std::size_t>(v)] != -2) continue;
+      // Only the target node may be a user, and dead nodes don't forward.
+      if (v != target && !topology.is_switch_or_server(v)) continue;
+      if (injector.node_down(v, slot)) continue;
+      parent[static_cast<std::size_t>(v)] = u;
+      queue.push(v);
+    }
+  }
+  std::vector<int> route;
+  if (parent[static_cast<std::size_t>(target)] == -2) return route;
+  for (int v = target; v != -1; v = parent[static_cast<std::size_t>(v)])
+    route.push_back(v);
+  std::reverse(route.begin(), route.end());
+  return route;
+}
+
+}  // namespace
+
+bool local_reroute(const Topology& topology, const FaultInjector& injector,
+                   int slot, std::vector<int>& path, int pos,
+                   int target_node) {
+  const int start = path[static_cast<std::size_t>(pos)];
+  const auto detour = live_bfs(topology, injector, slot, start, target_node);
+  if (detour.empty()) return false;
+  // Splice: keep the prefix up to the current position and the tail
+  // beyond the recovery target (later barriers and the destination).
+  const int target_idx = find_on_path(path, target_node, pos);
+  if (target_idx < 0) return false;
+  std::vector<int> tail(path.begin() + target_idx + 1, path.end());
+  path.resize(static_cast<std::size_t>(pos));
+  path.insert(path.end(), detour.begin(), detour.end());
+  path.insert(path.end(), tail.begin(), tail.end());
+  return true;
+}
+
+bool replan_route(const Topology& topology, const FaultInjector& injector,
+                  int slot, std::vector<int>& path, int pos,
+                  const std::vector<int>& waypoints) {
+  if (waypoints.empty()) return false;
+  std::vector<int> fresh;
+  int at = path[static_cast<std::size_t>(pos)];
+  fresh.push_back(at);
+  for (const int waypoint : waypoints) {
+    if (waypoint == at) continue;
+    const auto leg = live_bfs(topology, injector, slot, at, waypoint);
+    if (leg.empty()) return false;
+    fresh.insert(fresh.end(), leg.begin() + 1, leg.end());
+    at = waypoint;
+  }
+  path.resize(static_cast<std::size_t>(pos));
+  path.insert(path.end(), fresh.begin(), fresh.end());
+  return true;
+}
+
+}  // namespace surfnet::netsim

@@ -1,0 +1,87 @@
+#pragma once
+
+// Recovery policy of the online execution (paper Sec. V-B, extended): what
+// the control plane does when a route breaks or starves mid-run.
+//
+//   * Local recovery — replace the remainder of a route to the *next*
+//     designated node with a detour over live fibers/nodes (the paper's
+//     "recovery path leading to the next designated node").
+//   * Escalation — after `escalate_after_reroutes` consecutive failed
+//     local recoveries (or a retry budget exhausted), attempt a full
+//     re-route: re-plan the whole remaining route through every remaining
+//     EC barrier to the destination. The replanned route keeps the
+//     scheduled EC servers, so it still satisfies the structural routing
+//     constraints (Eqs. (3)-(4)); routing/validate's
+//     check_reroute_invariants asserts this under SURFNET_CHECKS.
+//   * Bounded retries with exponential backoff — a failed entanglement
+//     swap on a segment jump backs the code off for
+//     min(backoff_cap_slots, backoff_base_slots << (attempt - 1)) slots
+//     instead of hammering the starved pools every slot.
+//   * Per-code timeout budget — a code still in flight after
+//     code_timeout_slots is abandoned as a timeout, freeing its request
+//     slot for the next code instead of starving the whole run against
+//     max_slots.
+//
+// The default-constructed policy reproduces the pre-plan simulator
+// behavior exactly: local reroutes on, no backoff, no escalation, no
+// per-code budget.
+
+#include <vector>
+
+#include "netsim/faults.h"
+#include "netsim/topology.h"
+
+namespace surfnet::netsim {
+
+struct RecoveryPolicy {
+  /// Replace a broken route with a local detour to the next designated
+  /// node (false = hold the qubits in error-mitigation circuits until the
+  /// route heals).
+  bool local_reroute = true;
+  /// Failed swap attempts on one segment before escalating to a full
+  /// re-route; 0 disables retry accounting (legacy: retry every slot,
+  /// no backoff).
+  int max_swap_retries = 0;
+  int backoff_base_slots = 1;  ///< first retry backoff (doubles per retry)
+  int backoff_cap_slots = 16;
+  /// Consecutive failed local reroutes before escalating to a full
+  /// re-route; 0 = never escalate.
+  int escalate_after_reroutes = 0;
+  /// Slots one code may stay in flight before it is abandoned as a
+  /// timeout; 0 = bounded only by the run-wide max_slots. A per-code
+  /// budget subsumes max_slots for delivery accounting: a starved code
+  /// times out individually instead of pinning its request to the end of
+  /// the run.
+  int code_timeout_slots = 0;
+
+  /// Exponential backoff after the n-th consecutive failed attempt
+  /// (1-based), clamped to the cap.
+  int backoff_slots(int attempt) const;
+
+  /// Everything off: broken routes hold in place (the paper's
+  /// error-mitigation-circuit fallback).
+  static RecoveryPolicy disabled();
+  /// The chaos-bench posture: local reroutes, bounded retries with
+  /// backoff, escalation after 2 failed local recoveries, and a per-code
+  /// budget of 1500 slots.
+  static RecoveryPolicy aggressive();
+};
+
+/// Local recovery (paper Sec. V-B): splice a detour over live fibers and
+/// nodes into `path`, replacing the stretch from `pos` to `target_node`
+/// (which must appear in path[pos..]). Interior detour nodes are
+/// switches/servers; only the target may be a user. Returns false when no
+/// live detour exists (path is left unchanged).
+bool local_reroute(const Topology& topology, const FaultInjector& injector,
+                   int slot, std::vector<int>& path, int pos,
+                   int target_node);
+
+/// Full re-route escalation: replace path[pos..] with a fresh route that
+/// visits every waypoint in order (the remaining EC barrier nodes, ending
+/// with the destination) over live fibers and nodes. Returns false when
+/// any leg is unroutable (path is left unchanged).
+bool replan_route(const Topology& topology, const FaultInjector& injector,
+                  int slot, std::vector<int>& path, int pos,
+                  const std::vector<int>& waypoints);
+
+}  // namespace surfnet::netsim

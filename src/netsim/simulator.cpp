@@ -3,7 +3,6 @@
 #include <algorithm>
 #include <cmath>
 #include <map>
-#include <queue>
 #include <stdexcept>
 
 #include "decoder/code_trial.h"
@@ -58,6 +57,25 @@ std::unique_ptr<Simulator> make_simulator(NetworkDesign design,
           purification_rounds(design));
   }
   throw std::invalid_argument("unknown network design");
+}
+
+FaultPlan effective_fault_plan(const SimulationParams& params) {
+  FaultPlan plan = params.faults;
+  // Legacy shim: fold fiber_failure_rate into the plan unless the plan
+  // already runs a fiber-cut process of its own. The resulting process
+  // draws the exact random-variate sequence of the pre-plan simulator.
+  if (params.fiber_failure_rate > 0.0 &&
+      plan.stochastic.fiber_cut_rate == 0.0) {
+    plan.stochastic.fiber_cut_rate = params.fiber_failure_rate;
+    plan.stochastic.fiber_cut_duration = params.fiber_failure_duration;
+  }
+  return plan;
+}
+
+RecoveryPolicy effective_recovery(const SimulationParams& params) {
+  RecoveryPolicy policy = params.recovery;
+  policy.local_reroute = policy.local_reroute && params.enable_recovery;
+  return policy;
 }
 
 namespace {
@@ -139,6 +157,8 @@ struct ActiveCode {
   int start_slot = 0;
   int cooldown = 0;
   int corrections = 0;
+  int swap_attempts = 0;    ///< consecutive failed segment-jump swaps
+  int failed_reroutes = 0;  ///< consecutive failed local recoveries
   bool corrupted = false;
 };
 
@@ -191,13 +211,10 @@ SimulationResult simulate_surfnet(const Topology& topology,
     plans.push_back(make_plan(topology, s, geometry_for(distance)));
   }
 
-  // Per-fiber prepared-pair inventory and failure state.
+  // Per-fiber prepared-pair inventory; fault state lives in the injector.
   std::vector<int> pairs(static_cast<std::size_t>(topology.num_fibers()), 0);
-  std::vector<int> down_until(static_cast<std::size_t>(topology.num_fibers()),
-                              0);
-  auto fiber_down = [&](int e, int slot) {
-    return slot < down_until[static_cast<std::size_t>(e)];
-  };
+  FaultInjector injector(topology, effective_fault_plan(params));
+  const RecoveryPolicy policy = effective_recovery(params);
 
   std::vector<int> codes_remaining(plans.size());
   std::vector<ActiveCode> active(plans.size());
@@ -227,45 +244,37 @@ SimulationResult simulate_surfnet(const Topology& topology,
     return code;
   };
 
-  // Local recovery (paper Sec. V-B): replace the remainder of a route to
-  // the next designated node with a detour over live fibers.
-  auto reroute = [&](std::vector<int>& path, int pos, int target_node,
-                     int slot) -> bool {
-    const int start = path[static_cast<std::size_t>(pos)];
-    std::vector<int> parent(static_cast<std::size_t>(topology.num_nodes()),
-                            -2);
-    std::queue<int> queue;
-    queue.push(start);
-    parent[static_cast<std::size_t>(start)] = -1;
-    while (!queue.empty()) {
-      const int u = queue.front();
-      queue.pop();
-      if (u == target_node) break;
-      for (int e : topology.incident(u)) {
-        if (fiber_down(e, slot)) continue;
-        const int v = topology.other_end(e, u);
-        if (parent[static_cast<std::size_t>(v)] != -2) continue;
-        // Only the target node may be a user.
-        if (v != target_node && !topology.is_switch_or_server(v)) continue;
-        parent[static_cast<std::size_t>(v)] = u;
-        queue.push(v);
-      }
+  // Escalation: replace the remainder of one channel's route with a fresh
+  // plan through every remaining EC barrier to the destination
+  // (netsim/recovery.h). Emits an escalate event whether or not a live
+  // route exists; on success both channel targets are recomputed.
+  auto escalate = [&](const RequestPlan& plan, ActiveCode& code,
+                      bool core_channel, int slot) {
+    std::vector<int> waypoints;
+    for (std::size_t b = static_cast<std::size_t>(code.barrier);
+         b < plan.barriers.size(); ++b)
+      waypoints.push_back(plan.barriers[b].node);
+    auto& path = core_channel ? code.c_path : code.s_path;
+    const int pos = core_channel ? code.c_pos : code.s_pos;
+    const bool ok =
+        replan_route(topology, injector, slot, path, pos, waypoints);
+    if (sink.metrics) sink.metrics->count("sim.escalations");
+    if (sink.trace)
+      sink.trace->record(obs::Event::escalate(
+          slot, plan.sched->request_index, core_channel, ok));
+    if (ok) retarget(plan, code);
+  };
+
+  // A local recovery that found no live detour: escalate to a full
+  // re-route after the policy's threshold of consecutive failures.
+  auto reroute_failed = [&](const RequestPlan& plan, ActiveCode& code,
+                            bool core_channel, int slot) {
+    ++code.failed_reroutes;
+    if (policy.escalate_after_reroutes > 0 &&
+        code.failed_reroutes >= policy.escalate_after_reroutes) {
+      escalate(plan, code, core_channel, slot);
+      code.failed_reroutes = 0;
     }
-    if (parent[static_cast<std::size_t>(target_node)] == -2) return false;
-    std::vector<int> detour;
-    for (int v = target_node; v != -1;
-         v = parent[static_cast<std::size_t>(v)])
-      detour.push_back(v);
-    std::reverse(detour.begin(), detour.end());
-    // Splice: keep the prefix up to the current position and the tail
-    // beyond the recovery target (later barriers and the destination).
-    const int target_idx = find_on_path(path, target_node, pos);
-    if (target_idx < 0) return false;
-    std::vector<int> tail(path.begin() + target_idx + 1, path.end());
-    path.resize(static_cast<std::size_t>(pos));
-    path.insert(path.end(), detour.begin(), detour.end());
-    path.insert(path.end(), tail.begin(), tail.end());
-    return true;
   };
 
   // Decode over the noise accumulated since the last correction. The
@@ -344,26 +353,21 @@ SimulationResult simulate_surfnet(const Topology& topology,
   for (int slot = 0; slot < params.max_slots && in_flight_or_pending > 0;
        ++slot) {
     final_slot = slot;
-    // Entanglement generation routine at every switch; fiber failures.
+    // Entanglement generation routine at every switch. Gains draw before
+    // fault injection (the legacy variate order), so a degradation window
+    // injected at slot s scales gains from slot s+1 on.
     for (std::size_t e = 0; e < pairs.size(); ++e) {
       const int cap =
           topology.fiber(static_cast<int>(e)).entanglement_capacity;
-      const int whole = static_cast<int>(params.entanglement_rate);
-      const double frac = params.entanglement_rate - whole;
+      const double rate =
+          params.entanglement_rate *
+          injector.entanglement_factor(static_cast<int>(e), slot);
+      const int whole = static_cast<int>(rate);
+      const double frac = rate - whole;
       const int gain = whole + ((frac > 0.0 && rng.bernoulli(frac)) ? 1 : 0);
       pairs[e] = std::min(cap, pairs[e] + gain);
     }
-    if (params.fiber_failure_rate > 0.0) {
-      for (std::size_t e = 0; e < down_until.size(); ++e)
-        if (!fiber_down(static_cast<int>(e), slot) &&
-            rng.bernoulli(params.fiber_failure_rate)) {
-          down_until[e] = slot + params.fiber_failure_duration;
-          if (sink.metrics) sink.metrics->count("sim.fiber_failures");
-          if (sink.trace)
-            sink.trace->record(obs::Event::fiber_down(
-                slot, static_cast<int>(e), down_until[e]));
-        }
-    }
+    injector.begin_slot(slot, rng, sink);
     if (sink.enabled() && !pairs.empty()) {
       int total = 0;
       int min_level = pairs[0];
@@ -390,6 +394,21 @@ SimulationResult simulate_surfnet(const Topology& topology,
         has_active[idx] = 1;
       }
       ActiveCode& code = active[idx];
+      // Per-code timeout budget: a starved code is abandoned individually
+      // instead of pinning its request to the end of the run.
+      if (policy.code_timeout_slots > 0 &&
+          slot - code.start_slot >= policy.code_timeout_slots) {
+        const int slots = slot - code.start_slot;
+        result.codes.push_back({plan.sched->request_index, slots,
+                                code.corrections, CodeOutcome::TimedOut});
+        if (sink.metrics) sink.metrics->count("sim.timeouts");
+        if (sink.trace)
+          sink.trace->record(obs::Event::timeout(
+              slot, plan.sched->request_index, slots));
+        has_active[idx] = 0;
+        --in_flight_or_pending;
+        continue;
+      }
       if (code.cooldown > 0) {
         --code.cooldown;
         continue;
@@ -398,24 +417,32 @@ SimulationResult simulate_surfnet(const Topology& topology,
           plan.barriers[static_cast<std::size_t>(code.barrier)];
 
       // Plain channel: the Support part advances one fiber per slot; a
-      // failed fiber triggers a local recovery path (or the photons are
-      // held in error-mitigation circuits until it comes back).
+      // failed fiber or dead next node triggers a local recovery path (or
+      // the photons are held in error-mitigation circuits until the route
+      // heals).
       if (code.s_pos < code.s_target) {
+        const int next =
+            code.s_path[static_cast<std::size_t>(code.s_pos) + 1];
         const int e = topology.fiber_between(
-            code.s_path[static_cast<std::size_t>(code.s_pos)],
-            code.s_path[static_cast<std::size_t>(code.s_pos) + 1]);
-        if (!fiber_down(e, slot)) {
+            code.s_path[static_cast<std::size_t>(code.s_pos)], next);
+        if (!injector.fiber_down(e, slot) &&
+            !injector.node_down(next, slot)) {
           ++code.s_pos;
           code.acc_support_mu += topology.fiber_noise(e);
           ++code.acc_support_hops;
-        } else if (params.enable_recovery &&
-                   reroute(code.s_path, code.s_pos, barrier.node, slot)) {
-          code.s_target = find_on_path(code.s_path, barrier.node,
-                                       code.s_pos);
-          if (sink.metrics) sink.metrics->count("sim.recoveries");
-          if (sink.trace)
-            sink.trace->record(obs::Event::recovery(
-                slot, plan.sched->request_index, /*core_channel=*/false));
+        } else if (policy.local_reroute) {
+          if (local_reroute(topology, injector, slot, code.s_path,
+                            code.s_pos, barrier.node)) {
+            code.s_target = find_on_path(code.s_path, barrier.node,
+                                         code.s_pos);
+            code.failed_reroutes = 0;
+            if (sink.metrics) sink.metrics->count("sim.recoveries");
+            if (sink.trace)
+              sink.trace->record(obs::Event::recovery(
+                  slot, plan.sched->request_index, /*core_channel=*/false));
+          } else {
+            reroute_failed(plan, code, /*core_channel=*/false, slot);
+          }
         }
       }
 
@@ -432,18 +459,27 @@ SimulationResult simulate_surfnet(const Topology& topology,
           const int e = topology.fiber_between(
               code.c_path[static_cast<std::size_t>(code.c_pos + h)],
               code.c_path[static_cast<std::size_t>(code.c_pos + h + 1)]);
-          if (fiber_down(e, slot)) broken = true;
+          if (injector.fiber_down(e, slot) ||
+              injector.node_down(
+                  code.c_path[static_cast<std::size_t>(code.c_pos + h + 1)],
+                  slot))
+            broken = true;
           if (pairs[static_cast<std::size_t>(e)] < n_core) ready = false;
         }
         if (broken) {
-          if (params.enable_recovery &&
-              reroute(code.c_path, code.c_pos, barrier.node, slot)) {
-            code.c_target = find_on_path(code.c_path, barrier.node,
-                                         code.c_pos);
-            if (sink.metrics) sink.metrics->count("sim.recoveries");
-            if (sink.trace)
-              sink.trace->record(obs::Event::recovery(
-                  slot, plan.sched->request_index, /*core_channel=*/true));
+          if (policy.local_reroute) {
+            if (local_reroute(topology, injector, slot, code.c_path,
+                              code.c_pos, barrier.node)) {
+              code.c_target = find_on_path(code.c_path, barrier.node,
+                                           code.c_pos);
+              code.failed_reroutes = 0;
+              if (sink.metrics) sink.metrics->count("sim.recoveries");
+              if (sink.trace)
+                sink.trace->record(obs::Event::recovery(
+                    slot, plan.sched->request_index, /*core_channel=*/true));
+            } else {
+              reroute_failed(plan, code, /*core_channel=*/true, slot);
+            }
           }
         } else if (ready) {
           double segment_mu = 0.0;
@@ -473,14 +509,36 @@ SimulationResult simulate_surfnet(const Topology& topology,
             code.c_pos += segment;
             code.acc_core_mu += segment_mu;
             ++code.jumps_since_ec;
+            code.swap_attempts = 0;
+          } else if (policy.max_swap_retries > 0) {
+            // Bounded retries: back off exponentially instead of hammering
+            // the starved pools; past the budget, escalate to a full
+            // re-route.
+            ++code.swap_attempts;
+            if (code.swap_attempts > policy.max_swap_retries) {
+              escalate(plan, code, /*core_channel=*/true, slot);
+              code.swap_attempts = 0;
+            } else {
+              const int backoff = policy.backoff_slots(code.swap_attempts);
+              code.cooldown = backoff;
+              if (sink.metrics) sink.metrics->count("sim.retries");
+              if (sink.trace)
+                sink.trace->record(obs::Event::retry(
+                    slot, plan.sched->request_index, /*core_channel=*/true,
+                    code.swap_attempts, backoff));
+            }
           }
         }
       }
 
       // Barrier reached by both parts: correct (or finally read out).
+      // Corrections wait while the barrier node is down or a decode-latency
+      // spike stalls the network's decoders.
       const bool support_done = code.s_pos >= code.s_target;
       const bool core_done = plan.raw || code.c_pos >= code.c_target;
-      if (support_done && core_done) {
+      if (support_done && core_done &&
+          !injector.node_down(barrier.node, slot) &&
+          !injector.decode_stalled(slot)) {
         run_correction(plan, code, slot, barrier.node, barrier.is_ec);
         const bool final_barrier =
             code.barrier + 1 == static_cast<int>(plan.barriers.size());
@@ -564,8 +622,8 @@ SimulationResult simulate_purification(const Topology& topology,
   }
 
   std::vector<int> pairs(static_cast<std::size_t>(topology.num_fibers()), 0);
-  std::vector<int> down_until(static_cast<std::size_t>(topology.num_fibers()),
-                              0);
+  FaultInjector injector(topology, effective_fault_plan(params));
+  const RecoveryPolicy policy = effective_recovery(params);
   const int per_hop = 1 + extra_pairs;
 
   struct State {
@@ -588,23 +646,15 @@ SimulationResult simulate_purification(const Topology& topology,
     for (std::size_t e = 0; e < pairs.size(); ++e) {
       const int cap =
           topology.fiber(static_cast<int>(e)).entanglement_capacity;
-      const int whole = static_cast<int>(params.entanglement_rate);
-      const double frac = params.entanglement_rate - whole;
+      const double rate =
+          params.entanglement_rate *
+          injector.entanglement_factor(static_cast<int>(e), slot);
+      const int whole = static_cast<int>(rate);
+      const double frac = rate - whole;
       const int gain = whole + ((frac > 0.0 && rng.bernoulli(frac)) ? 1 : 0);
       pairs[e] = std::min(cap, pairs[e] + gain);
     }
-    if (params.fiber_failure_rate > 0.0) {
-      for (std::size_t e = 0; e < down_until.size(); ++e)
-        if (slot >= down_until[e] &&
-            rng.bernoulli(params.fiber_failure_rate)) {
-          down_until[e] = slot + params.fiber_failure_duration;
-          if (sink.metrics) sink.metrics->count("sim.fiber_failures");
-          if (sink.trace)
-            sink.trace->record(obs::Event::fiber_down(
-                slot, static_cast<int>(e),
-                static_cast<int>(down_until[e])));
-        }
-    }
+    injector.begin_slot(slot, rng, sink);
     if (sink.enabled() && !pairs.empty()) {
       int total = 0;
       int min_level = pairs[0];
@@ -632,11 +682,26 @@ SimulationResult simulate_purification(const Topology& topology,
         has_active[idx] = 1;
       }
       State& state = active[idx];
+      // Per-code timeout budget (shared with the surface-code simulator).
+      if (policy.code_timeout_slots > 0 &&
+          slot - state.start >= policy.code_timeout_slots) {
+        const int slots = slot - state.start;
+        result.codes.push_back({plan.sched->request_index, slots, 0,
+                                CodeOutcome::TimedOut});
+        if (sink.metrics) sink.metrics->count("sim.timeouts");
+        if (sink.trace)
+          sink.trace->record(obs::Event::timeout(
+              slot, plan.sched->request_index, slots));
+        has_active[idx] = 0;
+        --pending;
+        continue;
+      }
       if (state.pos + 1 < static_cast<int>(path.size())) {
+        const int next = path[static_cast<std::size_t>(state.pos) + 1];
         const int e = topology.fiber_between(
-            path[static_cast<std::size_t>(state.pos)],
-            path[static_cast<std::size_t>(state.pos) + 1]);
-        if (slot >= down_until[static_cast<std::size_t>(e)] &&
+            path[static_cast<std::size_t>(state.pos)], next);
+        if (!injector.fiber_down(e, slot) &&
+            !injector.node_down(next, slot) &&
             pairs[static_cast<std::size_t>(e)] >= per_hop) {
           pairs[static_cast<std::size_t>(e)] -= per_hop;
           ++state.pos;

@@ -32,12 +32,23 @@
 // timeouts — see obs/trace.h for the schema); with a metrics registry it
 // feeds "sim.*" counters and histograms. The null sink adds one branch
 // per site and keeps the default path bitwise-identical.
+//
+// Fault injection & recovery: SimulationParams::faults is a deterministic
+// FaultPlan executed by a FaultInjector (netsim/faults.h) — a fixed
+// (seed, plan) pair replays bitwise on any thread count — and
+// SimulationParams::recovery selects how broken or starved routes are
+// repaired (netsim/recovery.h): local detours, bounded swap retries with
+// exponential backoff, escalation to a full re-route, per-code timeout
+// budgets. Every injected fault and recovery decision is reported through
+// the sink.
 
 #include <memory>
 #include <string_view>
 
 #include "decoder/decoder.h"
 #include "netsim/entanglement.h"
+#include "netsim/faults.h"
+#include "netsim/recovery.h"
 #include "netsim/schedule.h"
 #include "netsim/topology.h"
 #include "obs/sink.h"
@@ -85,19 +96,41 @@ struct SimulationParams {
   /// a failed segment jump wastes the consumed pairs (paper Sec. IV-B:
   /// "the process of entanglement is highly probabilistic").
   double swap_success = 1.0;
-  /// Online-execution failure model (paper Sec. V-B): per-slot probability
-  /// that a fiber crashes, and how many slots it stays down.
+  /// Online-execution fault schedule (netsim/faults.h): scripted events
+  /// plus stochastic fiber cuts, correlated multi-link failures, node
+  /// outages, entanglement-rate degradation windows and decode-latency
+  /// spikes. An empty plan costs one branch per slot.
+  FaultPlan faults;
+  /// What the control plane does when a route breaks or starves
+  /// (netsim/recovery.h). The default policy reproduces the historical
+  /// behavior: local reroutes, no backoff, no escalation, no per-code
+  /// budget.
+  RecoveryPolicy recovery;
+  /// Legacy Sec. V-B failure knobs, kept as a compatibility shim: when
+  /// `faults` carries no fiber-cut process of its own, a nonzero rate here
+  /// is folded into the plan as independent per-fiber cuts that replay the
+  /// historical RNG sequence bitwise. Prefer `faults.stochastic`.
   double fiber_failure_rate = 0.0;
   int fiber_failure_duration = 20;
   /// When a fiber on the route fails, find a local recovery path to the
   /// next designated node (true) or hold the qubits in error-mitigation
-  /// circuits until the fiber returns (false).
+  /// circuits until the fiber returns (false). ANDed with
+  /// `recovery.local_reroute` (either switch turns local recovery off).
   bool enable_recovery = true;
   int max_slots = 20000;        ///< safety cap; starved codes time out
   qec::PauliChannel channel = qec::PauliChannel::IndependentXZ;
   /// Observability handle (metrics + trace); null = no instrumentation.
   obs::Sink sink{};
 };
+
+/// The fault plan a simulation actually executes: params.faults, with the
+/// legacy fiber_failure_* knobs folded in as independent per-fiber cuts
+/// when the plan carries no fiber-cut process of its own.
+FaultPlan effective_fault_plan(const SimulationParams& params);
+
+/// The recovery policy a simulation actually executes: params.recovery
+/// with local rerouting ANDed with the legacy enable_recovery switch.
+RecoveryPolicy effective_recovery(const SimulationParams& params);
 
 /// Why one simulated code ended the way it did.
 enum class CodeOutcome {

@@ -14,6 +14,11 @@ std::string_view to_string(EventKind kind) {
     case EventKind::Decode: return "decode";
     case EventKind::Delivered: return "delivered";
     case EventKind::Timeout: return "timeout";
+    case EventKind::NodeDown: return "node_down";
+    case EventKind::Degraded: return "degraded";
+    case EventKind::DecodeStall: return "decode_stall";
+    case EventKind::Retry: return "retry";
+    case EventKind::Escalate: return "escalate";
     case EventKind::LpSolve: return "lp_solve";
   }
   return "?";
@@ -94,6 +99,29 @@ std::string to_jsonl(const Event& event) {
     case EventKind::Timeout:
       append_int(out, "request", event.a);
       append_int(out, "slots", event.b);
+      break;
+    case EventKind::NodeDown:
+      append_int(out, "node", event.a);
+      append_int(out, "until_slot", event.b);
+      break;
+    case EventKind::Degraded:
+      append_int(out, "fiber", event.a);
+      append_int(out, "until_slot", event.b);
+      append_double(out, "factor", event.value);
+      break;
+    case EventKind::DecodeStall:
+      append_int(out, "until_slot", event.a);
+      break;
+    case EventKind::Retry:
+      append_int(out, "request", event.a);
+      append_str(out, "channel", event.b ? "core" : "support");
+      append_int(out, "attempt", event.c);
+      append_int(out, "backoff", event.d);
+      break;
+    case EventKind::Escalate:
+      append_int(out, "request", event.a);
+      append_str(out, "channel", event.b ? "core" : "support");
+      append_str(out, "action", event.flag ? "reroute" : "hold");
       break;
     case EventKind::LpSolve:
       append_int(out, "iterations", event.a);

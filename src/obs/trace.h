@@ -27,7 +27,25 @@
 //   delivered    {"ev","trial","slot","request","slots","corrections",
 //                 "outcome"}   outcome is "success" or "logical_error"
 //   timeout      {"ev","trial","slot","request","slots"}
-//                a code still in flight when the simulation hit max_slots
+//                a code still in flight when the simulation hit max_slots,
+//                or abandoned by a per-code recovery timeout budget
+//   node_down    {"ev","trial","slot","node","until_slot"}
+//                a switch/server outage (fault injection)
+//   degraded     {"ev","trial","slot","fiber","until_slot","factor"}
+//                an entanglement-source degradation window: the fiber's
+//                pair-generation rate is multiplied by factor until
+//                until_slot
+//   decode_stall {"ev","trial","slot","until_slot"}
+//                a decode-latency spike: corrections stall network-wide
+//                until until_slot
+//   retry        {"ev","trial","slot","request","channel","attempt",
+//                 "backoff"}
+//                a bounded recovery retry after a failed segment jump;
+//                backoff is the exponential-backoff cooldown in slots
+//   escalate     {"ev","trial","slot","request","channel","action"}
+//                recovery escalated past local repair; action is
+//                "reroute" (full re-route through the remaining barriers
+//                succeeded) or "hold" (no live route; wait in place)
 //   lp_solve     {"ev","trial","iterations","refactorizations",
 //                 "warm_start","status","objective"}
 //                status encodes routing::LpStatus: 0 optimal,
@@ -54,6 +72,11 @@ enum class EventKind : std::uint8_t {
   Decode,
   Delivered,
   Timeout,
+  NodeDown,
+  Degraded,
+  DecodeStall,
+  Retry,
+  Escalate,
   LpSolve,
 };
 
@@ -101,6 +124,28 @@ struct Event {
   static Event timeout(int slot, int request, int slots) {
     return {EventKind::Timeout, -1, slot,  request, slots,
             0,                  0,  0.0,   false,   false};
+  }
+  static Event node_down(int slot, int node, int until_slot) {
+    return {EventKind::NodeDown, -1, slot,  node,  until_slot,
+            0,                   0,  0.0,   false, false};
+  }
+  static Event degraded(int slot, int fiber, int until_slot, double factor) {
+    return {EventKind::Degraded, -1, slot,   fiber, until_slot,
+            0,                   0,  factor, false, false};
+  }
+  static Event decode_stall(int slot, int until_slot) {
+    return {EventKind::DecodeStall, -1, slot,  until_slot, 0,
+            0,                      0,  0.0,   false,      false};
+  }
+  static Event retry(int slot, int request, bool core_channel, int attempt,
+                     int backoff) {
+    return {EventKind::Retry, -1,      slot, request, core_channel ? 1 : 0,
+            attempt,          backoff, 0.0,  false,   false};
+  }
+  static Event escalate(int slot, int request, bool core_channel,
+                        bool rerouted) {
+    return {EventKind::Escalate, -1, slot, request,  core_channel ? 1 : 0,
+            0,                   0,  0.0,  rerouted, false};
   }
   static Event lp_solve(int iterations, int refactorizations, bool warm,
                         int status, double objective) {

@@ -35,6 +35,18 @@ void check_schedule_invariants(const netsim::Topology& topology,
                                const RoutingParams& params,
                                const netsim::Schedule& schedule);
 
+/// Validate one channel path after an online re-route (local recovery or
+/// full-re-route escalation, netsim/recovery.h) against the structural
+/// routing constraints: the walk still runs over existing in-range fibers
+/// from its original source (Eq. (3) structure) and visits the
+/// not-yet-passed barrier nodes — remaining
+/// EC servers in order, destination last — from position `pos` on
+/// (Eqs. (4) coupling and (3) termination). Interior nodes past `pos`
+/// must be switches or servers; only the final barrier may be a user.
+void check_reroute_invariants(const netsim::Topology& topology,
+                              const std::vector<int>& path, int pos,
+                              const std::vector<int>& barriers);
+
 /// Validate a simplex basis snapshot against its problem: the shape
 /// matches the problem's internal column layout (structural + slack +
 /// artificial), the basis holds one distinct in-range column per row, and

@@ -1,0 +1,361 @@
+// Tests of the deterministic fault-injection subsystem (netsim/faults.h):
+// plan validation, scripted fault windows, stochastic processes, the
+// legacy fiber_failure_rate compatibility shim, and seed replayability.
+
+#include "netsim/faults.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <stdexcept>
+
+#include "decoder/surfnet_decoder.h"
+#include "netsim/simulator.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "util/rng.h"
+
+namespace surfnet::netsim {
+namespace {
+
+/// Ring: user(0) - sw(1) - server(2) - sw(3) - user(4), plus bypass sw(5)
+/// connecting 1 and 3 (same shape as failure_test.cpp).
+Topology ring_topology(double fidelity = 0.95) {
+  std::vector<Node> nodes(6);
+  nodes[1] = {NodeRole::Switch, 1000};
+  nodes[2] = {NodeRole::Server, 1000};
+  nodes[3] = {NodeRole::Switch, 1000};
+  nodes[5] = {NodeRole::Switch, 1000};
+  std::vector<Fiber> fibers{{0, 1, fidelity, 50}, {1, 2, fidelity, 50},
+                            {2, 3, fidelity, 50}, {3, 4, fidelity, 50},
+                            {1, 5, fidelity, 50}, {5, 3, fidelity, 50}};
+  return Topology(std::move(nodes), std::move(fibers));
+}
+
+Schedule one_request(int codes, bool dual, std::vector<int> ec = {}) {
+  Schedule schedule;
+  schedule.requested_codes = codes;
+  ScheduledRequest s;
+  s.request_index = 0;
+  s.codes = codes;
+  s.support_path = {0, 1, 2, 3, 4};
+  if (dual) s.core_path = {0, 1, 2, 3, 4};
+  s.ec_servers = std::move(ec);
+  schedule.scheduled.push_back(s);
+  return schedule;
+}
+
+std::string jsonl_of(const obs::TraceBuffer& buffer) {
+  std::string out;
+  for (const auto& event : buffer.events()) out += obs::to_jsonl(event) + "\n";
+  return out;
+}
+
+bool same_records(const SimulationResult& a, const SimulationResult& b) {
+  if (a.codes_scheduled != b.codes_scheduled ||
+      a.codes_delivered != b.codes_delivered ||
+      a.codes_succeeded != b.codes_succeeded ||
+      a.total_latency != b.total_latency ||
+      a.codes.size() != b.codes.size())
+    return false;
+  for (std::size_t i = 0; i < a.codes.size(); ++i)
+    if (a.codes[i].request != b.codes[i].request ||
+        a.codes[i].slots != b.codes[i].slots ||
+        a.codes[i].corrections != b.codes[i].corrections ||
+        a.codes[i].outcome != b.codes[i].outcome)
+      return false;
+  return true;
+}
+
+TEST(FaultPlanValidation, RejectsMalformedPlans) {
+  const auto topo = ring_topology();
+  auto expect_rejected = [&](const FaultPlan& plan, const char* what) {
+    EXPECT_THROW(FaultInjector(topo, plan), std::invalid_argument) << what;
+  };
+
+  FaultPlan rate;
+  rate.stochastic.fiber_cut_rate = 1.5;
+  expect_rejected(rate, "rate above 1");
+
+  FaultPlan negative_rate;
+  negative_rate.stochastic.node_outage_rate = -0.1;
+  expect_rejected(negative_rate, "negative rate");
+
+  FaultPlan duration;
+  duration.stochastic.fiber_cut_rate = 0.1;
+  duration.stochastic.fiber_cut_duration = 0;
+  expect_rejected(duration, "non-positive duration");
+
+  FaultPlan group;
+  group.stochastic.correlated_cut_rate = 0.1;
+  group.stochastic.correlated_group_size = 0;
+  expect_rejected(group, "empty correlated group");
+
+  FaultPlan factor;
+  factor.stochastic.degradation_rate = 0.1;
+  factor.stochastic.degradation_factor = 2.0;
+  expect_rejected(factor, "degradation factor above 1");
+
+  FaultPlan bad_fiber;
+  bad_fiber.scripted.push_back({FaultKind::FiberCut, 0, 99, 5, 1.0});
+  expect_rejected(bad_fiber, "fiber target out of range");
+
+  FaultPlan bad_node;
+  bad_node.scripted.push_back({FaultKind::NodeOutage, 0, -1, 5, 1.0});
+  expect_rejected(bad_node, "node target out of range");
+
+  FaultPlan bad_slot;
+  bad_slot.scripted.push_back({FaultKind::FiberCut, -3, 0, 5, 1.0});
+  expect_rejected(bad_slot, "negative slot");
+
+  FaultPlan bad_magnitude;
+  bad_magnitude.scripted.push_back(
+      {FaultKind::EntanglementDegradation, 0, 0, 5, -0.5});
+  expect_rejected(bad_magnitude, "magnitude out of range");
+}
+
+TEST(FaultPlanValidation, ErrorMessagesNameThePlan) {
+  const auto topo = ring_topology();
+  FaultPlan plan;
+  plan.scripted.push_back({FaultKind::FiberCut, 0, 99, 5, 1.0});
+  try {
+    FaultInjector injector(topo, plan);
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& err) {
+    EXPECT_NE(std::string(err.what()).find("FaultPlan"), std::string::npos);
+    EXPECT_NE(std::string(err.what()).find("99"), std::string::npos);
+  }
+}
+
+TEST(FaultInjection, EmptyPlanIsInert) {
+  const auto topo = ring_topology();
+  FaultInjector injector(topo, FaultPlan{});
+  EXPECT_TRUE(injector.inert());
+  util::Rng probe(1);
+  injector.begin_slot(0, probe, obs::Sink{});
+  // An inert injector consumes no random variates.
+  EXPECT_EQ(probe(), util::Rng(1)());
+  EXPECT_FALSE(injector.fiber_down(0, 0));
+  EXPECT_FALSE(injector.node_down(0, 0));
+  EXPECT_DOUBLE_EQ(injector.entanglement_factor(0, 0), 1.0);
+  EXPECT_FALSE(injector.decode_stalled(0));
+}
+
+TEST(FaultInjection, ScriptedWindowsAreHalfOpen) {
+  const auto topo = ring_topology();
+  FaultPlan plan;
+  plan.scripted.push_back({FaultKind::FiberCut, 3, 1, 4, 1.0});
+  plan.scripted.push_back({FaultKind::NodeOutage, 5, 2, 2, 1.0});
+  plan.scripted.push_back({FaultKind::EntanglementDegradation, 2, 0, 3, 0.5});
+  plan.scripted.push_back({FaultKind::DecodeStall, 4, -1, 2, 1.0});
+  FaultInjector injector(topo, plan);
+  EXPECT_FALSE(injector.inert());
+
+  util::Rng rng(7);
+  obs::MetricsRegistry metrics;
+  obs::Sink sink;
+  sink.metrics = &metrics;
+  for (int slot = 0; slot < 10; ++slot) {
+    injector.begin_slot(slot, rng, sink);
+    EXPECT_EQ(injector.fiber_down(1, slot), slot >= 3 && slot < 7)
+        << "slot " << slot;
+    EXPECT_EQ(injector.node_down(2, slot), slot >= 5 && slot < 7)
+        << "slot " << slot;
+    EXPECT_DOUBLE_EQ(injector.entanglement_factor(0, slot),
+                     slot >= 2 && slot < 5 ? 0.5 : 1.0)
+        << "slot " << slot;
+    EXPECT_EQ(injector.decode_stalled(slot), slot >= 4 && slot < 6)
+        << "slot " << slot;
+  }
+  EXPECT_EQ(metrics.counter("sim.fiber_failures"), 1);
+  EXPECT_EQ(metrics.counter("sim.node_outages"), 1);
+  EXPECT_EQ(metrics.counter("sim.degradations"), 1);
+  EXPECT_EQ(metrics.counter("sim.decode_stalls"), 1);
+  // Scripted events consume no randomness.
+  util::Rng fresh(7);
+  EXPECT_EQ(rng(), fresh());
+}
+
+TEST(FaultInjection, CorrelatedCutTakesOutNeighboringFibers) {
+  const auto topo = ring_topology();
+  FaultPlan plan;
+  plan.stochastic.correlated_cut_rate = 1.0;  // fire every slot
+  plan.stochastic.correlated_group_size = 3;
+  plan.stochastic.correlated_cut_duration = 10;
+  FaultInjector injector(topo, plan);
+  util::Rng rng(11);
+  obs::MetricsRegistry metrics;
+  obs::Sink sink;
+  sink.metrics = &metrics;
+  injector.begin_slot(0, rng, sink);
+  int down = 0;
+  for (int e = 0; e < topo.num_fibers(); ++e)
+    down += injector.fiber_down(e, 0) ? 1 : 0;
+  EXPECT_EQ(down, 3);
+  EXPECT_EQ(metrics.counter("sim.fiber_failures"), 3);
+}
+
+TEST(FaultInjection, NodeOutagesNeverHitUsers) {
+  const auto topo = ring_topology();
+  FaultPlan plan;
+  plan.stochastic.node_outage_rate = 1.0;
+  FaultInjector injector(topo, plan);
+  util::Rng rng(13);
+  injector.begin_slot(0, rng, obs::Sink{});
+  EXPECT_FALSE(injector.node_down(0, 0));
+  EXPECT_FALSE(injector.node_down(4, 0));
+  EXPECT_TRUE(injector.node_down(1, 0));
+  EXPECT_TRUE(injector.node_down(2, 0));
+}
+
+TEST(FaultInjection, ReplayIsDeterministic) {
+  const auto topo = ring_topology();
+  FaultPlan plan;
+  plan.stochastic.fiber_cut_rate = 0.2;
+  plan.stochastic.node_outage_rate = 0.1;
+  plan.stochastic.degradation_rate = 0.3;
+  plan.stochastic.decode_stall_rate = 0.05;
+
+  auto run = [&]() {
+    FaultInjector injector(topo, plan);
+    util::Rng rng(99);
+    obs::TraceBuffer trace;
+    obs::Sink sink;
+    sink.trace = &trace;
+    for (int slot = 0; slot < 200; ++slot)
+      injector.begin_slot(slot, rng, sink);
+    return jsonl_of(trace);
+  };
+  EXPECT_EQ(run(), run());
+}
+
+TEST(FaultShim, LegacyKnobsAndFiberNoisePlanAreBitwiseIdentical) {
+  const auto topo = ring_topology();
+  const decoder::SurfNetDecoder dec;
+
+  SimulationParams legacy;
+  legacy.fiber_failure_rate = 0.05;
+  legacy.fiber_failure_duration = 40;
+  legacy.max_slots = 4000;
+
+  SimulationParams planned;
+  planned.faults = FaultPlan::fiber_noise(0.05, 40);
+  planned.max_slots = 4000;
+
+  obs::TraceBuffer trace_a, trace_b;
+  obs::MetricsRegistry metrics_a, metrics_b;
+  legacy.sink = obs::Sink{&metrics_a, &trace_a};
+  planned.sink = obs::Sink{&metrics_b, &trace_b};
+
+  util::Rng rng_a(21), rng_b(21);
+  const auto a = simulate_surfnet(topo, one_request(10, true), legacy, dec,
+                                  rng_a);
+  const auto b = simulate_surfnet(topo, one_request(10, true), planned, dec,
+                                  rng_b);
+  EXPECT_TRUE(same_records(a, b));
+  EXPECT_EQ(jsonl_of(trace_a), jsonl_of(trace_b));
+  EXPECT_EQ(metrics_a.counter("sim.fiber_failures"),
+            metrics_b.counter("sim.fiber_failures"));
+  // The RNG streams stay in lockstep past the run.
+  EXPECT_EQ(rng_a(), rng_b());
+}
+
+TEST(FaultShim, PlanWithOwnFiberProcessIgnoresLegacyKnobs) {
+  SimulationParams params;
+  params.fiber_failure_rate = 0.5;
+  params.fiber_failure_duration = 7;
+  params.faults.stochastic.fiber_cut_rate = 0.01;
+  params.faults.stochastic.fiber_cut_duration = 3;
+  const auto plan = effective_fault_plan(params);
+  EXPECT_DOUBLE_EQ(plan.stochastic.fiber_cut_rate, 0.01);
+  EXPECT_EQ(plan.stochastic.fiber_cut_duration, 3);
+}
+
+TEST(FaultShim, LegacyKnobsFoldIntoEmptyPlan) {
+  SimulationParams params;
+  params.fiber_failure_rate = 0.25;
+  params.fiber_failure_duration = 12;
+  const auto plan = effective_fault_plan(params);
+  EXPECT_DOUBLE_EQ(plan.stochastic.fiber_cut_rate, 0.25);
+  EXPECT_EQ(plan.stochastic.fiber_cut_duration, 12);
+}
+
+TEST(FaultSimulation, ScriptedOutageBlocksAndHeals) {
+  // Cut the only server's fibers forever on a path with no alternative:
+  // nothing is delivered. Heal before the end: everything is delivered.
+  std::vector<Node> nodes(3);
+  nodes[1] = {NodeRole::Switch, 1000};
+  std::vector<Fiber> fibers{{0, 1, 0.95, 50}, {1, 2, 0.95, 50}};
+  const Topology topo(std::move(nodes), std::move(fibers));
+
+  Schedule schedule;
+  schedule.requested_codes = 1;
+  ScheduledRequest s;
+  s.request_index = 0;
+  s.codes = 1;
+  s.support_path = {0, 1, 2};
+  s.core_path = {0, 1, 2};
+  schedule.scheduled.push_back(s);
+
+  const decoder::SurfNetDecoder dec;
+  SimulationParams params;
+  params.max_slots = 200;
+  params.faults.scripted.push_back({FaultKind::NodeOutage, 0, 1, 50, 1.0});
+
+  util::Rng rng(5);
+  const auto result = simulate_surfnet(topo, schedule, params, dec, rng);
+  EXPECT_EQ(result.codes_delivered, 1);
+  // The outage of the only switch delays delivery past its window.
+  ASSERT_EQ(result.codes.size(), 1u);
+  EXPECT_GE(result.codes[0].slots, 50);
+}
+
+TEST(FaultSimulation, DecodeStallDelaysCorrections) {
+  const auto topo = ring_topology();
+  const decoder::SurfNetDecoder dec;
+
+  SimulationParams stalled;
+  stalled.max_slots = 500;
+  stalled.faults.scripted.push_back({FaultKind::DecodeStall, 0, -1, 60, 1.0});
+  SimulationParams clear;
+  clear.max_slots = 500;
+
+  util::Rng rng_a(31), rng_b(31);
+  const auto slow =
+      simulate_surfnet(topo, one_request(1, true), stalled, dec, rng_a);
+  const auto fast =
+      simulate_surfnet(topo, one_request(1, true), clear, dec, rng_b);
+  ASSERT_EQ(slow.codes_delivered, 1);
+  ASSERT_EQ(fast.codes_delivered, 1);
+  // The readout at the destination cannot run before the stall clears.
+  EXPECT_GE(slow.codes[0].slots, 60);
+  EXPECT_LT(fast.codes[0].slots, 60);
+}
+
+TEST(FaultSimulation, DegradationStarvesTheCoreChannel) {
+  const auto topo = ring_topology();
+  const decoder::SurfNetDecoder dec;
+
+  SimulationParams degraded;
+  degraded.max_slots = 2000;
+  degraded.entanglement_rate = 1.0;
+  for (int e = 0; e < topo.num_fibers(); ++e)
+    degraded.faults.scripted.push_back(
+        {FaultKind::EntanglementDegradation, 0, e, 300, 0.0});
+  SimulationParams healthy;
+  healthy.max_slots = 2000;
+  healthy.entanglement_rate = 1.0;
+
+  util::Rng rng_a(41), rng_b(41);
+  const auto starved =
+      simulate_surfnet(topo, one_request(1, true), degraded, dec, rng_a);
+  const auto normal =
+      simulate_surfnet(topo, one_request(1, true), healthy, dec, rng_b);
+  ASSERT_EQ(starved.codes_delivered, 1);
+  ASSERT_EQ(normal.codes_delivered, 1);
+  // Zero pair generation for 300 slots pins the Core part in place.
+  EXPECT_GT(starved.codes[0].slots, normal.codes[0].slots + 200);
+}
+
+}  // namespace
+}  // namespace surfnet::netsim

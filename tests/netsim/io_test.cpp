@@ -92,5 +92,114 @@ TEST(ScheduleIo, RejectsMalformedInput) {
                std::invalid_argument);  // truncated node list
 }
 
+/// Malformed document + the substring its error message must carry; the
+/// message also always names the offending line.
+struct RejectCase {
+  const char* name;
+  const char* text;
+  const char* message;
+};
+
+class TopologyIoReject : public ::testing::TestWithParam<RejectCase> {};
+
+TEST_P(TopologyIoReject, FailsWithClearMessage) {
+  const auto& c = GetParam();
+  try {
+    topology_from_string(c.text);
+    FAIL() << "expected std::invalid_argument for " << c.name;
+  } catch (const std::invalid_argument& err) {
+    EXPECT_NE(std::string(err.what()).find(c.message), std::string::npos)
+        << "message was: " << err.what();
+    EXPECT_NE(std::string(err.what()).find("line "), std::string::npos)
+        << "message lacks a line number: " << err.what();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Tables, TopologyIoReject,
+    ::testing::Values(
+        RejectCase{"duplicate_fiber",
+                   "surfnet-topology v1\nnode 0 user 10\nnode 1 switch 10\n"
+                   "fiber 0 1 0.9 5\nfiber 1 0 0.9 5\n",
+                   "duplicate fiber"},
+        RejectCase{"dangling_endpoint",
+                   "surfnet-topology v1\nnode 0 user 10\nnode 1 switch 10\n"
+                   "fiber 0 7 0.9 5\n",
+                   "not a declared node"},
+        RejectCase{"negative_endpoint",
+                   "surfnet-topology v1\nnode 0 user 10\nnode 1 switch 10\n"
+                   "fiber -1 1 0.9 5\n",
+                   "not a declared node"},
+        RejectCase{"self_loop",
+                   "surfnet-topology v1\nnode 0 user 10\n"
+                   "fiber 0 0 0.9 5\n",
+                   "self-loop"},
+        RejectCase{"negative_storage",
+                   "surfnet-topology v1\nnode 0 user -3\n",
+                   "negative storage capacity"},
+        RejectCase{"negative_pair_capacity",
+                   "surfnet-topology v1\nnode 0 user 10\nnode 1 switch 10\n"
+                   "fiber 0 1 0.9 -5\n",
+                   "negative entanglement capacity"},
+        RejectCase{"fidelity_above_one",
+                   "surfnet-topology v1\nnode 0 user 10\nnode 1 switch 10\n"
+                   "fiber 0 1 1.5 5\n",
+                   "fidelity outside [0, 1]"},
+        RejectCase{"truncated_node",
+                   "surfnet-topology v1\nnode 0 user\n",
+                   "bad node record"},
+        RejectCase{"truncated_fiber",
+                   "surfnet-topology v1\nnode 0 user 10\nnode 1 switch 10\n"
+                   "fiber 0 1 0.9\n",
+                   "bad fiber record"},
+        RejectCase{"trailing_garbage_node",
+                   "surfnet-topology v1\nnode 0 user 10 oops\n",
+                   "trailing garbage"},
+        RejectCase{"node_after_fiber",
+                   "surfnet-topology v1\nnode 0 user 10\nnode 1 switch 10\n"
+                   "fiber 0 1 0.9 5\nnode 2 user 10\n",
+                   "node record after fiber"}),
+    [](const auto& info) { return info.param.name; });
+
+class ScheduleIoReject : public ::testing::TestWithParam<RejectCase> {};
+
+TEST_P(ScheduleIoReject, FailsWithClearMessage) {
+  const auto& c = GetParam();
+  try {
+    schedule_from_string(c.text);
+    FAIL() << "expected std::invalid_argument for " << c.name;
+  } catch (const std::invalid_argument& err) {
+    EXPECT_NE(std::string(err.what()).find(c.message), std::string::npos)
+        << "message was: " << err.what();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Tables, ScheduleIoReject,
+    ::testing::Values(
+        RejectCase{"negative_requested",
+                   "surfnet-schedule v1\nrequested -2\n",
+                   "negative requested"},
+        RejectCase{"duplicate_requested",
+                   "surfnet-schedule v1\nrequested 2\nrequested 3\n",
+                   "duplicate requested"},
+        RejectCase{"negative_request_index",
+                   "surfnet-schedule v1\n"
+                   "request -1 1 0 support 2 0 1 core 0 ec 0\n",
+                   "negative request index"},
+        RejectCase{"negative_codes",
+                   "surfnet-schedule v1\n"
+                   "request 0 -1 0 support 2 0 1 core 0 ec 0\n",
+                   "negative code count"},
+        RejectCase{"negative_node_in_list",
+                   "surfnet-schedule v1\n"
+                   "request 0 1 0 support 2 0 -4 core 0 ec 0\n",
+                   "negative node id"},
+        RejectCase{"trailing_garbage_request",
+                   "surfnet-schedule v1\n"
+                   "request 0 1 0 support 2 0 1 core 0 ec 0 zzz\n",
+                   "trailing garbage"}),
+    [](const auto& info) { return info.param.name; });
+
 }  // namespace
 }  // namespace surfnet::netsim

@@ -1,0 +1,123 @@
+#pragma once
+
+// Minimal property-based testing harness on top of googletest.
+//
+// A property is a callable taking a seeded util::Rng and making gtest
+// assertions about randomly generated inputs. surfnet_check_property runs
+// it for a configurable number of iterations, deriving one independent
+// case seed per iteration, and reports the *counterexample seed* of the
+// first failing case so it can be replayed in isolation:
+//
+//   proptest::check("pool_never_negative", {}, [](util::Rng& rng) {
+//     const int n = proptest::int_in(rng, 1, 50);
+//     ...
+//     EXPECT_GE(level, 0);
+//   });
+//
+// Replay and scaling via environment variables:
+//   SURFNET_PROP_SEED=<decimal seed>  run only that case seed, once;
+//   SURFNET_PROP_ITERS=<n>            override the iteration count.
+//
+// The generator helpers below are thin combinators over util::Rng so every
+// generated value is a pure function of the case seed.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "util/rng.h"
+
+namespace surfnet::proptest {
+
+struct Config {
+  int iterations = 200;
+  std::uint64_t seed = 0x5EEDF00DCAFEBABEULL;  ///< base seed of the run
+};
+
+/// Derive the case seed of one iteration from the base seed.
+inline std::uint64_t case_seed(std::uint64_t base, int iteration) {
+  std::uint64_t state = base ^ (0x9E3779B97F4A7C15ULL *
+                                static_cast<std::uint64_t>(iteration + 1));
+  return util::splitmix64(state);
+}
+
+/// Run `property(rng)` over `config.iterations` independently seeded cases.
+/// Stops at the first failing case; the failure output names the case seed
+/// to replay with SURFNET_PROP_SEED.
+template <typename Property>
+void check(const char* name, const Config& config, Property&& property) {
+  if (const char* replay = std::getenv("SURFNET_PROP_SEED")) {
+    const std::uint64_t seed = std::strtoull(replay, nullptr, 0);
+    SCOPED_TRACE(std::string("property '") + name + "' replaying seed " +
+                 std::to_string(seed));
+    util::Rng rng(seed);
+    property(rng);
+    return;
+  }
+  int iterations = config.iterations;
+  if (const char* env = std::getenv("SURFNET_PROP_ITERS"))
+    iterations = std::atoi(env);
+  for (int i = 0; i < iterations; ++i) {
+    const std::uint64_t seed = case_seed(config.seed, i);
+    SCOPED_TRACE(std::string("property '") + name + "' case " +
+                 std::to_string(i) + ": replay with SURFNET_PROP_SEED=" +
+                 std::to_string(seed));
+    util::Rng rng(seed);
+    property(rng);
+    if (::testing::Test::HasFailure()) return;  // first counterexample only
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Generator combinators. All draw only from the passed Rng.
+
+/// Uniform integer in [lo, hi] (inclusive).
+inline int int_in(util::Rng& rng, int lo, int hi) {
+  return lo + static_cast<int>(
+                  rng.below(static_cast<std::uint64_t>(hi - lo + 1)));
+}
+
+/// Uniform double in [lo, hi).
+inline double real_in(util::Rng& rng, double lo, double hi) {
+  return rng.uniform(lo, hi);
+}
+
+/// Biased coin.
+inline bool chance(util::Rng& rng, double p) { return rng.bernoulli(p); }
+
+/// Uniformly chosen element of a nonempty container.
+template <typename Container>
+const typename Container::value_type& pick(util::Rng& rng,
+                                           const Container& values) {
+  return values[static_cast<std::size_t>(rng.below(values.size()))];
+}
+
+/// Vector of `n` values drawn from `gen(rng)`.
+template <typename Gen>
+auto vector_of(util::Rng& rng, int n, Gen&& gen)
+    -> std::vector<decltype(gen(rng))> {
+  std::vector<decltype(gen(rng))> out;
+  out.reserve(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) out.push_back(gen(rng));
+  return out;
+}
+
+/// Independent subset of [0, n): each element kept with probability p.
+inline std::vector<int> subset_of(util::Rng& rng, int n, double p) {
+  std::vector<int> out;
+  for (int i = 0; i < n; ++i)
+    if (rng.bernoulli(p)) out.push_back(i);
+  return out;
+}
+
+/// Fisher-Yates shuffle (in place), matching the simulator's idiom.
+template <typename T>
+void shuffle(util::Rng& rng, std::vector<T>& values) {
+  for (std::size_t i = values.size(); i > 1; --i)
+    std::swap(values[i - 1], values[rng.below(i)]);
+}
+
+}  // namespace surfnet::proptest
