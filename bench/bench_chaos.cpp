@@ -102,8 +102,9 @@ int main(int argc, char** argv) {
       util::RunningStat latency;
       util::Rng seeder(args.seed());
       for (int t = 0; t < trials; ++t) {
-        const auto metrics = core::run_trial(
-            params, core::NetworkDesign::SurfNet, seeder(), args.sink());
+        const auto metrics =
+            core::run_trial(params, core::NetworkDesign::SurfNet, seeder(),
+                            args.sink(), args.selected_engine());
         scheduled += metrics.codes_scheduled;
         delivered += metrics.codes_delivered;
         succeeded += static_cast<long long>(

@@ -4,6 +4,7 @@
 Usage:
     bench_compare.py baseline.json candidate.json [--threshold 0.10]
     bench_compare.py --validate FILE [FILE ...]
+    bench_compare.py run.json --speedup-min 5 [--speedup-filter sparse_long]
 
 Each input is either the shared bench envelope
 ``{"bench": ..., "schema_version": 1, "results": [...]}`` (emitted by every
@@ -11,6 +12,13 @@ bench's --json mode) or, for backward compatibility, a bare JSON array of
 flat records. Records are joined on their string/identity fields (e.g.
 decoder + distance, or grid + requests); numeric fields are then compared
 pairwise.
+
+``--speedup-min`` asserts an absolute floor instead of comparing: every
+record in the single given file that carries a ``speedup`` field (e.g.
+bench_event_core's slot-vs-event rows) must meet the floor, optionally
+restricted with ``--speedup-filter`` to records whose string fields
+contain the given substring. This is the acceptance gate for the event
+engine: ``--speedup-filter sparse_long --speedup-min 5``.
 
 ``--validate`` checks files structurally instead of comparing: bench
 envelopes, observability metrics documents (``{"schema_version": ...,
@@ -233,6 +241,38 @@ def run_validate(paths):
     return 1 if errors else 0
 
 
+def run_speedup_floor(path, floor, substring):
+    """Assert every (filtered) record's speedup meets the floor."""
+    records = load(path)
+    selected = []
+    for record in records:
+        if "speedup" not in record:
+            continue
+        if substring and not any(
+                substring in value for value in record.values()
+                if isinstance(value, str)):
+            continue
+        selected.append(record)
+    if not selected:
+        print(f"bench_compare: no record with a 'speedup' field matches "
+              f"filter {substring!r} in {path}", file=sys.stderr)
+        return 2
+    failures = 0
+    for record in selected:
+        label = " ".join(f"{n}={v}" for n, v in sorted(record.items())
+                         if isinstance(v, str))
+        ok = record["speedup"] >= floor
+        print(f"{'ok' if ok else 'FAIL'}  {label}: speedup "
+              f"{record['speedup']:g} (floor {floor:g})")
+        failures += not ok
+    if failures:
+        print(f"bench_compare: {failures}/{len(selected)} record(s) below "
+              f"the {floor:g}x speedup floor", file=sys.stderr)
+        return 1
+    print(f"all {len(selected)} record(s) meet the {floor:g}x speedup floor")
+    return 0
+
+
 def main():
     parser = argparse.ArgumentParser(
         description="Diff two --json bench outputs, flag regressions; or "
@@ -245,6 +285,12 @@ def main():
     parser.add_argument("--validate", nargs="+", metavar="FILE",
                         help="validate files (bench envelopes, metrics "
                              "documents, JSONL traces) instead of comparing")
+    parser.add_argument("--speedup-min", type=float, metavar="F",
+                        help="assert every matching record's 'speedup' in "
+                             "the single given file is >= F")
+    parser.add_argument("--speedup-filter", metavar="SUBSTR",
+                        help="with --speedup-min: only check records whose "
+                             "string fields contain SUBSTR")
     args = parser.parse_args()
 
     if args.validate:
@@ -252,6 +298,13 @@ def main():
             parser.error("--validate takes its own file list; do not also "
                          "pass baseline/candidate")
         return run_validate(args.validate)
+    if args.speedup_min is not None:
+        if not args.baseline or args.candidate:
+            parser.error("--speedup-min takes exactly one file")
+        return run_speedup_floor(args.baseline, args.speedup_min,
+                                 args.speedup_filter)
+    if args.speedup_filter:
+        parser.error("--speedup-filter requires --speedup-min")
     if not args.baseline or not args.candidate:
         parser.error("baseline and candidate are required unless --validate "
                      "is given")

@@ -1,12 +1,20 @@
 #!/usr/bin/env python3
-"""Gate the zero-overhead-when-disabled guarantee of the contract layer.
+"""Gate a bench --json run against a committed per-row baseline.
 
-Compares a bench_decoder_speed --json run against a baseline (by default
-the committed seed baseline from a Release build with SURFNET_CHECKS=OFF)
-and fails if any (decoder, distance) row's throughput dropped by more than
-the tolerance. Rows are matched by (decoder, distance, threads); rows
-missing from either side fail the check, so the bench cannot silently
-shrink its coverage.
+Compares one or more bench --json runs against a baseline and fails if any
+row's metric dropped by more than the tolerance. The defaults gate the
+contract layer's zero-overhead-when-disabled guarantee: bench_decoder_speed
+rows matched by (decoder, distance, threads) on trials_per_sec against the
+committed Release/SURFNET_CHECKS=OFF baseline. --key and --metric retarget
+the same machinery at any bench with the shared envelope — e.g. the event
+engine's speedup baseline:
+
+  scripts/check_overhead.py event.json \\
+      --baseline bench/baselines/event_core_release.json \\
+      --key scenario,grid --metric speedup --tolerance 0.6
+
+The metric must be higher-is-better. Rows missing from either side fail
+the check, so a bench cannot silently shrink its coverage.
 
 Passing several candidate files compares the per-row BEST across them:
 shared machines show large bimodal run-to-run swings (frequency scaling,
@@ -15,11 +23,13 @@ what the binary can do. Tolerance guidance: best-of-3 on the machine that
 produced the baseline, 10% covers residual noise; across CI runner
 generations use something much looser (the CI job passes 50% — it exists
 to catch "contracts accidentally compiled into Release", a >2x cliff on
-the hot decode loop, not single-digit regressions).
+the hot decode loop, not single-digit regressions). Ratio metrics like
+speedup partly self-normalize across machines but still deserve a loose
+tolerance; their hard floors live in bench_compare.py --speedup-min.
 
 Usage:
   scripts/check_overhead.py RUN.json [RUN2.json ...] [--baseline FILE]
-                            [--tolerance F]
+                            [--tolerance F] [--key F1,F2,..] [--metric M]
 """
 
 import argparse
@@ -31,29 +41,43 @@ REPO = Path(__file__).resolve().parent.parent
 DEFAULT_BASELINE = REPO / "bench" / "baselines" / "decoder_speed_release.json"
 
 
-def rows_by_key(report):
+def rows_by_key(report, key_fields, metric, path):
     rows = {}
     for row in report["results"]:
-        rows[(row["decoder"], row["distance"], row["threads"])] = row
+        missing = [f for f in key_fields + [metric] if f not in row]
+        if missing:
+            sys.exit(f"check_overhead: {path}: record lacks field(s) "
+                     f"{missing} (have: {sorted(row)})")
+        rows[tuple(row[f] for f in key_fields)] = row
     return rows
 
 
 def main():
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("candidates", nargs="+", metavar="RUN.json",
-                        help="bench_decoder_speed --json outputs; several "
-                             "runs are merged row-wise by best throughput")
+                        help="bench --json outputs; several runs are merged "
+                             "row-wise by best metric")
     parser.add_argument("--baseline", default=str(DEFAULT_BASELINE))
     parser.add_argument("--tolerance", type=float, default=0.10,
-                        help="allowed fractional throughput drop (0.10=10%%)")
+                        help="allowed fractional metric drop (0.10=10%%)")
+    parser.add_argument("--key", default="decoder,distance,threads",
+                        help="comma-separated record fields that identify a "
+                             "row (default: decoder,distance,threads)")
+    parser.add_argument("--metric", default="trials_per_sec",
+                        help="higher-is-better record field to gate "
+                             "(default: trials_per_sec)")
     args = parser.parse_args()
+    key_fields = [f for f in args.key.split(",") if f]
+    metric = args.metric
 
-    baseline = rows_by_key(json.loads(Path(args.baseline).read_text()))
+    baseline = rows_by_key(json.loads(Path(args.baseline).read_text()),
+                           key_fields, metric, args.baseline)
     candidate = {}
     for path in args.candidates:
-        for key, row in rows_by_key(json.loads(Path(path).read_text())).items():
+        report = json.loads(Path(path).read_text())
+        for key, row in rows_by_key(report, key_fields, metric, path).items():
             if (key not in candidate or
-                    row["trials_per_sec"] > candidate[key]["trials_per_sec"]):
+                    row[metric] > candidate[key][metric]):
                 candidate[key] = row
 
     failures = []
@@ -63,15 +87,18 @@ def main():
                         f"candidate-only {sorted(set(candidate) - set(baseline))}")
     worst = 0.0
     for key in sorted(set(baseline) & set(candidate)):
-        base = baseline[key]["trials_per_sec"]
-        cand = candidate[key]["trials_per_sec"]
+        base = baseline[key][metric]
+        cand = candidate[key][metric]
+        if base <= 0:
+            continue  # unmeasured row (e.g. single-engine run): no gate
         drop = (base - cand) / base
         worst = max(worst, drop)
         status = "FAIL" if drop > args.tolerance else "ok"
-        print(f"{status}  {key[0]:>16} d={key[1]:<3} threads={key[2]:<3} "
-              f"{base:>12.1f} -> {cand:>12.1f} trials/s ({drop:+.1%})")
+        label = " ".join(f"{f}={v}" for f, v in zip(key_fields, key))
+        print(f"{status}  {label:<40} {base:>12.1f} -> {cand:>12.1f} "
+              f"{metric} ({drop:+.1%})")
         if drop > args.tolerance:
-            failures.append(f"{key}: throughput dropped {drop:.1%} "
+            failures.append(f"{key}: {metric} dropped {drop:.1%} "
                             f"(tolerance {args.tolerance:.0%})")
 
     print(f"check_overhead: worst drop {worst:+.1%}, "

@@ -30,6 +30,16 @@ Rules (scoped per tree; see RULES below):
                       non-comment line, and no #ifndef-style include
                       guards (the pragma is the project idiom).
 
+  event-core-purity   The event engine (src/netsim/event*) admits no
+                      wall-clock of any kind — not even the monotonic
+                      steady_clock allowed elsewhere — and no
+                      std::unordered_* containers at all (not just
+                      iteration). Virtual time must come only from the
+                      event queue and handler order must be fully
+                      deterministic; both leaks would silently break the
+                      bitwise slot-engine equivalence the differential
+                      tests pin down.
+
 Suppression: a line containing `lint: allow(<rule>)` in a comment
 suppresses that rule for the whole file (use sparingly, state why).
 
@@ -68,6 +78,16 @@ STDIO_PATTERNS = [
     (re.compile(r"(?<![\w:])printf\s*\("), "printf"),
     (re.compile(r"\bfprintf\s*\(\s*stdout\b"), "fprintf(stdout)"),
     (re.compile(r"(?<![\w:])puts\s*\("), "puts"),
+]
+
+EVENT_CORE_PATTERNS = [
+    (re.compile(r"#\s*include\s*<chrono>|\bstd::chrono\b"), "std::chrono"),
+    (re.compile(r"\b(?:steady|system|high_resolution)_clock\b"),
+     "wall clock"),
+    (re.compile(r"(?<![\w:])clock\s*\("), "clock()"),
+    (re.compile(r"(?<![\w:])time\s*\("), "time()"),
+    (re.compile(r"\bunordered_(?:map|set|multimap|multiset)\b"),
+     "std::unordered_* container"),
 ]
 
 UNORDERED_DECL = re.compile(
@@ -183,6 +203,19 @@ class FileLinter:
                     "implementation-defined and breaks trace/metric "
                     "determinism; copy into a sorted vector first")
 
+    def lint_event_core(self):
+        if not self.rel.as_posix().startswith("src/netsim/event"):
+            return
+        for no, line in self.code_lines():
+            for pattern, name in EVENT_CORE_PATTERNS:
+                if pattern.search(line):
+                    self.report(
+                        "event-core-purity", no,
+                        f"{name} in the event engine; virtual time comes "
+                        "from the event queue only and handler state must "
+                        "iterate deterministically (vectors/sorted), or "
+                        "the slot-engine bitwise equivalence breaks")
+
     def lint_header(self):
         if self.path.suffix not in (".h", ".hpp"):
             return
@@ -202,6 +235,7 @@ class FileLinter:
         self.lint_wallclock()
         self.lint_stdio()
         self.lint_unordered()
+        self.lint_event_core()
         self.lint_header()
         return self.findings
 

@@ -84,7 +84,8 @@ TrialMetrics run_trial(const ScenarioParams& params, NetworkDesign design,
 }
 
 TrialMetrics run_trial(const ScenarioParams& params, NetworkDesign design,
-                       std::uint64_t seed, const obs::Sink& sink) {
+                       std::uint64_t seed, const obs::Sink& sink,
+                       SimEngine engine) {
   util::Rng rng(seed);
   const auto topology = netsim::make_random_topology(params.topology, rng);
   const auto requests = netsim::random_requests(
@@ -129,7 +130,7 @@ TrialMetrics run_trial(const ScenarioParams& params, NetworkDesign design,
   }
 
   const decoder::SurfNetDecoder dec;
-  const auto simulator = netsim::make_simulator(design, dec);
+  const auto simulator = netsim::make_simulator(design, dec, engine);
   const auto sim = simulator->run(topology, schedule, simulation, rng);
 
   TrialMetrics metrics;
@@ -188,7 +189,8 @@ AggregateMetrics run_trials(const ScenarioParams& params,
   if (workers == 1) {
     for (int t = 0; t < trials; ++t) {
       const auto i = static_cast<std::size_t>(t);
-      results[i] = run_trial(params, design, seeds[i], trial_sink(i));
+      results[i] =
+          run_trial(params, design, seeds[i], trial_sink(i), options.engine);
     }
   } else {
     std::vector<std::thread> pool;
@@ -197,7 +199,8 @@ AggregateMetrics run_trials(const ScenarioParams& params,
       pool.emplace_back([&, w] {
         for (int t = w; t < trials; t += workers) {
           const auto i = static_cast<std::size_t>(t);
-          results[i] = run_trial(params, design, seeds[i], trial_sink(i));
+          results[i] = run_trial(params, design, seeds[i], trial_sink(i),
+                                 options.engine);
         }
       });
     }

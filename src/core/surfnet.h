@@ -21,6 +21,7 @@
 #include <cstdint>
 #include <string_view>
 
+#include "netsim/event_simulator.h"
 #include "netsim/simulator.h"
 #include "netsim/topology.h"
 #include "obs/sink.h"
@@ -38,6 +39,12 @@ enum class ConnectionQuality { Good, Poor };
 /// The five network designs compared in Fig. 7 (defined next to the
 /// simulators that execute them; re-exported here for the facade API).
 using netsim::NetworkDesign;
+
+/// Simulation engine selection (netsim/event_simulator.h). Both engines
+/// compute the identical function — same results, traces, metrics, RNG
+/// stream — so this only chooses the execution strategy: Event is
+/// activity-proportional, Slot is the dense differential oracle.
+using netsim::SimEngine;
 
 std::string_view to_string(FacilityLevel level);
 std::string_view to_string(ConnectionQuality quality);
@@ -71,9 +78,12 @@ TrialMetrics run_trial(const ScenarioParams& params, NetworkDesign design,
 
 /// Observed variant: the sink is handed down into the routing protocol
 /// (LP solve metrics/events) and the simulator (per-slot events). A null
-/// sink behaves exactly like the overload above.
+/// sink behaves exactly like the overload above. `engine` picks the
+/// simulation engine; the default (Event) and Slot produce bitwise-equal
+/// trials.
 TrialMetrics run_trial(const ScenarioParams& params, NetworkDesign design,
-                       std::uint64_t seed, const obs::Sink& sink);
+                       std::uint64_t seed, const obs::Sink& sink,
+                       SimEngine engine = SimEngine::Event);
 
 struct AggregateMetrics {
   util::RunningStat fidelity;
@@ -85,6 +95,9 @@ struct AggregateMetrics {
 struct RunOptions {
   std::uint64_t seed = 20240607;  ///< base of the per-trial seed sequence
   int threads = 1;                ///< worker threads (clamped to [1, trials])
+  /// Simulation engine for every trial. Slot and Event runs are
+  /// bitwise-identical; Event is asymptotically cheaper on sparse runs.
+  SimEngine engine = SimEngine::Event;
   /// Observability handle. Each trial records into private buffers that are
   /// merged into this sink in trial order after the workers join, so both
   /// the metrics document and the trace are thread-count invariant.

@@ -97,8 +97,16 @@ void FaultInjector::cut_fiber(int fiber, int slot, int duration,
     sink.trace->record(obs::Event::fiber_down(slot, fiber, until));
 }
 
+bool FaultInjector::degradations_possible() const {
+  if (plan_.stochastic.degradation_rate > 0.0) return true;
+  for (const auto& event : plan_.scripted)
+    if (event.kind == FaultKind::EntanglementDegradation) return true;
+  return false;
+}
+
 void FaultInjector::apply(const FaultEvent& event, int slot,
-                          const obs::Sink& sink) {
+                          const obs::Sink& sink,
+                          RateChangeListener* listener) {
   switch (event.kind) {
     case FaultKind::FiberCut:
       cut_fiber(event.target, slot, event.duration, sink);
@@ -113,6 +121,7 @@ void FaultInjector::apply(const FaultEvent& event, int slot,
     }
     case FaultKind::EntanglementDegradation: {
       const auto e = static_cast<std::size_t>(event.target);
+      if (listener) listener->before_rate_change(event.target, slot);
       degrade_until_[e] = std::max(degrade_until_[e], slot + event.duration);
       degrade_factor_[e] = event.magnitude;
       if (sink.metrics) sink.metrics->count("sim.degradations");
@@ -132,13 +141,14 @@ void FaultInjector::apply(const FaultEvent& event, int slot,
 }
 
 void FaultInjector::begin_slot(int slot, util::Rng& rng,
-                               const obs::Sink& sink) {
+                               const obs::Sink& sink,
+                               RateChangeListener* listener) {
   if (inert_) return;
 
   // Scripted events first — they consume no random variates.
   while (next_scripted_ < plan_.scripted.size() &&
          plan_.scripted[next_scripted_].slot <= slot)
-    apply(plan_.scripted[next_scripted_++], slot, sink);
+    apply(plan_.scripted[next_scripted_++], slot, sink, listener);
 
   const StochasticFaults& s = plan_.stochastic;
 
@@ -187,6 +197,7 @@ void FaultInjector::begin_slot(int slot, util::Rng& rng,
   if (s.degradation_rate > 0.0 && rng.bernoulli(s.degradation_rate)) {
     const auto e = static_cast<std::size_t>(
         rng.below(static_cast<std::uint64_t>(topology_->num_fibers())));
+    if (listener) listener->before_rate_change(static_cast<int>(e), slot);
     degrade_until_[e] =
         std::max(degrade_until_[e], slot + s.degradation_duration);
     degrade_factor_[e] = s.degradation_factor;

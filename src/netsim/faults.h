@@ -111,6 +111,16 @@ struct FaultPlan {
   static FaultPlan fiber_noise(double rate, int duration);
 };
 
+/// Observer of entanglement-rate mutations, for engines that account pool
+/// gains lazily: before_rate_change fires immediately *before* the
+/// injector rewrites a fiber's degradation window, so the observer can
+/// materialize gains accrued under the outgoing rate first.
+class RateChangeListener {
+ public:
+  virtual ~RateChangeListener() = default;
+  virtual void before_rate_change(int fiber, int slot) = 0;
+};
+
 /// Executes one FaultPlan against one simulation run. All mutation happens
 /// in begin_slot (called once per slot, before any code moves); the query
 /// methods are pure reads, so the simulator may interleave them freely.
@@ -121,8 +131,13 @@ class FaultInjector {
   FaultInjector(const Topology& topology, const FaultPlan& plan);
 
   /// Apply scripted events scheduled for `slot` and sample the stochastic
-  /// processes. Slots must be visited in increasing order from 0.
-  void begin_slot(int slot, util::Rng& rng, const obs::Sink& sink);
+  /// processes. Slots must be visited in increasing order from 0. The
+  /// event engine may skip slots at which the injector provably does
+  /// nothing (no scripted event due, no stochastic process armed). A
+  /// non-null `listener` observes rate mutations; passing nullptr changes
+  /// nothing.
+  void begin_slot(int slot, util::Rng& rng, const obs::Sink& sink,
+                  RateChangeListener* listener = nullptr);
 
   bool fiber_down(int fiber, int slot) const {
     return slot < fiber_down_until_[static_cast<std::size_t>(fiber)];
@@ -139,12 +154,43 @@ class FaultInjector {
   /// True while a decode-latency spike stalls all corrections.
   bool decode_stalled(int slot) const { return slot < stall_until_; }
 
+  // Window-boundary reads for the event engine's wake computation. Each
+  // returns the first slot at which the named condition no longer holds
+  // (0 when it never held); the corresponding *_down/ factor query flips
+  // exactly there.
+  int fiber_down_until(int fiber) const {
+    return fiber_down_until_[static_cast<std::size_t>(fiber)];
+  }
+  int node_down_until(int node) const {
+    return node_down_until_[static_cast<std::size_t>(node)];
+  }
+  int degrade_until(int fiber) const {
+    return degrade_until_[static_cast<std::size_t>(fiber)];
+  }
+  /// Rate multiplier while slot < degrade_until(fiber) (stale otherwise).
+  double degrade_factor(int fiber) const {
+    return degrade_factor_[static_cast<std::size_t>(fiber)];
+  }
+  int stall_until() const { return stall_until_; }
+
   /// True when the plan can never take anything down (lets the simulator
   /// skip per-slot injector work on fault-free runs).
   bool inert() const { return inert_; }
 
+  /// True when the plan can change an entanglement-generation rate at some
+  /// point of the run (scripted degradation or stochastic degradation
+  /// process). False lets engines freeze the fiber→rate buckets per run.
+  bool degradations_possible() const;
+
+  /// The scripted plan, stable-sorted by slot (the event engine schedules
+  /// onset and expiry wake-ups from it).
+  const std::vector<FaultEvent>& scripted() const { return plan_.scripted; }
+
+  const StochasticFaults& stochastic() const { return plan_.stochastic; }
+
  private:
-  void apply(const FaultEvent& event, int slot, const obs::Sink& sink);
+  void apply(const FaultEvent& event, int slot, const obs::Sink& sink,
+             RateChangeListener* listener);
   void cut_fiber(int fiber, int slot, int duration, const obs::Sink& sink);
 
   const Topology* topology_;

@@ -1,17 +1,10 @@
 #include "netsim/simulator.h"
 
-#include <algorithm>
-#include <cmath>
 #include <map>
 #include <stdexcept>
 
-#include "decoder/code_trial.h"
-#include "netsim/channel.h"
-#include "obs/metrics.h"
-#include "obs/trace.h"
-#include "qec/core_support.h"
-#include "qec/lattice.h"
-#include "qec/syndrome.h"
+#include "netsim/event_simulator.h"
+#include "netsim/sim_internal.h"
 
 namespace surfnet::netsim {
 
@@ -46,17 +39,7 @@ std::string_view to_string(CodeOutcome outcome) {
 
 std::unique_ptr<Simulator> make_simulator(NetworkDesign design,
                                           const decoder::Decoder& decoder) {
-  switch (design) {
-    case NetworkDesign::SurfNet:
-    case NetworkDesign::Raw:
-      return std::make_unique<SurfNetSimulator>(decoder);
-    case NetworkDesign::Purification1:
-    case NetworkDesign::Purification2:
-    case NetworkDesign::Purification9:
-      return std::make_unique<PurificationSimulator>(
-          purification_rounds(design));
-  }
-  throw std::invalid_argument("unknown network design");
+  return make_simulator(design, decoder, SimEngine::Slot);
 }
 
 FaultPlan effective_fault_plan(const SimulationParams& params) {
@@ -78,117 +61,12 @@ RecoveryPolicy effective_recovery(const SimulationParams& params) {
   return policy;
 }
 
-namespace {
-
-/// Lattice + Core/Support partition for one code distance, shared across
-/// all codes of that distance in a run.
-struct CodeGeometry {
-  qec::SurfaceCodeLattice lattice;
-  qec::CoreSupportPartition partition;
-  explicit CodeGeometry(int distance)
-      : lattice(distance), partition(qec::make_core_support(lattice)) {}
-};
-
-/// Static, validated view of one scheduled request.
-struct RequestPlan {
-  const ScheduledRequest* sched = nullptr;
-  bool raw = false;  ///< no Core path: everything rides the plain channel
-  struct Barrier {
-    int node = -1;
-    bool is_ec = false;
-  };
-  std::vector<Barrier> barriers;  ///< EC servers in order, then destination
-  const CodeGeometry* geometry = nullptr;
-};
-
-void validate_path(const Topology& topology, const std::vector<int>& path) {
-  for (std::size_t i = 0; i + 1 < path.size(); ++i)
-    if (topology.fiber_between(path[i], path[i + 1]) < 0)
-      throw std::invalid_argument("schedule path has non-adjacent nodes");
-}
-
-void require_in_order(const std::vector<int>& path,
-                      const std::vector<int>& nodes) {
-  std::size_t cursor = 0;
-  for (int node : nodes) {
-    while (cursor < path.size() && path[cursor] != node) ++cursor;
-    if (cursor == path.size())
-      throw std::invalid_argument("EC server not on scheduled path");
-    ++cursor;
-  }
-}
-
-RequestPlan make_plan(const Topology& topology, const ScheduledRequest& s,
-                      const CodeGeometry& geometry) {
-  RequestPlan plan;
-  plan.sched = &s;
-  plan.raw = s.core_path.empty();
-  plan.geometry = &geometry;
-  if (s.support_path.size() < 2)
-    throw std::invalid_argument("scheduled request without a support path");
-  validate_path(topology, s.support_path);
-  require_in_order(s.support_path, s.ec_servers);
-  if (!plan.raw) {
-    validate_path(topology, s.core_path);
-    require_in_order(s.core_path, s.ec_servers);
-    if (s.core_path.front() != s.support_path.front() ||
-        s.core_path.back() != s.support_path.back())
-      throw std::invalid_argument("core/support paths disagree on endpoints");
-  }
-  for (int server : s.ec_servers) plan.barriers.push_back({server, true});
-  plan.barriers.push_back({s.support_path.back(), false});
-  return plan;
-}
-
-/// One in-flight surface code. Paths are per-code copies so that online
-/// recovery (paper Sec. V-B) can reroute around failed fibers.
-struct ActiveCode {
-  std::vector<int> s_path;
-  std::vector<int> c_path;
-  int s_pos = 0;
-  int c_pos = 0;
-  int s_target = -1;  ///< index of the current barrier node in s_path
-  int c_target = -1;
-  int barrier = 0;
-  double acc_support_mu = 0.0;  ///< noise since the last correction
-  double acc_core_mu = 0.0;
-  int acc_support_hops = 0;
-  int jumps_since_ec = 0;
-  int start_slot = 0;
-  int cooldown = 0;
-  int corrections = 0;
-  int swap_attempts = 0;    ///< consecutive failed segment-jump swaps
-  int failed_reroutes = 0;  ///< consecutive failed local recoveries
-  bool corrupted = false;
-};
-
-int find_on_path(const std::vector<int>& path, int node, int from) {
-  for (std::size_t i = static_cast<std::size_t>(from); i < path.size(); ++i)
-    if (path[i] == node) return static_cast<int>(i);
-  return -1;
-}
-
-/// Bucket bounds for the per-slot pool-total histogram ("sim.pool_total").
-const std::vector<double>& pool_bounds() {
-  static const std::vector<double> bounds{0,  10,  25,  50,   100,
-                                          250, 500, 1000, 2500, 5000};
-  return bounds;
-}
-
-/// Bucket bounds for delivered-code latency ("sim.latency_slots").
-const std::vector<double>& latency_bounds() {
-  static const std::vector<double> bounds{5,   10,  20,  40,   80,
-                                          160, 320, 640, 1280, 2560};
-  return bounds;
-}
-
-}  // namespace
-
 SimulationResult simulate_surfnet(const Topology& topology,
                                   const Schedule& schedule,
                                   const SimulationParams& params,
                                   const decoder::Decoder& decoder,
                                   util::Rng& rng) {
+  using namespace detail;
   SimulationResult result;
   result.codes_scheduled = schedule.scheduled_codes();
   if (schedule.scheduled.empty()) return result;
@@ -215,135 +93,14 @@ SimulationResult simulate_surfnet(const Topology& topology,
   std::vector<int> pairs(static_cast<std::size_t>(topology.num_fibers()), 0);
   FaultInjector injector(topology, effective_fault_plan(params));
   const RecoveryPolicy policy = effective_recovery(params);
+  const EntanglementRates rates(topology, params, injector);
+  VectorPool pool{pairs};
 
   std::vector<int> codes_remaining(plans.size());
   std::vector<ActiveCode> active(plans.size());
   std::vector<char> has_active(plans.size(), 0);
   for (std::size_t i = 0; i < plans.size(); ++i)
     codes_remaining[i] = plans[i].sched->codes;
-
-  auto retarget = [&](const RequestPlan& plan, ActiveCode& code) {
-    const int node =
-        plan.barriers[static_cast<std::size_t>(code.barrier)].node;
-    code.s_target = find_on_path(code.s_path, node, code.s_pos);
-    if (code.s_target < 0)
-      throw std::logic_error("barrier node lost from support path");
-    if (!plan.raw) {
-      code.c_target = find_on_path(code.c_path, node, code.c_pos);
-      if (code.c_target < 0)
-        throw std::logic_error("barrier node lost from core path");
-    }
-  };
-
-  auto launch = [&](const RequestPlan& plan, int slot) {
-    ActiveCode code;
-    code.s_path = plan.sched->support_path;
-    code.c_path = plan.sched->core_path;
-    code.start_slot = slot;
-    retarget(plan, code);
-    return code;
-  };
-
-  // Escalation: replace the remainder of one channel's route with a fresh
-  // plan through every remaining EC barrier to the destination
-  // (netsim/recovery.h). Emits an escalate event whether or not a live
-  // route exists; on success both channel targets are recomputed.
-  auto escalate = [&](const RequestPlan& plan, ActiveCode& code,
-                      bool core_channel, int slot) {
-    std::vector<int> waypoints;
-    for (std::size_t b = static_cast<std::size_t>(code.barrier);
-         b < plan.barriers.size(); ++b)
-      waypoints.push_back(plan.barriers[b].node);
-    auto& path = core_channel ? code.c_path : code.s_path;
-    const int pos = core_channel ? code.c_pos : code.s_pos;
-    const bool ok =
-        replan_route(topology, injector, slot, path, pos, waypoints);
-    if (sink.metrics) sink.metrics->count("sim.escalations");
-    if (sink.trace)
-      sink.trace->record(obs::Event::escalate(
-          slot, plan.sched->request_index, core_channel, ok));
-    if (ok) retarget(plan, code);
-  };
-
-  // A local recovery that found no live detour: escalate to a full
-  // re-route after the policy's threshold of consecutive failures.
-  auto reroute_failed = [&](const RequestPlan& plan, ActiveCode& code,
-                            bool core_channel, int slot) {
-    ++code.failed_reroutes;
-    if (policy.escalate_after_reroutes > 0 &&
-        code.failed_reroutes >= policy.escalate_after_reroutes) {
-      escalate(plan, code, core_channel, slot);
-      code.failed_reroutes = 0;
-    }
-  };
-
-  // Decode over the noise accumulated since the last correction. The
-  // tracing path samples and decodes explicitly so that it can report
-  // erasure and syndrome counts; it draws the same random-variate sequence
-  // as run_code_trial, so traced and untraced runs stay bitwise-identical.
-  auto run_correction = [&](const RequestPlan& plan, ActiveCode& code,
-                            int slot, int node, bool is_ec) {
-    const auto& geometry = *plan.geometry;
-    const double support_pauli =
-        pauli_rate_of_noise(params.noise_scale * code.acc_support_mu);
-    const double support_erasure =
-        erasure_rate(params.loss_per_hop, code.acc_support_hops);
-    // Purification across the entanglement-based channel suppresses the
-    // Core noise (paper Sec. V-A); teleported qubits are never lost in
-    // transit, but every teleportation event adds un-purifiable operation
-    // noise that the surface code — unlike a bare qubit — can correct.
-    const double op_mu =
-        -std::log(1.0 - params.teleport_op_noise) * code.jumps_since_ec;
-    const double core_pauli = pauli_rate_of_noise(
-        params.purification_factor * params.noise_scale * code.acc_core_mu +
-        op_mu);
-
-    std::vector<qec::QubitNoise> rates(
-        static_cast<std::size_t>(geometry.lattice.num_data_qubits()));
-    for (int q = 0; q < geometry.lattice.num_data_qubits(); ++q) {
-      const bool core =
-          !plan.raw && geometry.partition.is_core[static_cast<std::size_t>(q)];
-      rates[static_cast<std::size_t>(q)] =
-          core ? qec::QubitNoise{core_pauli, 0.0}
-               : qec::QubitNoise{support_pauli, support_erasure};
-    }
-    const qec::NoiseProfile profile{std::move(rates)};
-    bool success;
-    if (sink.trace) {
-      const auto sample = qec::sample_errors(profile, params.channel, rng);
-      const auto prior = profile.component_error_prob(params.channel);
-      success =
-          decoder::decode_sample(geometry.lattice, sample, prior, decoder)
-              .success();
-      int erasures = 0;
-      for (const char e : sample.erased) erasures += e ? 1 : 0;
-      int syndromes = 0;
-      for (const auto kind : {qec::GraphKind::Z, qec::GraphKind::X}) {
-        const auto flips = qec::edge_flips(geometry.lattice, kind,
-                                           sample.error);
-        const auto bitmap =
-            qec::syndrome_bitmap(geometry.lattice.graph(kind), flips);
-        for (const char s : bitmap) syndromes += s ? 1 : 0;
-      }
-      sink.trace->record(obs::Event::decode(slot, plan.sched->request_index,
-                                            node, is_ec, erasures, syndromes,
-                                            !success));
-    } else {
-      success = decoder::run_code_trial(geometry.lattice, profile,
-                                        params.channel, decoder, rng)
-                    .success();
-    }
-    if (sink.metrics) {
-      sink.metrics->count("sim.decodes");
-      if (!success) sink.metrics->count("sim.decode_logical_errors");
-    }
-    if (!success) code.corrupted = true;
-    ++code.corrections;
-    code.acc_support_mu = 0.0;
-    code.acc_core_mu = 0.0;
-    code.acc_support_hops = 0;
-    code.jumps_since_ec = 0;
-  };
 
   std::vector<std::size_t> order(plans.size());
   for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
@@ -356,30 +113,9 @@ SimulationResult simulate_surfnet(const Topology& topology,
     // Entanglement generation routine at every switch. Gains draw before
     // fault injection (the legacy variate order), so a degradation window
     // injected at slot s scales gains from slot s+1 on.
-    for (std::size_t e = 0; e < pairs.size(); ++e) {
-      const int cap =
-          topology.fiber(static_cast<int>(e)).entanglement_capacity;
-      const double rate =
-          params.entanglement_rate *
-          injector.entanglement_factor(static_cast<int>(e), slot);
-      const int whole = static_cast<int>(rate);
-      const double frac = rate - whole;
-      const int gain = whole + ((frac > 0.0 && rng.bernoulli(frac)) ? 1 : 0);
-      pairs[e] = std::min(cap, pairs[e] + gain);
-    }
+    rates.advance(pairs, injector, slot, rng);
     injector.begin_slot(slot, rng, sink);
-    if (sink.enabled() && !pairs.empty()) {
-      int total = 0;
-      int min_level = pairs[0];
-      for (const int p : pairs) {
-        total += p;
-        min_level = std::min(min_level, p);
-      }
-      if (sink.metrics)
-        sink.metrics->observe("sim.pool_total", total, pool_bounds());
-      if (sink.trace)
-        sink.trace->record(obs::Event::pool(slot, total, min_level));
-    }
+    emit_pool_snapshot(pairs, slot, sink);
 
     // Randomize service order so no request systematically wins contention.
     for (std::size_t i = order.size(); i > 1; --i)
@@ -393,181 +129,11 @@ SimulationResult simulate_surfnet(const Topology& topology,
         active[idx] = launch(plan, slot);
         has_active[idx] = 1;
       }
-      ActiveCode& code = active[idx];
-      // Per-code timeout budget: a starved code is abandoned individually
-      // instead of pinning its request to the end of the run.
-      if (policy.code_timeout_slots > 0 &&
-          slot - code.start_slot >= policy.code_timeout_slots) {
-        const int slots = slot - code.start_slot;
-        result.codes.push_back({plan.sched->request_index, slots,
-                                code.corrections, CodeOutcome::TimedOut});
-        if (sink.metrics) sink.metrics->count("sim.timeouts");
-        if (sink.trace)
-          sink.trace->record(obs::Event::timeout(
-              slot, plan.sched->request_index, slots));
+      if (process_code(topology, injector, policy, params, decoder, plan,
+                       active[idx], slot, pool, result,
+                       rng) == CodeStep::Finished) {
         has_active[idx] = 0;
         --in_flight_or_pending;
-        continue;
-      }
-      if (code.cooldown > 0) {
-        --code.cooldown;
-        continue;
-      }
-      const auto& barrier =
-          plan.barriers[static_cast<std::size_t>(code.barrier)];
-
-      // Plain channel: the Support part advances one fiber per slot; a
-      // failed fiber or dead next node triggers a local recovery path (or
-      // the photons are held in error-mitigation circuits until the route
-      // heals).
-      if (code.s_pos < code.s_target) {
-        const int next =
-            code.s_path[static_cast<std::size_t>(code.s_pos) + 1];
-        const int e = topology.fiber_between(
-            code.s_path[static_cast<std::size_t>(code.s_pos)], next);
-        if (!injector.fiber_down(e, slot) &&
-            !injector.node_down(next, slot)) {
-          ++code.s_pos;
-          code.acc_support_mu += topology.fiber_noise(e);
-          ++code.acc_support_hops;
-        } else if (policy.local_reroute) {
-          if (local_reroute(topology, injector, slot, code.s_path,
-                            code.s_pos, barrier.node)) {
-            code.s_target = find_on_path(code.s_path, barrier.node,
-                                         code.s_pos);
-            code.failed_reroutes = 0;
-            if (sink.metrics) sink.metrics->count("sim.recoveries");
-            if (sink.trace)
-              sink.trace->record(obs::Event::recovery(
-                  slot, plan.sched->request_index, /*core_channel=*/false));
-          } else {
-            reroute_failed(plan, code, /*core_channel=*/false, slot);
-          }
-        }
-      }
-
-      // Entanglement-based channel: opportunistic movement over up to
-      // `opportunistic_segment` fibers once every fiber of the segment is
-      // alive and holds enough prepared pairs.
-      if (!plan.raw && code.c_pos < code.c_target) {
-        const int n_core = plan.geometry->partition.num_core;
-        const int remaining = code.c_target - code.c_pos;
-        const int segment = std::min(params.opportunistic_segment, remaining);
-        bool ready = true;
-        bool broken = false;
-        for (int h = 0; h < segment; ++h) {
-          const int e = topology.fiber_between(
-              code.c_path[static_cast<std::size_t>(code.c_pos + h)],
-              code.c_path[static_cast<std::size_t>(code.c_pos + h + 1)]);
-          if (injector.fiber_down(e, slot) ||
-              injector.node_down(
-                  code.c_path[static_cast<std::size_t>(code.c_pos + h + 1)],
-                  slot))
-            broken = true;
-          if (pairs[static_cast<std::size_t>(e)] < n_core) ready = false;
-        }
-        if (broken) {
-          if (policy.local_reroute) {
-            if (local_reroute(topology, injector, slot, code.c_path,
-                              code.c_pos, barrier.node)) {
-              code.c_target = find_on_path(code.c_path, barrier.node,
-                                           code.c_pos);
-              code.failed_reroutes = 0;
-              if (sink.metrics) sink.metrics->count("sim.recoveries");
-              if (sink.trace)
-                sink.trace->record(obs::Event::recovery(
-                    slot, plan.sched->request_index, /*core_channel=*/true));
-            } else {
-              reroute_failed(plan, code, /*core_channel=*/true, slot);
-            }
-          }
-        } else if (ready) {
-          double segment_mu = 0.0;
-          for (int h = 0; h < segment; ++h) {
-            const int e = topology.fiber_between(
-                code.c_path[static_cast<std::size_t>(code.c_pos + h)],
-                code.c_path[static_cast<std::size_t>(code.c_pos + h + 1)]);
-            pairs[static_cast<std::size_t>(e)] -= n_core;
-            segment_mu += topology.fiber_noise(e);
-          }
-          // Entanglement swapping and teleportation are probabilistic; a
-          // failed attempt wastes the consumed pairs.
-          const bool success =
-              params.swap_success >= 1.0 ||
-              rng.bernoulli(std::pow(params.swap_success, segment));
-          if (sink.metrics) {
-            sink.metrics->count("sim.segment_jumps");
-            if (!success) sink.metrics->count("sim.segment_jump_failures");
-          }
-          if (sink.trace)
-            sink.trace->record(obs::Event::segment_jump(
-                slot, plan.sched->request_index,
-                code.c_path[static_cast<std::size_t>(code.c_pos)],
-                code.c_path[static_cast<std::size_t>(code.c_pos + segment)],
-                segment, success));
-          if (success) {
-            code.c_pos += segment;
-            code.acc_core_mu += segment_mu;
-            ++code.jumps_since_ec;
-            code.swap_attempts = 0;
-          } else if (policy.max_swap_retries > 0) {
-            // Bounded retries: back off exponentially instead of hammering
-            // the starved pools; past the budget, escalate to a full
-            // re-route.
-            ++code.swap_attempts;
-            if (code.swap_attempts > policy.max_swap_retries) {
-              escalate(plan, code, /*core_channel=*/true, slot);
-              code.swap_attempts = 0;
-            } else {
-              const int backoff = policy.backoff_slots(code.swap_attempts);
-              code.cooldown = backoff;
-              if (sink.metrics) sink.metrics->count("sim.retries");
-              if (sink.trace)
-                sink.trace->record(obs::Event::retry(
-                    slot, plan.sched->request_index, /*core_channel=*/true,
-                    code.swap_attempts, backoff));
-            }
-          }
-        }
-      }
-
-      // Barrier reached by both parts: correct (or finally read out).
-      // Corrections wait while the barrier node is down or a decode-latency
-      // spike stalls the network's decoders.
-      const bool support_done = code.s_pos >= code.s_target;
-      const bool core_done = plan.raw || code.c_pos >= code.c_target;
-      if (support_done && core_done &&
-          !injector.node_down(barrier.node, slot) &&
-          !injector.decode_stalled(slot)) {
-        run_correction(plan, code, slot, barrier.node, barrier.is_ec);
-        const bool final_barrier =
-            code.barrier + 1 == static_cast<int>(plan.barriers.size());
-        if (final_barrier) {
-          ++result.codes_delivered;
-          if (!code.corrupted) ++result.codes_succeeded;
-          const int slots = slot - code.start_slot + 1;
-          result.total_latency += slots;
-          result.codes.push_back(
-              {plan.sched->request_index, slots, code.corrections,
-               code.corrupted ? CodeOutcome::LogicalError
-                              : CodeOutcome::Succeeded});
-          if (sink.metrics) {
-            sink.metrics->count("sim.delivered");
-            if (!code.corrupted) sink.metrics->count("sim.succeeded");
-            sink.metrics->observe("sim.latency_slots", slots,
-                                  latency_bounds());
-          }
-          if (sink.trace)
-            sink.trace->record(obs::Event::delivered(
-                slot, plan.sched->request_index, slots, code.corrections,
-                code.corrupted));
-          has_active[idx] = 0;
-          --in_flight_or_pending;
-        } else {
-          ++code.barrier;
-          retarget(plan, code);
-          code.cooldown = 1;  // the EC circuit occupies one slot
-        }
       }
     }
   }
@@ -593,6 +159,7 @@ SimulationResult simulate_purification(const Topology& topology,
                                        int extra_pairs,
                                        const SimulationParams& params,
                                        util::Rng& rng) {
+  using detail::EntanglementRates;
   SimulationResult result;
   result.codes_scheduled = schedule.scheduled_codes();
   if (schedule.scheduled.empty()) return result;
@@ -624,6 +191,7 @@ SimulationResult simulate_purification(const Topology& topology,
   std::vector<int> pairs(static_cast<std::size_t>(topology.num_fibers()), 0);
   FaultInjector injector(topology, effective_fault_plan(params));
   const RecoveryPolicy policy = effective_recovery(params);
+  const EntanglementRates rates(topology, params, injector);
   const int per_hop = 1 + extra_pairs;
 
   struct State {
@@ -643,30 +211,9 @@ SimulationResult simulate_purification(const Topology& topology,
   int final_slot = 0;
   for (int slot = 0; slot < params.max_slots && pending > 0; ++slot) {
     final_slot = slot;
-    for (std::size_t e = 0; e < pairs.size(); ++e) {
-      const int cap =
-          topology.fiber(static_cast<int>(e)).entanglement_capacity;
-      const double rate =
-          params.entanglement_rate *
-          injector.entanglement_factor(static_cast<int>(e), slot);
-      const int whole = static_cast<int>(rate);
-      const double frac = rate - whole;
-      const int gain = whole + ((frac > 0.0 && rng.bernoulli(frac)) ? 1 : 0);
-      pairs[e] = std::min(cap, pairs[e] + gain);
-    }
+    rates.advance(pairs, injector, slot, rng);
     injector.begin_slot(slot, rng, sink);
-    if (sink.enabled() && !pairs.empty()) {
-      int total = 0;
-      int min_level = pairs[0];
-      for (const int p : pairs) {
-        total += p;
-        min_level = std::min(min_level, p);
-      }
-      if (sink.metrics)
-        sink.metrics->observe("sim.pool_total", total, pool_bounds());
-      if (sink.trace)
-        sink.trace->record(obs::Event::pool(slot, total, min_level));
-    }
+    detail::emit_pool_snapshot(pairs, slot, sink);
     for (std::size_t i = order.size(); i > 1; --i)
       std::swap(order[i - 1], order[rng.below(i)]);
 
@@ -720,7 +267,7 @@ SimulationResult simulate_purification(const Topology& topology,
           sink.metrics->count("sim.delivered");
           if (ok) sink.metrics->count("sim.succeeded");
           sink.metrics->observe("sim.latency_slots", slots,
-                                latency_bounds());
+                                detail::latency_bounds());
         }
         if (sink.trace)
           sink.trace->record(obs::Event::delivered(
