@@ -96,7 +96,6 @@ int main(int argc, char** argv) {
       params.simulation.recovery = recovery
                                        ? netsim::RecoveryPolicy::aggressive()
                                        : netsim::RecoveryPolicy::disabled();
-      params.simulation.enable_recovery = recovery;
 
       long long scheduled = 0, delivered = 0, succeeded = 0;
       util::RunningStat latency;

@@ -109,7 +109,7 @@ netsim::SimulationParams make_params(const netsim::Topology& topology,
     cut.duration = s.max_slots;
     cut.target = topology.fiber_between(path[0], path[1]);
     params.faults.scripted.push_back(cut);
-    params.enable_recovery = false;
+    params.recovery.local_reroute = false;
   }
   return params;
 }

@@ -30,9 +30,9 @@ int main(int argc, char** argv) {
       if (rate == 0.0 && !recovery) continue;  // identical to the on case
       auto params = core::make_scenario(core::FacilityLevel::Abundant,
                                         core::ConnectionQuality::Good);
-      params.simulation.fiber_failure_rate = rate;
-      params.simulation.fiber_failure_duration = 30;
-      params.simulation.enable_recovery = recovery;
+      params.simulation.faults =
+          netsim::FaultPlanBuilder().fiber_noise(rate, 30).build();
+      params.simulation.recovery.local_reroute = recovery;
 
       util::RunningStat fidelity, latency, delivered;
       util::Rng seeder(args.seed());

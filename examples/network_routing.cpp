@@ -11,7 +11,7 @@
 #include "core/surfnet.h"
 #include "decoder/surfnet_decoder.h"
 #include "netsim/simulator.h"
-#include "routing/lp_router.h"
+#include "routing/router.h"
 #include "util/rng.h"
 
 int main(int argc, char** argv) {
@@ -40,8 +40,9 @@ int main(int argc, char** argv) {
     std::printf("request %zu: user %d -> user %d, %d surface code(s)\n", k,
                 requests[k].src, requests[k].dst, requests[k].codes);
 
-  const auto routed =
-      routing::route_lp(topology, requests, params.routing, rng);
+  const auto routed = routing::route(
+      topology, requests, params.routing, rng,
+      routing::RouteOptions{routing::RouteStrategy::Lp, nullptr});
   std::printf("\nLP relaxation objective (upper bound on executed codes): "
               "%.2f\n", routed.lp_objective);
   std::printf("scheduled %d of %d requested codes (throughput %.2f)\n\n",

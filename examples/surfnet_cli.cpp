@@ -34,7 +34,7 @@
 #include "qec/lattice.h"
 #include "qec/render.h"
 #include "qec/rotated_lattice.h"
-#include "routing/lp_router.h"
+#include "routing/router.h"
 #include "util/rng.h"
 
 namespace {
@@ -194,8 +194,9 @@ int run_topology(const Args& args) {
   }
   const auto requests = netsim::random_requests(
       topology, params.num_requests, params.max_codes_per_request, rng);
-  const auto routed =
-      routing::route_lp(topology, requests, params.routing, rng);
+  const auto routed = routing::route(
+      topology, requests, params.routing, rng,
+      routing::RouteOptions{routing::RouteStrategy::Lp, nullptr});
   std::cout << netsim::to_dot(topology, routed.schedule);
   return 0;
 }

@@ -118,6 +118,10 @@ TRACE_SCHEMA = {
     "escalate": {"slot", "request", "channel", "action"},
     "lp_solve": {"iterations", "refactorizations", "warm_start", "status",
                  "objective"},
+    "arrival": {"slot", "request", "src", "dst", "class"},
+    "admit": {"slot", "request", "codes", "hops", "est_slots", "source"},
+    "blocked": {"slot", "request", "reason"},
+    "depart": {"slot", "request", "latency"},
 }
 
 

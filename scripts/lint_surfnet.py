@@ -30,9 +30,10 @@ Rules (scoped per tree; see RULES below):
                       non-comment line, and no #ifndef-style include
                       guards (the pragma is the project idiom).
 
-  event-core-purity   The event engine (src/netsim/event*) admits no
-                      wall-clock of any kind — not even the monotonic
-                      steady_clock allowed elsewhere — and no
+  event-core-purity   The event engine (src/netsim/event*) and the
+                      traffic engine built on it (src/netsim/workload*)
+                      admit no wall-clock of any kind — not even the
+                      monotonic steady_clock allowed elsewhere — and no
                       std::unordered_* containers at all (not just
                       iteration). Virtual time must come only from the
                       event queue and handler order must be fully
@@ -204,7 +205,9 @@ class FileLinter:
                     "determinism; copy into a sorted vector first")
 
     def lint_event_core(self):
-        if not self.rel.as_posix().startswith("src/netsim/event"):
+        rel = self.rel.as_posix()
+        if not (rel.startswith("src/netsim/event")
+                or rel.startswith("src/netsim/workload")):
             return
         for no, line in self.code_lines():
             for pattern, name in EVENT_CORE_PATTERNS:

@@ -1,5 +1,6 @@
 #include "core/surfnet.h"
 
+#include <algorithm>
 #include <stdexcept>
 #include <thread>
 #include <vector>
@@ -8,9 +9,9 @@
 #include "netsim/schedule.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
-#include "routing/greedy.h"
-#include "routing/lp_router.h"
+#include "routing/incremental.h"
 #include "routing/purification.h"
+#include "routing/router.h"
 #include "util/rng.h"
 
 namespace surfnet::core {
@@ -101,17 +102,10 @@ TrialMetrics run_trial(const ScenarioParams& params, NetworkDesign design,
       routing::RoutingParams routing = params.routing;
       routing.dual_channel = design == NetworkDesign::SurfNet;
       routing.sink = sink;
-      auto routed = routing::route_lp(topology, requests, routing, rng);
-      if (routed.status == routing::LpStatus::Optimal) {
-        schedule = std::move(routed.schedule);
-      } else {
-        // Graceful degradation: when the LP relaxation cannot be solved
-        // (infeasible, unbounded, or iteration-limited), fall back to the
-        // standalone greedy hierarchical scheduler instead of executing
-        // nothing.
-        if (sink.metrics) sink.metrics->count("route.greedy_fallbacks");
-        schedule = routing::route_greedy(topology, requests, routing, rng);
-      }
+      // The facade's Auto strategy owns the LP-with-greedy-fallback seam
+      // (and the "route.greedy_fallbacks" counter) that used to live here.
+      auto routed = routing::route(topology, requests, routing, rng);
+      schedule = std::move(routed.schedule);
       break;
     }
     case NetworkDesign::Purification1:
@@ -216,21 +210,104 @@ AggregateMetrics run_trials(const ScenarioParams& params,
   return aggregate_in_order(results);
 }
 
-AggregateMetrics run_trials(const ScenarioParams& params,
-                            NetworkDesign design, int trials,
-                            std::uint64_t seed) {
-  RunOptions options;
-  options.seed = seed;
-  return run_trials(params, design, trials, options);
+TrafficScenario make_traffic_scenario(FacilityLevel level,
+                                      ConnectionQuality quality) {
+  const ScenarioParams batch = make_scenario(level, quality);
+  TrafficScenario scenario;
+  scenario.topology = batch.topology;
+  scenario.routing = batch.routing;
+  scenario.routing.dual_channel = true;
+  scenario.workload.process = netsim::ArrivalProcess::Poisson;
+  scenario.workload.arrival_rate = 0.25;
+  scenario.workload.horizon_slots = 2000;
+  scenario.workload.warmup_slots = 200;
+  scenario.workload.reoptimize_every = 64;
+  return scenario;
 }
 
-AggregateMetrics run_trials_parallel(const ScenarioParams& params,
-                                     NetworkDesign design, int trials,
-                                     std::uint64_t seed, int threads) {
-  RunOptions options;
-  options.seed = seed;
-  options.threads = threads;
-  return run_trials(params, design, trials, options);
+netsim::TrafficResult run_traffic_trial(const TrafficScenario& scenario,
+                                        std::uint64_t seed,
+                                        const obs::Sink& sink,
+                                        SimEngine engine) {
+  util::Rng rng(seed);
+  const auto topology =
+      netsim::make_random_topology(scenario.topology, rng);
+
+  routing::RoutingParams routing = scenario.routing;
+  routing.sink = sink;
+  routing::IncrementalRouter provider(topology, routing);
+
+  netsim::WorkloadParams workload = scenario.workload;
+  workload.sink = sink;
+  return netsim::run_traffic(topology, provider, workload, rng, engine);
+}
+
+AggregateTraffic run_trials(const TrafficScenario& scenario, int trials,
+                            const RunOptions& options) {
+  if (trials < 0) throw std::invalid_argument("negative trial count");
+  std::vector<std::uint64_t> seeds(static_cast<std::size_t>(trials));
+  util::Rng seeder(options.seed);
+  for (auto& s : seeds) s = seeder();
+
+  // Same discipline as the batch overload: private per-trial buffers,
+  // merged in trial order after the workers join.
+  std::vector<obs::TraceBuffer> traces;
+  std::vector<obs::MetricsRegistry> registries;
+  if (options.sink.trace) traces.resize(static_cast<std::size_t>(trials));
+  if (options.sink.metrics)
+    registries.resize(static_cast<std::size_t>(trials));
+
+  auto trial_sink = [&](std::size_t t) {
+    obs::Sink sink;
+    if (options.sink.metrics) sink.metrics = &registries[t];
+    if (options.sink.trace) sink.trace = &traces[t];
+    return sink;
+  };
+
+  std::vector<netsim::TrafficResult> results(
+      static_cast<std::size_t>(trials));
+  const int workers =
+      std::max(1, std::min(options.threads, trials > 0 ? trials : 1));
+  if (workers == 1) {
+    for (int t = 0; t < trials; ++t) {
+      const auto i = static_cast<std::size_t>(t);
+      results[i] =
+          run_traffic_trial(scenario, seeds[i], trial_sink(i),
+                            options.engine);
+    }
+  } else {
+    std::vector<std::thread> pool;
+    pool.reserve(static_cast<std::size_t>(workers));
+    for (int w = 0; w < workers; ++w) {
+      pool.emplace_back([&, w] {
+        for (int t = w; t < trials; t += workers) {
+          const auto i = static_cast<std::size_t>(t);
+          results[i] = run_traffic_trial(scenario, seeds[i], trial_sink(i),
+                                         options.engine);
+        }
+      });
+    }
+    for (auto& th : pool) th.join();
+  }
+
+  if (options.sink.metrics)
+    for (const auto& registry : registries)
+      options.sink.metrics->merge(registry);
+  if (options.sink.trace)
+    for (std::size_t t = 0; t < traces.size(); ++t)
+      traces[t].flush_to(*options.sink.trace, static_cast<std::int32_t>(t));
+
+  AggregateTraffic aggregate;
+  for (const auto& r : results) {
+    aggregate.admitted_per_slot.add(r.admitted_per_slot());
+    if (r.measured_arrivals > 0)
+      aggregate.blocking_probability.add(r.blocking_probability());
+    if (r.latency_count > 0) {
+      aggregate.p50_latency.add(r.latency_percentile(0.50));
+      aggregate.p99_latency.add(r.latency_percentile(0.99));
+    }
+  }
+  return aggregate;
 }
 
 }  // namespace surfnet::core

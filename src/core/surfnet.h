@@ -15,8 +15,13 @@
 // observability sink. Per-trial seeds are fixed up front and results are
 // merged in trial order, so aggregates — and, with a sink attached, the
 // exported metrics and the event trace — are bitwise-identical for any
-// thread count. The former seed/threads overloads survive as deprecated
-// wrappers.
+// thread count.
+//
+// Dynamic traffic: TrafficScenario + run_traffic_trial / run_trials run
+// an open-loop arrival/departure stream (netsim/workload.h) against an
+// incremental warm-started router (routing/incremental.h) instead of a
+// fixed request batch, with the same seed-derivation and trial-ordered
+// merge discipline.
 
 #include <cstdint>
 #include <string_view>
@@ -24,6 +29,7 @@
 #include "netsim/event_simulator.h"
 #include "netsim/simulator.h"
 #include "netsim/topology.h"
+#include "netsim/workload.h"
 #include "obs/sink.h"
 #include "routing/formulation.h"
 #include "util/stats.h"
@@ -112,16 +118,42 @@ AggregateMetrics run_trials(const ScenarioParams& params,
                             NetworkDesign design, int trials,
                             const RunOptions& options = {});
 
-[[deprecated("use run_trials(params, design, trials, RunOptions{.seed = seed})")]]
-AggregateMetrics run_trials(const ScenarioParams& params,
-                            NetworkDesign design, int trials,
-                            std::uint64_t seed);
+/// One dynamic-traffic experiment: a random topology, an incremental
+/// warm-started router over it, and an open-loop workload stream.
+struct TrafficScenario {
+  netsim::TopologySpec topology;
+  routing::RoutingParams routing;
+  netsim::WorkloadParams workload;
+};
 
-[[deprecated(
-    "use run_trials(params, design, trials, RunOptions{.seed = seed, "
-    ".threads = threads})")]]
-AggregateMetrics run_trials_parallel(const ScenarioParams& params,
-                                     NetworkDesign design, int trials,
-                                     std::uint64_t seed, int threads);
+/// Traffic defaults for a (facility, connection) scenario: the batch
+/// scenario's topology and routing, a Poisson stream sized to keep the
+/// network busy without saturating it, and a short warm-up.
+TrafficScenario make_traffic_scenario(FacilityLevel level,
+                                      ConnectionQuality quality);
+
+/// Run one seeded traffic trial. The sink observes the workload stream
+/// (arrival/admit/blocked/depart events, "traffic.*" counters) and every
+/// LP solve of the incremental router; engine Slot and Event produce
+/// bitwise-identical results.
+netsim::TrafficResult run_traffic_trial(const TrafficScenario& scenario,
+                                        std::uint64_t seed,
+                                        const obs::Sink& sink = {},
+                                        SimEngine engine = SimEngine::Event);
+
+struct AggregateTraffic {
+  util::RunningStat admitted_per_slot;
+  util::RunningStat blocking_probability;
+  util::RunningStat p50_latency;
+  util::RunningStat p99_latency;
+};
+
+/// Traffic batch runner with the ScenarioParams overload's determinism
+/// contract: per-trial seeds derive from options.seed alone and per-trial
+/// observability buffers are merged in trial order, so the aggregate, the
+/// metrics document and the trace are identical for every options.threads
+/// value and both engines.
+AggregateTraffic run_trials(const TrafficScenario& scenario, int trials,
+                            const RunOptions& options = {});
 
 }  // namespace surfnet::core

@@ -30,6 +30,12 @@ enum class EventClass : std::uint8_t {
   RetryTimer = 4,    ///< a retry/EC cooldown expires (backoff timers)
   EntanglementReady, ///< a starved segment's pools reach the threshold
   CodeWake,          ///< generic re-evaluation (movement, escalation)
+  // Workload-plane classes (netsim/workload.h). Departure outranks Arrival
+  // so that resources released at a slot are visible to admission control
+  // for arrivals of the same slot — the ordering half of the traffic
+  // engine's determinism contract (DESIGN.md "Dynamic traffic").
+  Departure,         ///< an admitted request finishes and frees its route
+  Arrival,           ///< an open-loop workload request enters the system
 };
 
 std::string_view to_string(EventClass cls);

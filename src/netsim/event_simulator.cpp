@@ -46,6 +46,8 @@ std::string_view to_string(EventClass cls) {
     case EventClass::RetryTimer: return "retry_timer";
     case EventClass::EntanglementReady: return "entanglement_ready";
     case EventClass::CodeWake: return "code_wake";
+    case EventClass::Departure: return "departure";
+    case EventClass::Arrival: return "arrival";
   }
   return "?";
 }
@@ -404,8 +406,8 @@ SimulationResult simulate_surfnet_event(const Topology& topology,
     plans.push_back(make_plan(topology, s, geometry_for(distance)));
   }
 
-  FaultInjector injector(topology, effective_fault_plan(params));
-  const RecoveryPolicy policy = effective_recovery(params);
+  FaultInjector injector(topology, params.faults);
+  const RecoveryPolicy policy = params.recovery;
   const EntanglementRates rates(topology, params, injector);
 
   // Run-mode selection (header comment): eager replays the gains sweep

@@ -24,9 +24,10 @@
 //
 // The stochastic processes reproduce — and extend — the paper's Sec. V-B
 // failure model. With only `fiber_cut_rate` set, the injector draws the
-// exact same random-variate sequence as the legacy
-// SimulationParams::fiber_failure_rate path, which is how the
-// compatibility shim keeps pre-plan configurations bitwise-identical.
+// exact same random-variate sequence as the retired
+// SimulationParams::fiber_failure_rate path, which is how
+// FaultPlanBuilder::fiber_noise keeps pre-plan configurations
+// bitwise-identical.
 
 #include <cstdint>
 #include <string_view>
@@ -109,6 +110,62 @@ struct FaultPlan {
   /// The legacy SimulationParams failure model as a plan: independent
   /// per-fiber cuts at `rate` lasting `duration` slots.
   static FaultPlan fiber_noise(double rate, int duration);
+};
+
+/// Fluent builder assembling the one canonical FaultPlan a simulation
+/// carries. This is the single entry point for fault configuration since
+/// the retirement of the SimulationParams fiber_failure_rate/_duration
+/// knobs: `FaultPlanBuilder().fiber_noise(rate, duration).build()` maps an
+/// old configuration onto a plan whose injector draws the exact
+/// random-variate sequence of the pre-plan simulator, so historical runs
+/// replay bitwise through the builder (pinned by faults_test's golden
+/// equivalence test).
+class FaultPlanBuilder {
+ public:
+  /// Pin one scripted fault to an exact slot.
+  FaultPlanBuilder& scripted(const FaultEvent& event) {
+    plan_.scripted.push_back(event);
+    return *this;
+  }
+  /// Independent per-fiber cuts — the legacy Sec. V-B model and the
+  /// bitwise image of the retired fiber_failure_rate/_duration knobs.
+  FaultPlanBuilder& fiber_noise(double rate, int duration) {
+    plan_.stochastic.fiber_cut_rate = rate;
+    plan_.stochastic.fiber_cut_duration = duration;
+    return *this;
+  }
+  /// Correlated multi-link failures (conduit cuts).
+  FaultPlanBuilder& correlated_cuts(double rate, int group_size,
+                                    int duration) {
+    plan_.stochastic.correlated_cut_rate = rate;
+    plan_.stochastic.correlated_group_size = group_size;
+    plan_.stochastic.correlated_cut_duration = duration;
+    return *this;
+  }
+  /// Switch/server outages.
+  FaultPlanBuilder& node_outages(double rate, int duration) {
+    plan_.stochastic.node_outage_rate = rate;
+    plan_.stochastic.node_outage_duration = duration;
+    return *this;
+  }
+  /// Entanglement-source degradation windows.
+  FaultPlanBuilder& degradation(double rate, double factor, int duration) {
+    plan_.stochastic.degradation_rate = rate;
+    plan_.stochastic.degradation_factor = factor;
+    plan_.stochastic.degradation_duration = duration;
+    return *this;
+  }
+  /// Network-wide decode-latency spikes.
+  FaultPlanBuilder& decode_stalls(double rate, int duration) {
+    plan_.stochastic.decode_stall_rate = rate;
+    plan_.stochastic.decode_stall_duration = duration;
+    return *this;
+  }
+
+  FaultPlan build() const { return plan_; }
+
+ private:
+  FaultPlan plan_;
 };
 
 /// Observer of entanglement-rate mutations, for engines that account pool

@@ -42,25 +42,6 @@ std::unique_ptr<Simulator> make_simulator(NetworkDesign design,
   return make_simulator(design, decoder, SimEngine::Slot);
 }
 
-FaultPlan effective_fault_plan(const SimulationParams& params) {
-  FaultPlan plan = params.faults;
-  // Legacy shim: fold fiber_failure_rate into the plan unless the plan
-  // already runs a fiber-cut process of its own. The resulting process
-  // draws the exact random-variate sequence of the pre-plan simulator.
-  if (params.fiber_failure_rate > 0.0 &&
-      plan.stochastic.fiber_cut_rate == 0.0) {
-    plan.stochastic.fiber_cut_rate = params.fiber_failure_rate;
-    plan.stochastic.fiber_cut_duration = params.fiber_failure_duration;
-  }
-  return plan;
-}
-
-RecoveryPolicy effective_recovery(const SimulationParams& params) {
-  RecoveryPolicy policy = params.recovery;
-  policy.local_reroute = policy.local_reroute && params.enable_recovery;
-  return policy;
-}
-
 SimulationResult simulate_surfnet(const Topology& topology,
                                   const Schedule& schedule,
                                   const SimulationParams& params,
@@ -91,8 +72,8 @@ SimulationResult simulate_surfnet(const Topology& topology,
 
   // Per-fiber prepared-pair inventory; fault state lives in the injector.
   std::vector<int> pairs(static_cast<std::size_t>(topology.num_fibers()), 0);
-  FaultInjector injector(topology, effective_fault_plan(params));
-  const RecoveryPolicy policy = effective_recovery(params);
+  FaultInjector injector(topology, params.faults);
+  const RecoveryPolicy policy = params.recovery;
   const EntanglementRates rates(topology, params, injector);
   VectorPool pool{pairs};
 
@@ -189,8 +170,8 @@ SimulationResult simulate_purification(const Topology& topology,
   }
 
   std::vector<int> pairs(static_cast<std::size_t>(topology.num_fibers()), 0);
-  FaultInjector injector(topology, effective_fault_plan(params));
-  const RecoveryPolicy policy = effective_recovery(params);
+  FaultInjector injector(topology, params.faults);
+  const RecoveryPolicy policy = params.recovery;
   const EntanglementRates rates(topology, params, injector);
   const int per_hop = 1 + extra_pairs;
 

@@ -104,33 +104,15 @@ struct SimulationParams {
   /// What the control plane does when a route breaks or starves
   /// (netsim/recovery.h). The default policy reproduces the historical
   /// behavior: local reroutes, no backoff, no escalation, no per-code
-  /// budget.
+  /// budget. Set `recovery.local_reroute = false` to hold qubits in
+  /// error-mitigation circuits until a failed fiber returns instead of
+  /// detouring around it (the retired `enable_recovery = false` knob).
   RecoveryPolicy recovery;
-  /// Legacy Sec. V-B failure knobs, kept as a compatibility shim: when
-  /// `faults` carries no fiber-cut process of its own, a nonzero rate here
-  /// is folded into the plan as independent per-fiber cuts that replay the
-  /// historical RNG sequence bitwise. Prefer `faults.stochastic`.
-  double fiber_failure_rate = 0.0;
-  int fiber_failure_duration = 20;
-  /// When a fiber on the route fails, find a local recovery path to the
-  /// next designated node (true) or hold the qubits in error-mitigation
-  /// circuits until the fiber returns (false). ANDed with
-  /// `recovery.local_reroute` (either switch turns local recovery off).
-  bool enable_recovery = true;
   int max_slots = 20000;        ///< safety cap; starved codes time out
   qec::PauliChannel channel = qec::PauliChannel::IndependentXZ;
   /// Observability handle (metrics + trace); null = no instrumentation.
   obs::Sink sink{};
 };
-
-/// The fault plan a simulation actually executes: params.faults, with the
-/// legacy fiber_failure_* knobs folded in as independent per-fiber cuts
-/// when the plan carries no fiber-cut process of its own.
-FaultPlan effective_fault_plan(const SimulationParams& params);
-
-/// The recovery policy a simulation actually executes: params.recovery
-/// with local rerouting ANDed with the legacy enable_recovery switch.
-RecoveryPolicy effective_recovery(const SimulationParams& params);
 
 /// Why one simulated code ended the way it did.
 enum class CodeOutcome {

@@ -20,6 +20,10 @@ std::string_view to_string(EventKind kind) {
     case EventKind::Retry: return "retry";
     case EventKind::Escalate: return "escalate";
     case EventKind::LpSolve: return "lp_solve";
+    case EventKind::Arrival: return "arrival";
+    case EventKind::Admit: return "admit";
+    case EventKind::Blocked: return "blocked";
+    case EventKind::Depart: return "depart";
   }
   return "?";
 }
@@ -129,6 +133,37 @@ std::string to_jsonl(const Event& event) {
       append_bool(out, "warm_start", event.flag);
       append_int(out, "status", event.c);
       append_double(out, "objective", event.value);
+      break;
+    case EventKind::Arrival:
+      append_int(out, "request", event.a);
+      append_int(out, "src", event.b);
+      append_int(out, "dst", event.c);
+      append_int(out, "class", event.d);
+      break;
+    case EventKind::Admit: {
+      append_int(out, "request", event.a);
+      append_int(out, "codes", event.b);
+      append_int(out, "hops", event.c);
+      append_int(out, "est_slots", event.d);
+      // Encoding shared with netsim::AdmitSource (0 greedy, 1 warm, 2 cold).
+      const int source = static_cast<int>(event.value);
+      append_str(out, "source",
+                 source == 0 ? "greedy" : (source == 1 ? "warm" : "cold"));
+      break;
+    }
+    case EventKind::Blocked: {
+      append_int(out, "request", event.a);
+      // Encoding shared with netsim::BlockReason (0 load, 1 capacity,
+      // 2 fidelity, 3 deadline).
+      static constexpr std::string_view kReasons[] = {"load", "capacity",
+                                                      "fidelity", "deadline"};
+      const int reason = event.b >= 0 && event.b < 4 ? event.b : 1;
+      append_str(out, "reason", kReasons[reason]);
+      break;
+    }
+    case EventKind::Depart:
+      append_int(out, "request", event.a);
+      append_int(out, "latency", event.b);
       break;
   }
   out += '}';

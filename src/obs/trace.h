@@ -50,6 +50,24 @@
 //                 "warm_start","status","objective"}
 //                status encodes routing::LpStatus: 0 optimal,
 //                1 infeasible, 2 unbounded, 3 iteration limit
+//   arrival      {"ev","trial","slot","request","src","dst","class"}
+//                one open-loop workload request entering the system
+//                (request ids are dense per run, class indexes the
+//                workload's demand-class table)
+//   admit        {"ev","trial","slot","request","codes","hops",
+//                 "est_slots","source"}
+//                admission control accepted the request; source is
+//                "greedy" (fast path), "warm" (warm-started LP assist)
+//                or "cold" (shape-changing cold LP solve)
+//   blocked      {"ev","trial","slot","request","reason"}
+//                admission control rejected the request; reason is
+//                "load" (admission cap / headroom shed), "capacity"
+//                (no feasible route), "fidelity" (route under the
+//                class fidelity floor) or "deadline" (estimated
+//                delivery later than the class deadline)
+//   depart       {"ev","trial","slot","request","latency"}
+//                a request finished service and released its resources;
+//                latency is delivery latency in slots
 //
 // "trial" is stamped by the trial engine when per-trial buffers are merged
 // (deterministically, in trial order — so traces are bitwise-identical for
@@ -78,6 +96,10 @@ enum class EventKind : std::uint8_t {
   Retry,
   Escalate,
   LpSolve,
+  Arrival,
+  Admit,
+  Blocked,
+  Depart,
 };
 
 std::string_view to_string(EventKind kind);
@@ -151,6 +173,27 @@ struct Event {
                         int status, double objective) {
     return {EventKind::LpSolve, -1,     -1,        iterations, refactorizations,
             status,             0,      objective, warm,       false};
+  }
+  static Event arrival(int slot, int request, int src, int dst,
+                       int demand_class) {
+    return {EventKind::Arrival, -1,  slot, request, src,
+            dst,                demand_class, 0.0, false, false};
+  }
+  /// `source` is the AdmitSource enum value (see the header comment).
+  static Event admit(int slot, int request, int codes, int hops,
+                     int est_slots, int source) {
+    return {EventKind::Admit, -1,        slot, request, codes,
+            hops,             est_slots, static_cast<double>(source),
+            false,            false};
+  }
+  /// `reason` is the BlockReason enum value (see the header comment).
+  static Event blocked(int slot, int request, int reason) {
+    return {EventKind::Blocked, -1, slot, request, reason,
+            0,                  0,  0.0,  false,   false};
+  }
+  static Event depart(int slot, int request, int latency) {
+    return {EventKind::Depart, -1, slot, request, latency,
+            0,                 0,  0.0,  false,   false};
   }
 };
 

@@ -64,6 +64,38 @@ void CapacityTracker::commit(const std::vector<int>& path, double node_demand,
   }
 }
 
+void CapacityTracker::release(const std::vector<int>& path) {
+  release(path, params_.total_qubits(), params_.core_qubits);
+}
+
+void CapacityTracker::release(const std::vector<int>& path,
+                              double node_demand, double pair_demand) {
+  for (std::size_t i = 1; i + 1 < path.size(); ++i)
+    node_capacity_[static_cast<std::size_t>(path[i])] += node_demand;
+  if (params_.dual_channel) {
+    for (std::size_t i = 0; i + 1 < path.size(); ++i) {
+      const int e = topology_->fiber_between(path[i], path[i + 1]);
+      fiber_pairs_[static_cast<std::size_t>(e)] += pair_demand;
+    }
+  }
+}
+
+void CapacityTracker::release_split(const std::vector<int>& core_path,
+                                    const std::vector<int>& support_path) {
+  const double support_demand =
+      params_.dual_channel ? params_.support_qubits : params_.total_qubits();
+  for (std::size_t i = 1; i + 1 < support_path.size(); ++i)
+    node_capacity_[static_cast<std::size_t>(support_path[i])] +=
+        support_demand;
+  for (std::size_t i = 1; i + 1 < core_path.size(); ++i)
+    node_capacity_[static_cast<std::size_t>(core_path[i])] +=
+        params_.core_qubits;
+  for (std::size_t i = 0; i + 1 < core_path.size(); ++i) {
+    const int e = topology_->fiber_between(core_path[i], core_path[i + 1]);
+    fiber_pairs_[static_cast<std::size_t>(e)] += params_.core_qubits;
+  }
+}
+
 int adaptive_distance(double residual_noise) {
   if (residual_noise <= 0.10) return 3;
   if (residual_noise <= 0.30) return 4;
@@ -169,15 +201,6 @@ std::optional<std::vector<int>> min_noise_path(const Topology& topology,
 
 }  // namespace
 
-namespace {
-
-/// Threshold-check a concrete path; returns the planned code or nullopt.
-std::optional<PlannedCode> check_path(const Topology& topology,
-                                      const RoutingParams& params,
-                                      const std::vector<int>& path);
-
-}  // namespace
-
 std::optional<PlannedCode> plan_code(const Topology& topology,
                                      const CapacityTracker& tracker,
                                      const RoutingParams& params, int src,
@@ -236,8 +259,6 @@ std::optional<PlannedCode> plan_code(const Topology& topology,
   return best;
 }
 
-namespace {
-
 std::optional<PlannedCode> check_path(const Topology& topology,
                                       const RoutingParams& params,
                                       const std::vector<int>& path_arg) {
@@ -289,8 +310,6 @@ std::optional<PlannedCode> check_path(const Topology& topology,
   plan.distance = distance;
   return plan;
 }
-
-}  // namespace
 
 Schedule route_greedy(const Topology& topology,
                       const std::vector<Request>& requests,

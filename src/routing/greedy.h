@@ -47,6 +47,14 @@ class CapacityTracker {
   void commit(const std::vector<int>& path, double node_demand,
               double pair_demand);
 
+  /// Return one code's resources: the exact inverse of the matching
+  /// commit. The dynamic-traffic path calls this when an admitted request
+  /// departs; releasing a path that was never committed corrupts the
+  /// tracker (capacities overflow their configured ceilings).
+  void release(const std::vector<int>& path);
+  void release(const std::vector<int>& path, double node_demand,
+               double pair_demand);
+
   /// Variants for codes whose Core and Support parts take different routes
   /// (LP rounding): Core qubits consume storage and pairs along core_path,
   /// Support qubits consume storage along support_path. core_path may be
@@ -55,6 +63,8 @@ class CapacityTracker {
                       const std::vector<int>& support_path) const;
   void commit_split(const std::vector<int>& core_path,
                     const std::vector<int>& support_path);
+  void release_split(const std::vector<int>& core_path,
+                     const std::vector<int>& support_path);
 
  private:
   const netsim::Topology* topology_;
@@ -76,6 +86,16 @@ struct PlannedCode {
 /// noise a route leaves after its corrections decides how much protection
 /// the code needs.
 int adaptive_distance(double residual_noise);
+
+/// Threshold-check one concrete path against the normalized Eq. (6)
+/// bounds: schedules as many EC stops as the noise budget allows and
+/// returns the planned code, or nullopt when the residual noise exceeds
+/// the thresholds. Capacity is NOT checked here — pair with
+/// CapacityTracker::path_feasible. Used by plan_code internally and by
+/// the incremental router to vet LP-decomposed candidate paths.
+std::optional<PlannedCode> check_path(const netsim::Topology& topology,
+                                      const RoutingParams& params,
+                                      const std::vector<int>& path);
 
 /// Find the minimum-noise feasible path for one code of (src, dst), or
 /// nullopt when no path satisfies capacity and the noise thresholds.

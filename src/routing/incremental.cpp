@@ -1,0 +1,216 @@
+#include "routing/incremental.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "netsim/channel.h"
+#include "obs/metrics.h"
+#include "routing/flow.h"
+
+namespace surfnet::routing {
+
+using netsim::AdmitSource;
+using netsim::AdmittedRoute;
+
+namespace {
+constexpr double kCodeEps = 1e-4;
+/// Probe limit per commodity for reoptimize(): far above any realistic
+/// single-network headroom, so the capacity rows bind, not the limits.
+constexpr double kProbeLimit = 1e3;
+}  // namespace
+
+IncrementalRouter::IncrementalRouter(const netsim::Topology& topology,
+                                     const RoutingParams& params)
+    : topology_(&topology),
+      params_(params),
+      tracker_(topology, params),
+      pristine_(topology, params) {}
+
+int IncrementalRouter::commodity_index(int src, int dst) {
+  for (std::size_t k = 0; k < commodities_.size(); ++k)
+    if (commodities_[k].src == src && commodities_[k].dst == dst)
+      return static_cast<int>(k);
+  Commodity commodity;
+  commodity.src = src;
+  commodity.dst = dst;
+  // One-time noise-feasibility check on the pristine full-capacity
+  // network: a pair the planner cannot route with every resource free
+  // fails on noise thresholds alone, and no release can change that.
+  commodity.infeasible =
+      !plan_code(*topology_, pristine_, params_, src, dst).has_value();
+  commodities_.push_back(std::move(commodity));
+  return static_cast<int>(commodities_.size()) - 1;
+}
+
+void IncrementalRouter::sync_capacities(RoutingFormulation& formulation) {
+  for (int v = 0; v < topology_->num_nodes(); ++v)
+    formulation.set_storage_capacity(
+        v, std::max(0.0, tracker_.node_remaining(v)));
+  for (int e = 0; e < topology_->num_fibers(); ++e)
+    formulation.set_entanglement_capacity(
+        e, std::max(0.0, tracker_.fiber_pairs_remaining(e)));
+}
+
+LpSolution IncrementalRouter::solve_commodity(Commodity& commodity,
+                                              double limit) {
+  if (!commodity.formulation.has_value()) {
+    const std::vector<netsim::Request> requests{
+        netsim::Request{commodity.src, commodity.dst, 1}};
+    commodity.formulation.emplace(*topology_, requests, params_);
+    commodity.state.clear();
+  }
+  // Limits and right-hand sides change between solves, the shape never
+  // does: every solve after the commodity's first warm-starts from the
+  // basis the previous one left behind.
+  commodity.formulation->set_request_limit(0, limit);
+  sync_capacities(*commodity.formulation);
+  const LpSolution solution =
+      solve_lp(commodity.formulation->problem(), commodity.state,
+               params_.sink);
+  if (solution.warm_started) {
+    ++stats_.warm_solves;
+    stats_.warm_iterations += solution.iterations;
+  } else {
+    ++stats_.cold_solves;
+    stats_.cold_iterations += solution.iterations;
+  }
+  return solution;
+}
+
+std::optional<AdmittedRoute> IncrementalRouter::lp_admit(int commodity,
+                                                         int codes) {
+  Commodity& c = commodities_[static_cast<std::size_t>(commodity)];
+  const LpSolution solution =
+      solve_commodity(c, static_cast<double>(codes));
+  if (solution.status != LpStatus::Optimal) return std::nullopt;
+
+  const auto& vars = c.formulation->vars(0);
+  const double y = solution.x[static_cast<std::size_t>(vars.y)];
+  if (y < 1.0 - kCodeEps) return std::nullopt;
+
+  // Decompose the commodity's support flow and vet the candidate paths:
+  // the LP certifies aggregate feasibility, each path must still pass the
+  // per-path Eq. (6) thresholds and the tracker's integral capacities.
+  const double support_unit = params_.dual_channel
+                                  ? params_.support_qubits
+                                  : params_.total_qubits();
+  const int de_count = c.formulation->num_directed_edges();
+  std::vector<double> flow(static_cast<std::size_t>(de_count), 0.0);
+  for (int de = 0; de < de_count; ++de) {
+    const int vb = vars.b[static_cast<std::size_t>(de)];
+    if (vb >= 0)
+      flow[static_cast<std::size_t>(de)] =
+          solution.x[static_cast<std::size_t>(vb)] / support_unit;
+  }
+  auto paths = decompose_flow(*c.formulation, topology_->num_nodes(),
+                              std::move(flow), c.src, c.dst);
+  std::stable_sort(paths.begin(), paths.end(),
+                   [](const FlowPath& a, const FlowPath& b) {
+                     return a.weight > b.weight;
+                   });
+
+  const double node_demand = params_.total_qubits() * codes;
+  const double pair_demand =
+      static_cast<double>(params_.core_qubits) * codes;
+  for (const auto& candidate : paths) {
+    const auto plan = check_path(*topology_, params_, candidate.nodes);
+    if (!plan) continue;
+    if (!tracker_.path_feasible(candidate.nodes, node_demand, pair_demand))
+      continue;
+    tracker_.commit(candidate.nodes, node_demand, pair_demand);
+    AdmittedRoute route;
+    route.path = plan->path;
+    route.ec_servers = plan->ec_servers;
+    route.noise = netsim::path_noise(*topology_, plan->path);
+    route.codes = codes;
+    route.source =
+        solution.warm_started ? AdmitSource::Warm : AdmitSource::Cold;
+    return route;
+  }
+  return std::nullopt;
+}
+
+std::optional<AdmittedRoute> IncrementalRouter::admit(int src, int dst,
+                                                      int codes) {
+  const obs::Sink& sink = params_.sink;
+
+  // Greedy fast path: Dijkstra + thresholds over the live tracker, no LP.
+  if (const auto plan =
+          plan_code(*topology_, tracker_, params_, src, dst)) {
+    const double node_demand = params_.total_qubits() * codes;
+    const double pair_demand =
+        static_cast<double>(params_.core_qubits) * codes;
+    if (tracker_.path_feasible(plan->path, node_demand, pair_demand)) {
+      tracker_.commit(plan->path, node_demand, pair_demand);
+      ++stats_.greedy_admits;
+      if (sink.metrics) sink.metrics->count("route.incremental.greedy");
+      AdmittedRoute route;
+      route.path = plan->path;
+      route.ec_servers = plan->ec_servers;
+      route.noise = netsim::path_noise(*topology_, plan->path);
+      route.codes = codes;
+      route.source = AdmitSource::Greedy;
+      return route;
+    }
+  }
+
+  // Warm LP assist. Pairs with no noise-feasible route are rejected in
+  // O(1) forever; a commodity whose full ladder already failed stays
+  // rejected without another solve until capacity comes back.
+  const int k = commodity_index(src, dst);
+  Commodity& commodity = commodities_[static_cast<std::size_t>(k)];
+  if (commodity.infeasible) {
+    ++stats_.infeasible_skips;
+    if (sink.metrics) sink.metrics->count("route.incremental.infeasible");
+    return std::nullopt;
+  }
+  if (commodity.saturated) {
+    ++stats_.saturation_skips;
+    if (sink.metrics) sink.metrics->count("route.incremental.saturated");
+    return std::nullopt;
+  }
+  auto route = lp_admit(k, codes);
+  if (!route) {
+    commodity.saturated = true;
+    ++stats_.lp_rejects;
+    if (sink.metrics) sink.metrics->count("route.incremental.lp_reject");
+    return std::nullopt;
+  }
+  if (route->source == AdmitSource::Warm) {
+    ++stats_.warm_admits;
+    if (sink.metrics) sink.metrics->count("route.incremental.warm");
+  } else {
+    ++stats_.cold_admits;
+    if (sink.metrics) sink.metrics->count("route.incremental.cold");
+  }
+  return route;
+}
+
+void IncrementalRouter::release(const AdmittedRoute& route) {
+  tracker_.release(route.path, params_.total_qubits() * route.codes,
+                   static_cast<double>(params_.core_qubits) * route.codes);
+  // Returned capacity may unblock any saturated commodity.
+  for (auto& c : commodities_) c.saturated = false;
+}
+
+double IncrementalRouter::reoptimize() {
+  // Probe every feasible commodity's standing formulation over the
+  // residual network and sum the fractional codes it could still carry.
+  bool probed = false;
+  double headroom = 0.0;
+  for (auto& c : commodities_) {
+    if (c.infeasible) continue;
+    const LpSolution solution = solve_commodity(c, kProbeLimit);
+    probed = true;
+    c.saturated = false;
+    if (solution.status != LpStatus::Optimal) continue;
+    headroom += solution.x[static_cast<std::size_t>(
+        c.formulation->vars(0).y)];
+  }
+  // Nothing has ever needed the LP: the network is effectively
+  // unconstrained from the stream's point of view.
+  if (!probed) return kProbeLimit;
+  return headroom;
+}
+
+}  // namespace surfnet::routing

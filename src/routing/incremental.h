@@ -1,0 +1,110 @@
+#pragma once
+
+// Incremental warm-started routing for the dynamic-traffic engine.
+//
+// The offline LP router (routing/lp_router.h) answers "route this batch";
+// the IncrementalRouter answers a stream of single-request deltas from
+// netsim::run_traffic: admit one request now, release one later, with the
+// network state carried across deltas instead of rebuilt per call.
+//
+// Per-delta cost ladder:
+//   * greedy fast path — plan_code over the live CapacityTracker; no LP
+//     is touched. Covers the overwhelming majority of admits.
+//   * warm LP assist — when greedy fails, the router solves the
+//     commodity's standing single-request formulation with the request
+//     limit set to the requested codes and capacities set to the
+//     tracker's residuals. Each (src, dst) commodity keeps its own
+//     formulation and simplex basis: the shape never changes after the
+//     commodity is first seen, so every re-solve after the first
+//     warm-starts and needs a small fraction of the cold iteration
+//     count. (A single standing multi-commodity formulation would grow
+//     with every pair ever seen and cold-solve on each growth — O(users^2)
+//     commodities make that quadratically more expensive per delta than
+//     per-commodity problems of constant shape.)
+//   * cold solve — only on a commodity's first assist (shape comes into
+//     existence) — never again while the router lives.
+//
+// Commodities whose endpoints admit no noise-feasible route at all (the
+// paper's Eq. (6) thresholds fail on every candidate path even on an
+// empty network) are marked infeasible once and rejected in O(1)
+// thereafter: their failures are load-independent, so no amount of
+// released capacity can revive them. A feasible commodity that fails the
+// full ladder is marked saturated; further greedy-failing admits for it
+// are rejected without an LP solve until a release or reoptimize()
+// restores capacity. Admit sources are counted as
+// "route.incremental.{greedy,warm,cold}" and every LP solve flows through
+// the usual solve_lp observability ("lp.*" counters, lp_solve events).
+
+#include <optional>
+#include <vector>
+
+#include "netsim/workload.h"
+#include "routing/formulation.h"
+#include "routing/greedy.h"
+#include "routing/simplex.h"
+
+namespace surfnet::routing {
+
+/// netsim::RouteProvider over a live CapacityTracker with warm-started
+/// LP assists. Single-threaded; one instance per traffic stream.
+class IncrementalRouter final : public netsim::RouteProvider {
+ public:
+  IncrementalRouter(const netsim::Topology& topology,
+                    const RoutingParams& params);
+
+  std::optional<netsim::AdmittedRoute> admit(int src, int dst,
+                                             int codes) override;
+  void release(const netsim::AdmittedRoute& route) override;
+  double reoptimize() override;
+
+  const CapacityTracker& tracker() const { return tracker_; }
+
+  /// Cumulative solve statistics for benchmarks and tests.
+  struct Stats {
+    long long greedy_admits = 0;
+    long long warm_admits = 0;
+    long long cold_admits = 0;
+    long long lp_rejects = 0;    ///< LP consulted, no feasible route
+    long long saturation_skips = 0;  ///< rejected without consulting the LP
+    long long infeasible_skips = 0;  ///< no noise-feasible route exists
+    int cold_solves = 0;
+    int warm_solves = 0;
+    long cold_iterations = 0;
+    long warm_iterations = 0;
+  };
+  const Stats& stats() const { return stats_; }
+
+ private:
+  struct Commodity {
+    int src = -1;
+    int dst = -1;
+    bool saturated = false;   ///< full ladder failed; cleared on release
+    bool infeasible = false;  ///< no noise-feasible route; never cleared
+    /// Standing single-request formulation + warm-start basis. Built on
+    /// the commodity's first LP assist, shape-stable forever after.
+    std::optional<RoutingFormulation> formulation;
+    SimplexState state;
+  };
+
+  /// Index of the (src, dst) commodity, creating it (and running the
+  /// one-time noise-feasibility check) on first sight.
+  int commodity_index(int src, int dst);
+  /// Point the formulation's capacities at the tracker's residuals.
+  void sync_capacities(RoutingFormulation& formulation);
+  /// Solve one commodity's standing formulation with the given request
+  /// limit, updating the warm/cold statistics.
+  LpSolution solve_commodity(Commodity& commodity, double limit);
+  /// LP-assisted admit for one commodity; greedy has already failed.
+  std::optional<netsim::AdmittedRoute> lp_admit(int commodity, int codes);
+
+  const netsim::Topology* topology_;
+  RoutingParams params_;
+  CapacityTracker tracker_;
+  /// Untouched full-capacity tracker for the one-time per-commodity
+  /// noise-feasibility check.
+  CapacityTracker pristine_;
+  std::vector<Commodity> commodities_;
+  Stats stats_;
+};
+
+}  // namespace surfnet::routing

@@ -15,6 +15,7 @@
 #include "netsim/schedule.h"
 #include "netsim/topology.h"
 #include "routing/formulation.h"
+#include "routing/simplex.h"
 #include "util/rng.h"
 
 namespace surfnet::routing {
@@ -33,5 +34,15 @@ struct LpRouteResult {
 LpRouteResult route_lp(const netsim::Topology& topology,
                        const std::vector<netsim::Request>& requests,
                        const RoutingParams& params, util::Rng& rng);
+
+/// As above, but the simplex basis lives in the caller's `state`: a valid
+/// state warm-starts the first solve (the dynamic-traffic path hands back
+/// the basis of the previous solve over the same formulation shape), and
+/// the state left behind warm-starts the caller's next solve. Pass a
+/// default-constructed state for a cold solve.
+LpRouteResult route_lp(const netsim::Topology& topology,
+                       const std::vector<netsim::Request>& requests,
+                       const RoutingParams& params, util::Rng& rng,
+                       SimplexState& state);
 
 }  // namespace surfnet::routing

@@ -107,25 +107,19 @@ TEST(Experiment, ParallelMatchesSequential) {
   EXPECT_EQ(parallel.fidelity.count(), serial.fidelity.count());
 }
 
-TEST(Experiment, DeprecatedWrappersMatchRunOptionsApi) {
+TEST(Experiment, RunOptionsSeedAndThreadsAreIndependentKnobs) {
+  // The RunOptions API is the one entry point since the seed/threads
+  // overloads were retired: the same seed gives the same aggregate at any
+  // thread count, and designated initializers cover the old call shapes.
   const auto params =
       make_scenario(FacilityLevel::Sufficient, ConnectionQuality::Good);
   const auto current = run_trials(params, NetworkDesign::SurfNet, 6,
                                   RunOptions{.seed = 31});
   const auto threaded = run_trials(params, NetworkDesign::SurfNet, 6,
                                    RunOptions{.seed = 31, .threads = 3});
-#pragma GCC diagnostic push
-#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
-  const auto legacy = run_trials(params, NetworkDesign::SurfNet, 6, 31);
-  const auto legacy_parallel =
-      run_trials_parallel(params, NetworkDesign::SurfNet, 6, 31, 3);
-#pragma GCC diagnostic pop
-  EXPECT_DOUBLE_EQ(legacy.fidelity.mean(), current.fidelity.mean());
-  EXPECT_DOUBLE_EQ(legacy.latency.mean(), current.latency.mean());
-  EXPECT_DOUBLE_EQ(legacy_parallel.fidelity.mean(),
-                   threaded.fidelity.mean());
-  EXPECT_DOUBLE_EQ(legacy_parallel.throughput.mean(),
-                   threaded.throughput.mean());
+  EXPECT_DOUBLE_EQ(threaded.fidelity.mean(), current.fidelity.mean());
+  EXPECT_DOUBLE_EQ(threaded.latency.mean(), current.latency.mean());
+  EXPECT_DOUBLE_EQ(threaded.throughput.mean(), current.throughput.mean());
 }
 
 namespace {

@@ -120,7 +120,7 @@ netsim::SimulationParams random_sim_params(util::Rng& rng,
     params.recovery.code_timeout_slots =
         proptest::chance(rng, 0.4) ? proptest::int_in(rng, 40, 600) : 0;
   }
-  if (proptest::chance(rng, 0.25)) params.enable_recovery = false;
+  if (proptest::chance(rng, 0.25)) params.recovery.local_reroute = false;
   if (proptest::chance(rng, 0.4))
     params.swap_success = proptest::real_in(rng, 0.5, 1.0);
   return params;

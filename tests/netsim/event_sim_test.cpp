@@ -268,7 +268,7 @@ TEST(EventEngineDifferential, HeldWithoutRecoveryBitwise) {
   SimulationParams params;
   params.max_slots = 1500;
   params.entanglement_rate = 4.0;
-  params.enable_recovery = false;
+  params.recovery.local_reroute = false;
   params.faults.scripted.push_back({FaultKind::FiberCut, 3, 0, 400, 1.0});
   params.faults.scripted.push_back({FaultKind::NodeOutage, 500, 2, 200, 1.0});
   expect_bitwise(ring_topology(), one_request(3, true, {2}), params, 5150,

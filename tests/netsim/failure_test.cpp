@@ -44,9 +44,7 @@ TEST(Failures, RecoveryReroutesAroundDeadFiber) {
   const auto topo = ring_topology();
   const decoder::SurfNetDecoder dec;
   SimulationParams params;
-  params.fiber_failure_rate = 0.05;
-  params.fiber_failure_duration = 40;
-  params.enable_recovery = true;
+  params.faults = FaultPlanBuilder().fiber_noise(0.05, 40).build();
   params.max_slots = 4000;
   util::Rng rng(21);
   const auto result =
@@ -58,14 +56,12 @@ TEST(Failures, WithoutRecoveryCodesWaitLonger) {
   const auto topo = ring_topology();
   const decoder::SurfNetDecoder dec;
   SimulationParams base;
-  base.fiber_failure_rate = 0.04;
-  base.fiber_failure_duration = 50;
+  base.faults = FaultPlanBuilder().fiber_noise(0.04, 50).build();
   base.max_slots = 20000;
 
   SimulationParams with = base;
-  with.enable_recovery = true;
   SimulationParams without = base;
-  without.enable_recovery = false;
+  without.recovery.local_reroute = false;
 
   util::Rng rng1(22), rng2(22);
   const auto fast =
@@ -92,9 +88,8 @@ TEST(Failures, NoAlternativeMeansWaiting) {
 
   const decoder::SurfNetDecoder dec;
   SimulationParams params;
-  params.fiber_failure_rate = 0.10;
-  params.fiber_failure_duration = 10;
-  params.enable_recovery = true;  // nothing to reroute onto
+  params.faults = FaultPlanBuilder().fiber_noise(0.10, 10).build();
+  // Recovery stays on by default — there is just nothing to reroute onto.
   params.max_slots = 5000;
   util::Rng rng(23);
   const auto result = simulate_surfnet(topo, schedule, params, dec, rng);

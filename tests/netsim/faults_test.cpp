@@ -1,6 +1,7 @@
 // Tests of the deterministic fault-injection subsystem (netsim/faults.h):
 // plan validation, scripted fault windows, stochastic processes, the
-// legacy fiber_failure_rate compatibility shim, and seed replayability.
+// FaultPlanBuilder (including the golden equivalence with the retired
+// fiber_failure_rate knobs), and seed replayability.
 
 #include "netsim/faults.h"
 
@@ -229,13 +230,17 @@ TEST(FaultInjection, ReplayIsDeterministic) {
   EXPECT_EQ(run(), run());
 }
 
-TEST(FaultShim, LegacyKnobsAndFiberNoisePlanAreBitwiseIdentical) {
+TEST(FaultPlanBuilderTest, BuilderAndFiberNoisePlanAreBitwiseIdentical) {
+  // Golden equivalence: the builder's fiber_noise maps a retired
+  // fiber_failure_rate/_duration configuration onto the same plan as
+  // FaultPlan::fiber_noise, whose injector was in turn pinned bitwise
+  // against the pre-plan simulator. Old configs therefore replay
+  // bitwise-identically through the builder.
   const auto topo = ring_topology();
   const decoder::SurfNetDecoder dec;
 
   SimulationParams legacy;
-  legacy.fiber_failure_rate = 0.05;
-  legacy.fiber_failure_duration = 40;
+  legacy.faults = FaultPlanBuilder().fiber_noise(0.05, 40).build();
   legacy.max_slots = 4000;
 
   SimulationParams planned;
@@ -260,24 +265,39 @@ TEST(FaultShim, LegacyKnobsAndFiberNoisePlanAreBitwiseIdentical) {
   EXPECT_EQ(rng_a(), rng_b());
 }
 
-TEST(FaultShim, PlanWithOwnFiberProcessIgnoresLegacyKnobs) {
-  SimulationParams params;
-  params.fiber_failure_rate = 0.5;
-  params.fiber_failure_duration = 7;
-  params.faults.stochastic.fiber_cut_rate = 0.01;
-  params.faults.stochastic.fiber_cut_duration = 3;
-  const auto plan = effective_fault_plan(params);
-  EXPECT_DOUBLE_EQ(plan.stochastic.fiber_cut_rate, 0.01);
-  EXPECT_EQ(plan.stochastic.fiber_cut_duration, 3);
-}
-
-TEST(FaultShim, LegacyKnobsFoldIntoEmptyPlan) {
-  SimulationParams params;
-  params.fiber_failure_rate = 0.25;
-  params.fiber_failure_duration = 12;
-  const auto plan = effective_fault_plan(params);
+TEST(FaultPlanBuilderTest, FluentChainSetsEveryProcess) {
+  FaultEvent scripted;
+  scripted.kind = FaultKind::NodeOutage;
+  scripted.slot = 7;
+  scripted.target = 1;
+  scripted.duration = 4;
+  const FaultPlan plan = FaultPlanBuilder()
+                             .fiber_noise(0.25, 12)
+                             .correlated_cuts(0.01, 4, 30)
+                             .node_outages(0.005, 15)
+                             .degradation(0.02, 0.5, 25)
+                             .decode_stalls(0.001, 8)
+                             .scripted(scripted)
+                             .build();
   EXPECT_DOUBLE_EQ(plan.stochastic.fiber_cut_rate, 0.25);
   EXPECT_EQ(plan.stochastic.fiber_cut_duration, 12);
+  EXPECT_DOUBLE_EQ(plan.stochastic.correlated_cut_rate, 0.01);
+  EXPECT_EQ(plan.stochastic.correlated_group_size, 4);
+  EXPECT_EQ(plan.stochastic.correlated_cut_duration, 30);
+  EXPECT_DOUBLE_EQ(plan.stochastic.node_outage_rate, 0.005);
+  EXPECT_EQ(plan.stochastic.node_outage_duration, 15);
+  EXPECT_DOUBLE_EQ(plan.stochastic.degradation_rate, 0.02);
+  EXPECT_DOUBLE_EQ(plan.stochastic.degradation_factor, 0.5);
+  EXPECT_EQ(plan.stochastic.degradation_duration, 25);
+  EXPECT_DOUBLE_EQ(plan.stochastic.decode_stall_rate, 0.001);
+  EXPECT_EQ(plan.stochastic.decode_stall_duration, 8);
+  ASSERT_EQ(plan.scripted.size(), 1u);
+  EXPECT_EQ(plan.scripted[0].kind, FaultKind::NodeOutage);
+  EXPECT_EQ(plan.scripted[0].slot, 7);
+}
+
+TEST(FaultPlanBuilderTest, DefaultBuildIsEmpty) {
+  EXPECT_TRUE(FaultPlanBuilder().build().empty());
 }
 
 TEST(FaultSimulation, ScriptedOutageBlocksAndHeals) {

@@ -170,16 +170,15 @@ TEST(RerouteValidator, RejectsUsersInsideTheRemainingStretch) {
 
 #endif  // SURFNET_CHECKS
 
-TEST(RecoverySimulation, DisabledPolicyMatchesLegacySwitchBitwise) {
+TEST(RecoverySimulation, DisabledPolicyMatchesRerouteSwitchBitwise) {
   const auto topo = ring_topology();
   const decoder::SurfNetDecoder dec;
   SimulationParams base;
-  base.fiber_failure_rate = 0.04;
-  base.fiber_failure_duration = 50;
+  base.faults = FaultPlanBuilder().fiber_noise(0.04, 50).build();
   base.max_slots = 20000;
 
   SimulationParams legacy = base;
-  legacy.enable_recovery = false;
+  legacy.recovery.local_reroute = false;
   SimulationParams policy = base;
   policy.recovery = RecoveryPolicy::disabled();
 

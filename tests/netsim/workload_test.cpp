@@ -1,0 +1,404 @@
+// Dynamic-traffic engine tests (netsim/workload.h).
+//
+// The determinism contract under test: a (seed, params) traffic stream
+// replays bitwise on the slot and event engines, across 1 and 8 worker
+// threads (through core::run_trials' trial-ordered merge), and against a
+// committed golden trace. Admission-control semantics (load cap, headroom
+// shedding, fidelity floor, deadline, warmup cutoff) are pinned with a
+// scripted provider so they do not depend on the live router.
+//
+// Regenerate the golden trace after an intentional behavior change:
+//   SURFNET_REGEN_GOLDEN=1 ctest -R GoldenTraffic
+
+#include <cstdlib>
+#include <fstream>
+#include <optional>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/surfnet.h"
+#include "netsim/topology.h"
+#include "netsim/workload.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "routing/incremental.h"
+#include "util/rng.h"
+
+namespace surfnet::netsim {
+namespace {
+
+/// Ring: user(0) - sw(1) - server(2) - sw(3) - user(4), plus bypass sw(5)
+/// connecting 1 and 3 (same shape as golden_trace_test.cpp).
+Topology ring_topology(double fidelity = 0.95) {
+  std::vector<Node> nodes(6);
+  nodes[1] = {NodeRole::Switch, 1000};
+  nodes[2] = {NodeRole::Server, 1000};
+  nodes[3] = {NodeRole::Switch, 1000};
+  nodes[5] = {NodeRole::Switch, 1000};
+  std::vector<Fiber> fibers{{0, 1, fidelity, 50}, {1, 2, fidelity, 50},
+                            {2, 3, fidelity, 50}, {3, 4, fidelity, 50},
+                            {1, 5, fidelity, 50}, {5, 3, fidelity, 50}};
+  return Topology(std::move(nodes), std::move(fibers));
+}
+
+std::string jsonl_of(const obs::TraceBuffer& buffer) {
+  std::string out;
+  for (const auto& event : buffer.events()) out += obs::to_jsonl(event) + "\n";
+  return out;
+}
+
+/// Metrics document with the wall-clock timer section blanked: counters,
+/// gauges and histograms are deterministic, elapsed seconds are not.
+std::string without_timers(const obs::MetricsRegistry& metrics) {
+  std::string json = metrics.to_json();
+  const auto start = json.find("\"timers\": {");
+  if (start == std::string::npos) return json;
+  const auto end = json.find('}', start);
+  return json.substr(0, start) + json.substr(end + 1);
+}
+
+/// Field-by-field equality of two traffic results (gtest-friendly: the
+/// failure names the diverging field).
+void expect_results_equal(const TrafficResult& a, const TrafficResult& b) {
+  EXPECT_EQ(a.arrivals, b.arrivals);
+  EXPECT_EQ(a.admitted, b.admitted);
+  EXPECT_EQ(a.blocked, b.blocked);
+  EXPECT_EQ(a.departures, b.departures);
+  EXPECT_EQ(a.last_slot, b.last_slot);
+  EXPECT_EQ(a.measured_slots, b.measured_slots);
+  EXPECT_EQ(a.measured_arrivals, b.measured_arrivals);
+  EXPECT_EQ(a.measured_admitted, b.measured_admitted);
+  EXPECT_EQ(a.measured_blocked, b.measured_blocked);
+  EXPECT_EQ(a.measured_departures, b.measured_departures);
+  for (int i = 0; i < 4; ++i) EXPECT_EQ(a.blocked_by[i], b.blocked_by[i]);
+  for (int i = 0; i < 3; ++i) EXPECT_EQ(a.admitted_by[i], b.admitted_by[i]);
+  EXPECT_EQ(a.latency_hist, b.latency_hist);
+  EXPECT_EQ(a.latency_count, b.latency_count);
+  EXPECT_EQ(a.latency_total, b.latency_total);
+}
+
+/// A busy-but-not-saturating stream over the ring with every knob that
+/// draws randomness enabled.
+WorkloadParams busy_params() {
+  WorkloadParams params;
+  params.arrival_rate = 0.5;
+  params.horizon_slots = 600;
+  params.warmup_slots = 50;
+  params.reoptimize_every = 16;
+  params.classes = {
+      {2.0, 1, 0, 0.0, 0},    // bulk: one code, no constraints
+      {1.0, 2, 1, 0.0, 40},   // priority: two codes, deadlined
+      {0.5, 1, 0, 0.6, 0},    // picky: fidelity floor
+  };
+  return params;
+}
+
+routing::RoutingParams ring_routing() {
+  routing::RoutingParams params;
+  params.dual_channel = true;
+  return params;
+}
+
+struct TrafficRun {
+  TrafficResult result;
+  std::string trace;
+  std::string metrics;
+  std::uint64_t next_draw = 0;  ///< post-run RNG probe
+};
+
+TrafficRun run_once(const WorkloadParams& base, std::uint64_t seed,
+                    SimEngine engine) {
+  const auto topology = ring_topology();
+  obs::TraceBuffer trace;
+  obs::MetricsRegistry metrics;
+  WorkloadParams params = base;
+  params.sink = obs::Sink{&metrics, &trace};
+
+  routing::RoutingParams routing = ring_routing();
+  routing.sink = params.sink;
+  routing::IncrementalRouter provider(topology, routing);
+
+  util::Rng rng(seed);
+  TrafficRun run;
+  run.result = run_traffic(topology, provider, params, rng, engine);
+  run.trace = jsonl_of(trace);
+  run.metrics = without_timers(metrics);
+  run.next_draw = rng();
+  return run;
+}
+
+TEST(Workload, SlotAndEventEnginesAreBitwiseIdentical) {
+  const auto params = busy_params();
+  const auto event = run_once(params, 2024, SimEngine::Event);
+  const auto slot = run_once(params, 2024, SimEngine::Slot);
+
+  expect_results_equal(event.result, slot.result);
+  EXPECT_EQ(event.trace, slot.trace);
+  EXPECT_EQ(event.metrics, slot.metrics);
+  // The engines consumed the identical RNG stream: the next draw agrees.
+  EXPECT_EQ(event.next_draw, slot.next_draw);
+  // The run did something worth comparing.
+  EXPECT_GT(event.result.arrivals, 100);
+  EXPECT_GT(event.result.admitted, 0);
+  EXPECT_GT(event.result.departures, 0);
+}
+
+TEST(Workload, ParetoStreamIsEngineInvariantToo) {
+  auto params = busy_params();
+  params.process = ArrivalProcess::Pareto;
+  params.pareto_shape = 1.8;
+  const auto event = run_once(params, 7, SimEngine::Event);
+  const auto slot = run_once(params, 7, SimEngine::Slot);
+  expect_results_equal(event.result, slot.result);
+  EXPECT_EQ(event.trace, slot.trace);
+  EXPECT_EQ(event.next_draw, slot.next_draw);
+  EXPECT_GT(event.result.arrivals, 0);
+}
+
+TEST(Workload, MaxRequestsCapsTheStream) {
+  auto params = busy_params();
+  params.max_requests = 25;
+  const auto run = run_once(params, 11, SimEngine::Event);
+  EXPECT_LE(run.result.arrivals, 25);
+  // Every admitted request eventually departs once arrivals stop.
+  EXPECT_EQ(run.result.departures, run.result.admitted);
+}
+
+TEST(Workload, WarmupSlotsExcludeEarlyEventsFromMeasurement) {
+  auto params = busy_params();
+  params.warmup_slots = 300;  // half the horizon
+  const auto run = run_once(params, 5, SimEngine::Event);
+  EXPECT_LT(run.result.measured_arrivals, run.result.arrivals);
+  EXPECT_EQ(run.result.measured_slots,
+            run.result.last_slot - params.warmup_slots + 1);
+  // Totals still count everything.
+  EXPECT_EQ(run.result.arrivals,
+            run.result.admitted + run.result.blocked);
+}
+
+// ---------------------------------------------------------------------------
+// Admission-control semantics with a scripted provider.
+
+/// Deterministic provider: admits everything with a fixed route, counting
+/// admits and releases so tests can assert the release-on-block contract.
+struct ScriptedProvider final : RouteProvider {
+  std::vector<int> path{0, 1, 2, 3, 4};
+  double noise = 0.1;
+  bool refuse = false;
+  int admits = 0;
+  int releases = 0;
+  int reoptimizes = 0;
+
+  std::optional<AdmittedRoute> admit(int, int, int codes) override {
+    if (refuse) return std::nullopt;
+    ++admits;
+    AdmittedRoute route;
+    route.path = path;
+    route.noise = noise;
+    route.codes = codes;
+    return route;
+  }
+  void release(const AdmittedRoute&) override { ++releases; }
+  double reoptimize() override {
+    ++reoptimizes;
+    return 0.0;  // no headroom: triggers priority shedding when armed
+  }
+};
+
+WorkloadParams scripted_params() {
+  WorkloadParams params;
+  params.arrival_rate = 1.0;
+  params.horizon_slots = 200;
+  return params;
+}
+
+TEST(Workload, LoadCapBlocksWithoutConsultingProvider) {
+  ScriptedProvider provider;
+  auto params = scripted_params();
+  params.admission.max_active_codes = 1;
+  params.service_base = 50;  // long service: the single slot stays busy
+  params.service_per_hop = 0;
+  params.service_jitter = 0;
+  util::Rng rng(3);
+  const auto result =
+      run_traffic(ring_topology(), provider, params, rng, SimEngine::Event);
+  EXPECT_GT(result.blocked_by[static_cast<int>(BlockReason::Load)], 0);
+  // Load blocks never reached the provider: one admit per admitted
+  // request, one release per departure, nothing else.
+  EXPECT_EQ(provider.admits, result.admitted);
+  EXPECT_EQ(provider.releases, result.departures);
+}
+
+TEST(Workload, FidelityFloorBlocksAndReleasesTheRoute) {
+  ScriptedProvider provider;
+  provider.noise = 0.5;  // route fidelity 0.5
+  auto params = scripted_params();
+  params.classes = {{1.0, 1, 0, /*fidelity_floor=*/0.9, 0}};
+  util::Rng rng(3);
+  const auto result =
+      run_traffic(ring_topology(), provider, params, rng, SimEngine::Event);
+  EXPECT_EQ(result.admitted, 0);
+  EXPECT_EQ(result.blocked, result.arrivals);
+  EXPECT_EQ(result.blocked_by[static_cast<int>(BlockReason::Fidelity)],
+            result.measured_blocked);
+  // Every blocked-after-admit route was handed back to the provider.
+  EXPECT_EQ(provider.releases, provider.admits);
+}
+
+TEST(Workload, DeadlineBlocksSlowRoutes) {
+  ScriptedProvider provider;  // 4 hops
+  auto params = scripted_params();
+  params.service_base = 4;
+  params.service_per_hop = 2;  // estimate = 4 + 2*4 = 12
+  params.classes = {{1.0, 1, 0, 0.0, /*deadline_slots=*/10}};
+  util::Rng rng(3);
+  const auto result =
+      run_traffic(ring_topology(), provider, params, rng, SimEngine::Event);
+  EXPECT_EQ(result.admitted, 0);
+  EXPECT_EQ(result.blocked_by[static_cast<int>(BlockReason::Deadline)],
+            result.measured_blocked);
+  EXPECT_EQ(provider.releases, provider.admits);
+}
+
+TEST(Workload, ProviderRefusalBlocksAsCapacity) {
+  ScriptedProvider provider;
+  provider.refuse = true;
+  auto params = scripted_params();
+  util::Rng rng(3);
+  const auto result =
+      run_traffic(ring_topology(), provider, params, rng, SimEngine::Event);
+  EXPECT_EQ(result.admitted, 0);
+  EXPECT_EQ(result.blocked_by[static_cast<int>(BlockReason::Capacity)],
+            result.measured_blocked);
+}
+
+TEST(Workload, HeadroomSheddingBlocksLowPriorityClasses) {
+  ScriptedProvider provider;  // reoptimize() reports zero headroom
+  auto params = scripted_params();
+  params.reoptimize_every = 1;
+  params.admission.shed_headroom = 1.0;
+  params.admission.shed_below_priority = 1;
+  params.classes = {{1.0, 1, /*priority=*/0, 0.0, 0}};
+  util::Rng rng(3);
+  const auto result =
+      run_traffic(ring_topology(), provider, params, rng, SimEngine::Event);
+  // The first admit reports zero headroom; everything after is shed.
+  EXPECT_GT(result.blocked_by[static_cast<int>(BlockReason::Load)], 0);
+  EXPECT_GT(provider.reoptimizes, 0);
+}
+
+TEST(Workload, ParameterValidation) {
+  ScriptedProvider provider;
+  const auto topology = ring_topology();
+  util::Rng rng(1);
+
+  WorkloadParams bad_rate;
+  bad_rate.arrival_rate = 0.0;
+  EXPECT_THROW(run_traffic(topology, provider, bad_rate, rng),
+               std::invalid_argument);
+
+  WorkloadParams bad_shape;
+  bad_shape.process = ArrivalProcess::Pareto;
+  bad_shape.pareto_shape = 1.0;
+  EXPECT_THROW(run_traffic(topology, provider, bad_shape, rng),
+               std::invalid_argument);
+
+  WorkloadParams bad_class;
+  bad_class.classes = {{0.0, 1, 0, 0.0, 0}};
+  EXPECT_THROW(run_traffic(topology, provider, bad_class, rng),
+               std::invalid_argument);
+
+  // A topology with fewer than two users cannot host a stream.
+  std::vector<Node> nodes(2);
+  nodes[1] = {NodeRole::Switch, 10};
+  Topology lonely(std::move(nodes), {{0, 1, 0.9, 10}});
+  WorkloadParams ok;
+  EXPECT_THROW(run_traffic(lonely, provider, ok, rng),
+               std::invalid_argument);
+}
+
+// ---------------------------------------------------------------------------
+// Thread-count invariance through the core traffic batch runner.
+
+core::TrafficScenario small_scenario() {
+  auto scenario = core::make_traffic_scenario(core::FacilityLevel::Sufficient,
+                                              core::ConnectionQuality::Good);
+  scenario.workload.horizon_slots = 300;
+  scenario.workload.warmup_slots = 50;
+  return scenario;
+}
+
+struct BatchRun {
+  std::string trace;
+  std::string metrics;
+  double admitted_per_slot = 0.0;
+  double blocking = 0.0;
+};
+
+BatchRun run_batch(int threads, SimEngine engine) {
+  obs::TraceBuffer trace;
+  obs::MetricsRegistry metrics;
+  core::RunOptions options;
+  options.threads = threads;
+  options.engine = engine;
+  options.sink = obs::Sink{&metrics, &trace};
+  const auto aggregate = core::run_trials(small_scenario(), 6, options);
+  BatchRun run;
+  run.trace = jsonl_of(trace);
+  run.metrics = without_timers(metrics);
+  run.admitted_per_slot = aggregate.admitted_per_slot.mean();
+  run.blocking = aggregate.blocking_probability.mean();
+  return run;
+}
+
+TEST(Workload, TrafficTrialsAreThreadCountInvariant) {
+  const auto one = run_batch(1, SimEngine::Event);
+  const auto eight = run_batch(8, SimEngine::Event);
+  EXPECT_EQ(one.trace, eight.trace);
+  EXPECT_EQ(one.metrics, eight.metrics);
+  EXPECT_EQ(one.admitted_per_slot, eight.admitted_per_slot);
+  EXPECT_EQ(one.blocking, eight.blocking);
+  EXPECT_FALSE(one.trace.empty());
+}
+
+TEST(Workload, TrafficTrialsAreEngineInvariant) {
+  const auto event = run_batch(1, SimEngine::Event);
+  const auto slot = run_batch(1, SimEngine::Slot);
+  EXPECT_EQ(event.trace, slot.trace);
+  EXPECT_EQ(event.metrics, slot.metrics);
+}
+
+// ---------------------------------------------------------------------------
+// Golden steady-state trace.
+
+std::string golden_path(const char* name) {
+  return std::string(SURFNET_TEST_DATA_DIR) + "/netsim/golden/" + name;
+}
+
+TEST(Workload, GoldenTrafficTrace) {
+  auto params = busy_params();
+  params.horizon_slots = 200;
+  params.warmup_slots = 20;
+  const auto run = run_once(params, 20240607, SimEngine::Event);
+
+  const auto path = golden_path("traffic_stream.jsonl");
+  if (std::getenv("SURFNET_REGEN_GOLDEN") != nullptr) {
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    ASSERT_TRUE(out.good()) << "cannot write " << path;
+    out << run.trace;
+    return;
+  }
+  std::ifstream in(path, std::ios::binary);
+  ASSERT_TRUE(in.good()) << "missing golden trace " << path
+                         << " — regenerate with SURFNET_REGEN_GOLDEN=1";
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  EXPECT_EQ(run.trace, buffer.str())
+      << "traffic stream diverged from the committed golden trace";
+}
+
+}  // namespace
+}  // namespace surfnet::netsim

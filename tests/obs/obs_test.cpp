@@ -256,6 +256,50 @@ TEST(Trace, GoldenJsonlLpSolve) {
             "\"objective\":1.5}");
 }
 
+TEST(Trace, GoldenJsonlArrival) {
+  EXPECT_EQ(to_jsonl(Event::arrival(12, 7, 0, 4, 1)),
+            "{\"ev\":\"arrival\",\"slot\":12,\"request\":7,"
+            "\"src\":0,\"dst\":4,\"class\":1}");
+}
+
+TEST(Trace, GoldenJsonlAdmit) {
+  EXPECT_EQ(to_jsonl(Event::admit(12, 7, 2, 4, 12, /*source=*/1)),
+            "{\"ev\":\"admit\",\"slot\":12,\"request\":7,\"codes\":2,"
+            "\"hops\":4,\"est_slots\":12,\"source\":\"warm\"}");
+  EXPECT_EQ(to_jsonl(Event::admit(0, 0, 1, 2, 8, /*source=*/0)),
+            "{\"ev\":\"admit\",\"slot\":0,\"request\":0,\"codes\":1,"
+            "\"hops\":2,\"est_slots\":8,\"source\":\"greedy\"}");
+  EXPECT_EQ(to_jsonl(Event::admit(3, 1, 1, 2, 8, /*source=*/2)),
+            "{\"ev\":\"admit\",\"slot\":3,\"request\":1,\"codes\":1,"
+            "\"hops\":2,\"est_slots\":8,\"source\":\"cold\"}");
+}
+
+TEST(Trace, GoldenJsonlBlocked) {
+  EXPECT_EQ(to_jsonl(Event::blocked(9, 5, /*reason=*/0)),
+            "{\"ev\":\"blocked\",\"slot\":9,\"request\":5,"
+            "\"reason\":\"load\"}");
+  EXPECT_EQ(to_jsonl(Event::blocked(9, 5, /*reason=*/1)),
+            "{\"ev\":\"blocked\",\"slot\":9,\"request\":5,"
+            "\"reason\":\"capacity\"}");
+  EXPECT_EQ(to_jsonl(Event::blocked(9, 5, /*reason=*/2)),
+            "{\"ev\":\"blocked\",\"slot\":9,\"request\":5,"
+            "\"reason\":\"fidelity\"}");
+  EXPECT_EQ(to_jsonl(Event::blocked(9, 5, /*reason=*/3)),
+            "{\"ev\":\"blocked\",\"slot\":9,\"request\":5,"
+            "\"reason\":\"deadline\"}");
+  // Out-of-range reasons clamp to "capacity" rather than indexing past
+  // the reason table.
+  EXPECT_EQ(to_jsonl(Event::blocked(9, 5, /*reason=*/99)),
+            "{\"ev\":\"blocked\",\"slot\":9,\"request\":5,"
+            "\"reason\":\"capacity\"}");
+}
+
+TEST(Trace, GoldenJsonlDepart) {
+  EXPECT_EQ(to_jsonl(Event::depart(40, 7, 28)),
+            "{\"ev\":\"depart\",\"slot\":40,\"request\":7,"
+            "\"latency\":28}");
+}
+
 TEST(Trace, TrialStampAppearsAfterEv) {
   Event e = Event::pool(0, 1, 1);
   e.trial = 5;

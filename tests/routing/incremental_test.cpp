@@ -1,0 +1,303 @@
+// Incremental router (routing/incremental.h) and unified route() facade
+// (routing/router.h) tests.
+//
+// The incremental contract: admit() commits exactly what release()
+// returns, the greedy fast path keeps the LP untouched while capacity
+// lasts, warm-started assists need strictly fewer simplex iterations than
+// the cold solves that precede them, and a saturated commodity is
+// rejected without another solve until capacity comes back.
+//
+// The facade contract: RouteStrategy::Auto reproduces the historical
+// route_lp-with-greedy-fallback seam bitwise, the forced arms match the
+// underlying routers, and a warm_state handle fed back into a
+// shape-stable repeat solve cuts its iteration count.
+
+#include <optional>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "netsim/schedule.h"
+#include "netsim/topology.h"
+#include "netsim/workload.h"
+#include "obs/metrics.h"
+#include "routing/greedy.h"
+#include "routing/incremental.h"
+#include "routing/lp_router.h"
+#include "routing/router.h"
+#include "util/rng.h"
+
+namespace surfnet::routing {
+namespace {
+
+using netsim::Fiber;
+using netsim::Node;
+using netsim::NodeRole;
+using netsim::Topology;
+
+/// Ring: user(0) - sw(1) - server(2) - sw(3) - user(4), plus bypass sw(5)
+/// connecting 1 and 3 (the golden_trace_test.cpp shape).
+Topology ring_topology(double fidelity = 0.95) {
+  std::vector<Node> nodes(6);
+  nodes[1] = {NodeRole::Switch, 1000};
+  nodes[2] = {NodeRole::Server, 1000};
+  nodes[3] = {NodeRole::Switch, 1000};
+  nodes[5] = {NodeRole::Switch, 1000};
+  std::vector<Fiber> fibers{{0, 1, fidelity, 50}, {1, 2, fidelity, 50},
+                            {2, 3, fidelity, 50}, {3, 4, fidelity, 50},
+                            {1, 5, fidelity, 50}, {5, 3, fidelity, 50}};
+  return Topology(std::move(nodes), std::move(fibers));
+}
+
+struct TrackerSnapshot {
+  std::vector<double> nodes;
+  std::vector<double> fibers;
+};
+
+TrackerSnapshot snapshot(const Topology& topology,
+                         const CapacityTracker& tracker) {
+  TrackerSnapshot snap;
+  for (int v = 0; v < topology.num_nodes(); ++v)
+    snap.nodes.push_back(tracker.node_remaining(v));
+  for (int e = 0; e < topology.num_fibers(); ++e)
+    snap.fibers.push_back(tracker.fiber_pairs_remaining(e));
+  return snap;
+}
+
+TEST(IncrementalRouter, AdmitReleaseRoundtripRestoresTracker) {
+  const auto topology = ring_topology();
+  RoutingParams params;
+  IncrementalRouter router(topology, params);
+  const auto before = snapshot(topology, router.tracker());
+
+  std::vector<netsim::AdmittedRoute> held;
+  for (const auto& [src, dst, codes] :
+       {std::tuple{0, 4, 1}, {4, 0, 2}, {0, 4, 1}}) {
+    auto route = router.admit(src, dst, codes);
+    ASSERT_TRUE(route.has_value());
+    held.push_back(*route);
+  }
+  // Resources are actually held while the requests are live.
+  const auto during = snapshot(topology, router.tracker());
+  EXPECT_NE(before.nodes, during.nodes);
+
+  // Release out of admission order: the tracker is a bag, not a stack.
+  router.release(held[1]);
+  router.release(held[0]);
+  router.release(held[2]);
+  const auto after = snapshot(topology, router.tracker());
+  EXPECT_EQ(before.nodes, after.nodes);
+  EXPECT_EQ(before.fibers, after.fibers);
+}
+
+TEST(IncrementalRouter, GreedyFastPathLeavesTheLpUntouched) {
+  const auto topology = ring_topology();
+  RoutingParams params;
+  IncrementalRouter router(topology, params);
+  for (int i = 0; i < 3; ++i) {
+    const auto route = router.admit(0, 4, 1);
+    ASSERT_TRUE(route.has_value());
+    EXPECT_EQ(route->source, netsim::AdmitSource::Greedy);
+    EXPECT_EQ(route->path.front(), 0);
+    EXPECT_EQ(route->path.back(), 4);
+  }
+  EXPECT_EQ(router.stats().greedy_admits, 3);
+  EXPECT_EQ(router.stats().cold_solves, 0);
+  EXPECT_EQ(router.stats().warm_solves, 0);
+}
+
+/// Drive the ring to saturation on the (0, 4) commodity: every fiber of
+/// both disjoint routes carries 50 pairs and a code costs core_qubits=7,
+/// so after 14 admits nothing fits and the LP ladder engages.
+TEST(IncrementalRouter, SaturationIsSkippedUntilCapacityReturns) {
+  const auto topology = ring_topology();
+  RoutingParams params;
+  IncrementalRouter router(topology, params);
+
+  std::vector<netsim::AdmittedRoute> held;
+  while (true) {
+    auto route = router.admit(0, 4, 1);
+    if (!route) break;
+    held.push_back(*route);
+    ASSERT_LT(held.size(), 200u) << "the ring never saturated";
+  }
+  ASSERT_FALSE(held.empty());
+  // The failed admit consulted the LP exactly once and marked the
+  // commodity saturated.
+  EXPECT_EQ(router.stats().lp_rejects, 1);
+  const int solves_after_reject =
+      router.stats().cold_solves + router.stats().warm_solves;
+  EXPECT_GE(solves_after_reject, 1);
+
+  // Further admits for the saturated commodity skip the LP entirely.
+  EXPECT_FALSE(router.admit(0, 4, 1).has_value());
+  EXPECT_FALSE(router.admit(0, 4, 1).has_value());
+  EXPECT_EQ(router.stats().saturation_skips, 2);
+  EXPECT_EQ(router.stats().cold_solves + router.stats().warm_solves,
+            solves_after_reject);
+
+  // A release clears the flag and the freed capacity admits again.
+  router.release(held.back());
+  held.pop_back();
+  const auto again = router.admit(0, 4, 1);
+  ASSERT_TRUE(again.has_value());
+}
+
+TEST(IncrementalRouter, WarmSolvesNeedFewerIterationsThanCold) {
+  const auto topology = ring_topology();
+  RoutingParams params;
+  IncrementalRouter router(topology, params);
+
+  // Saturate to force the first (cold) LP solve, then re-optimize twice
+  // over the standing formulation: shape-stable solves warm-start from
+  // the saved basis.
+  std::vector<netsim::AdmittedRoute> held;
+  while (auto route = router.admit(0, 4, 1)) held.push_back(*route);
+  ASSERT_GE(router.stats().cold_solves, 1);
+  const long cold_total = router.stats().cold_iterations;
+  ASSERT_GT(cold_total, 0);
+
+  router.reoptimize();
+  router.reoptimize();
+  ASSERT_GE(router.stats().warm_solves, 2);
+
+  const double cold_per_solve =
+      static_cast<double>(cold_total) / router.stats().cold_solves;
+  const double warm_per_solve =
+      static_cast<double>(router.stats().warm_iterations) /
+      router.stats().warm_solves;
+  EXPECT_LT(warm_per_solve, cold_per_solve)
+      << "warm-started solves should re-use the basis, not re-derive it";
+}
+
+TEST(IncrementalRouter, ReoptimizeReportsUnboundedHeadroomWithNoHistory) {
+  const auto topology = ring_topology();
+  RoutingParams params;
+  IncrementalRouter router(topology, params);
+  // No commodity has ever needed the LP: the probe has nothing to solve
+  // and reports effectively-infinite headroom.
+  EXPECT_GE(router.reoptimize(), 1e3);
+}
+
+// ---------------------------------------------------------------------------
+// route() facade.
+
+void expect_schedules_equal(const netsim::Schedule& a,
+                            const netsim::Schedule& b) {
+  EXPECT_EQ(a.requested_codes, b.requested_codes);
+  EXPECT_EQ(a.lp_objective, b.lp_objective);
+  ASSERT_EQ(a.scheduled.size(), b.scheduled.size());
+  for (std::size_t i = 0; i < a.scheduled.size(); ++i) {
+    const auto& x = a.scheduled[i];
+    const auto& y = b.scheduled[i];
+    EXPECT_EQ(x.request_index, y.request_index);
+    EXPECT_EQ(x.codes, y.codes);
+    EXPECT_EQ(x.core_path, y.core_path);
+    EXPECT_EQ(x.support_path, y.support_path);
+    EXPECT_EQ(x.ec_servers, y.ec_servers);
+    EXPECT_EQ(x.code_distance, y.code_distance);
+  }
+}
+
+struct Instance {
+  Topology topology;
+  std::vector<netsim::Request> requests;
+};
+
+Instance random_instance(std::uint64_t seed) {
+  util::Rng rng(seed);
+  netsim::TopologySpec spec;  // paper-sized Barabasi-Albert defaults
+  Instance instance{netsim::make_random_topology(spec, rng),
+                    {}};
+  instance.requests =
+      netsim::random_requests(instance.topology, 6, 3, rng);
+  return instance;
+}
+
+TEST(RouteFacade, AutoReproducesTheLpWithGreedyFallbackSeam) {
+  for (const std::uint64_t seed : {1ULL, 7ULL, 42ULL, 99ULL}) {
+    const auto instance = random_instance(seed);
+    RoutingParams params;
+
+    util::Rng rng_facade(seed * 31 + 1);
+    util::Rng rng_manual(seed * 31 + 1);
+    const auto facade =
+        route(instance.topology, instance.requests, params, rng_facade);
+
+    // The historical core-layer seam, spelled out by hand.
+    auto manual =
+        route_lp(instance.topology, instance.requests, params, rng_manual);
+    netsim::Schedule expected = manual.status == LpStatus::Optimal
+                                    ? std::move(manual.schedule)
+                                    : route_greedy(instance.topology,
+                                                   instance.requests, params,
+                                                   rng_manual);
+
+    EXPECT_EQ(facade.status, manual.status);
+    EXPECT_EQ(facade.used_lp, manual.status == LpStatus::Optimal);
+    EXPECT_EQ(facade.greedy_fallback, manual.status != LpStatus::Optimal);
+    expect_schedules_equal(facade.schedule, expected);
+    // Both consumed the identical RNG stream.
+    EXPECT_EQ(rng_facade(), rng_manual());
+  }
+}
+
+TEST(RouteFacade, GreedyStrategyMatchesRouteGreedy) {
+  const auto instance = random_instance(5);
+  RoutingParams params;
+  util::Rng rng_facade(17);
+  util::Rng rng_manual(17);
+  const auto facade =
+      route(instance.topology, instance.requests, params, rng_facade,
+            RouteOptions{RouteStrategy::Greedy, nullptr});
+  const auto manual =
+      route_greedy(instance.topology, instance.requests, params, rng_manual);
+  EXPECT_FALSE(facade.used_lp);
+  expect_schedules_equal(facade.schedule, manual);
+  EXPECT_EQ(rng_facade(), rng_manual());
+}
+
+TEST(RouteFacade, LpStrategyMatchesRouteLp) {
+  const auto instance = random_instance(9);
+  RoutingParams params;
+  util::Rng rng_facade(23);
+  util::Rng rng_manual(23);
+  const auto facade =
+      route(instance.topology, instance.requests, params, rng_facade,
+            RouteOptions{RouteStrategy::Lp, nullptr});
+  const auto manual =
+      route_lp(instance.topology, instance.requests, params, rng_manual);
+  EXPECT_EQ(facade.status, manual.status);
+  EXPECT_EQ(facade.lp_objective, manual.lp_objective);
+  expect_schedules_equal(facade.schedule, manual.schedule);
+}
+
+TEST(RouteFacade, WarmStateCutsRepeatSolveIterations) {
+  const auto instance = random_instance(3);
+  RoutingParams params;
+  SimplexState state;
+  RouteOptions options{RouteStrategy::Lp, &state};
+
+  util::Rng rng_a(77);
+  const auto cold =
+      route(instance.topology, instance.requests, params, rng_a, options);
+  ASSERT_EQ(cold.status, LpStatus::Optimal);
+  ASSERT_GT(cold.cold_iterations, 0);
+  ASSERT_TRUE(state.valid());
+
+  // Same shape, warm basis: the repeat solve starts where the last one
+  // ended and needs strictly fewer iterations.
+  util::Rng rng_b(77);
+  const auto warm =
+      route(instance.topology, instance.requests, params, rng_b, options);
+  EXPECT_EQ(warm.status, LpStatus::Optimal);
+  EXPECT_LT(warm.cold_iterations, cold.cold_iterations);
+  expect_schedules_equal(warm.schedule, cold.schedule);
+
+  // The result also carries a copy of the final basis.
+  EXPECT_TRUE(warm.state.valid());
+  EXPECT_EQ(warm.state.basis, state.basis);
+}
+
+}  // namespace
+}  // namespace surfnet::routing
