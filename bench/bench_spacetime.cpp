@@ -15,8 +15,8 @@
 #include "decoder/surfnet_decoder.h"
 #include "decoder/trial_runner.h"
 #include "decoder/union_find.h"
+#include "decoder/spacetime.h"
 #include "qec/lattice.h"
-#include "qec/spacetime.h"
 #include "util/stats.h"
 #include "util/table.h"
 
@@ -47,8 +47,8 @@ int main(int argc, char** argv) {
       std::vector<std::string> row{util::Table::pct(p, 1)};
       for (const int d : distances) {
         const qec::SurfaceCodeLattice lattice(d);
-        const qec::SpaceTimeGraph z_graph(lattice, qec::GraphKind::Z, d);
-        const qec::SpaceTimeGraph x_graph(lattice, qec::GraphKind::X, d);
+        const decoder::SpaceTimeGraph z_graph(lattice, qec::GraphKind::Z, d);
+        const decoder::SpaceTimeGraph x_graph(lattice, qec::GraphKind::X, d);
         decoder::TrialRunnerOptions opts;
         opts.threads = args.threads();
         opts.sink = args.sink();
@@ -57,7 +57,7 @@ int main(int argc, char** argv) {
             trials, opts, [&]() -> decoder::TrialFn {
               return [&](std::int64_t, util::Rng& rng) {
                 decoder::TrialOutcome outcome;
-                outcome.failure = !qec::spacetime_trial(
+                outcome.failure = !decoder::spacetime_trial(
                     lattice, z_graph, x_graph, p, p, *dec, rng);
                 return outcome;
               };

@@ -40,6 +40,7 @@ join error.
 import argparse
 import json
 import sys
+from pathlib import Path
 
 # Field-name fragments that decide comparison direction.
 LOWER_IS_BETTER = ("_ms", "ns_per_decode", "iterations", "iters", "latency")
@@ -100,29 +101,29 @@ def load(path):
 # ---------------------------------------------------------------------------
 # --validate: structural checks for the three machine-readable outputs.
 
-#: JSONL keys required per trace event kind (src/obs/trace.h).
-TRACE_SCHEMA = {
-    "pool": {"slot", "pairs_total", "pairs_min"},
-    "fiber_down": {"slot", "fiber", "until_slot"},
-    "recovery": {"slot", "request", "channel"},
-    "segment_jump": {"slot", "request", "from_node", "to_node", "fibers",
-                     "success"},
-    "decode": {"slot", "request", "node", "ec", "erasures", "syndromes",
-               "logical_error"},
-    "delivered": {"slot", "request", "slots", "corrections", "outcome"},
-    "timeout": {"slot", "request", "slots"},
-    "node_down": {"slot", "node", "until_slot"},
-    "degraded": {"slot", "fiber", "until_slot", "factor"},
-    "decode_stall": {"slot", "until_slot"},
-    "retry": {"slot", "request", "channel", "attempt", "backoff"},
-    "escalate": {"slot", "request", "channel", "action"},
-    "lp_solve": {"iterations", "refactorizations", "warm_start", "status",
-                 "objective"},
-    "arrival": {"slot", "request", "src", "dst", "class"},
-    "admit": {"slot", "request", "codes", "hops", "est_slots", "source"},
-    "blocked": {"slot", "request", "reason"},
-    "depart": {"slot", "request", "latency"},
-}
+def load_trace_schema():
+    """JSONL keys required per trace event kind.
+
+    bench/trace_schema.json is the single source of truth, shared with
+    surfnet-analyze's trace-schema rule (which holds src/obs/trace.cpp to
+    the same pin); keep additions there, not here.
+    """
+    path = Path(__file__).resolve().parent.parent / "bench" / \
+        "trace_schema.json"
+    try:
+        with open(path, "r", encoding="utf-8") as fh:
+            doc = json.load(fh)
+    except (OSError, json.JSONDecodeError) as err:
+        sys.exit(f"bench_compare: cannot read {path}: {err}")
+    kinds = doc.get("kinds")
+    if not isinstance(kinds, dict) or not all(
+            isinstance(keys, list) for keys in kinds.values()):
+        sys.exit(f"bench_compare: {path}: 'kinds' must map event kinds "
+                 "to key arrays")
+    return {kind: set(keys) for kind, keys in kinds.items()}
+
+
+TRACE_SCHEMA = load_trace_schema()
 
 
 def validate_envelope(data, path, errors):

@@ -18,14 +18,6 @@ Rules (scoped per tree; see RULES below):
                       process streams. snprintf into buffers and fprintf
                       to explicit FILE* handles are fine.
 
-  unordered-iteration No range-for over a std::unordered_{map,set,...}
-                      variable in src/: iteration order is
-                      implementation-defined, which silently breaks the
-                      stable trace/metric schemas and thread-count-
-                      invariant merges. (Heuristic: flags iteration over
-                      identifiers declared as unordered containers in the
-                      same file.)
-
   header-hygiene      Every header starts with #pragma once as its first
                       non-comment line, and no #ifndef-style include
                       guards (the pragma is the project idiom).
@@ -40,6 +32,11 @@ Rules (scoped per tree; see RULES below):
                       deterministic; both leaks would silently break the
                       bitwise slot-engine equivalence the differential
                       tests pin down.
+
+The unordered-iteration rule that used to live here moved to the C++
+analyzer (`surfnet-analyze`, rule `unordered-state`), which sees real
+declarations instead of regex guesses; this script keeps only the rules
+that are cheap line patterns.
 
 Suppression: a line containing `lint: allow(<rule>)` in a comment
 suppresses that rule for the whole file (use sparingly, state why).
@@ -91,37 +88,93 @@ EVENT_CORE_PATTERNS = [
      "std::unordered_* container"),
 ]
 
-UNORDERED_DECL = re.compile(
-    r"\bunordered_(?:map|set|multimap|multiset)\s*<[^;{]*?>\s+(\w+)")
-RANGE_FOR = re.compile(r"\bfor\s*\(\s*[^;:()]+:\s*(\w+)\s*\)")
-
-LINE_COMMENT = re.compile(r"//.*$")
 ALLOW = re.compile(r"lint:\s*allow\(([\w-]+)\)")
 
 
-def strip_strings(line):
-    """Blank out string/char literals so patterns never match inside them."""
+def strip_strings(text):
+    """Blank out comments and literal contents so patterns never match there.
+
+    Takes the whole file text (not a single line): block comments and raw
+    strings span lines, and an unterminated ordinary literal must not leak
+    quote state into the next line. Newlines are preserved so line numbers
+    survive; blanked characters become spaces so columns do too. The
+    delimiters themselves (quotes, raw-string intro/close) are kept.
+    Encoding-prefixed raw strings (u8R"...", LR"...") are not recognized;
+    the tree does not use them.
+    """
     out = []
-    i, n = 0, len(line)
-    quote = None
+    i, n = 0, len(text)
+    blank = lambda c: "\n" if c == "\n" else " "
     while i < n:
-        ch = line[i]
-        if quote:
-            if ch == "\\":
+        ch = text[i]
+        nxt = text[i + 1] if i + 1 < n else ""
+        if ch == "/" and nxt == "/":
+            while i < n and text[i] != "\n":
+                out.append(" ")
+                i += 1
+            continue
+        if ch == "/" and nxt == "*":
+            out.append("  ")
+            i += 2
+            while i + 1 < n and not (text[i] == "*" and text[i + 1] == "/"):
+                out.append(blank(text[i]))
+                i += 1
+            if i + 1 < n:
+                out.append("  ")
                 i += 2
+            else:  # unterminated block comment: blank to EOF
+                while i < n:
+                    out.append(blank(text[i]))
+                    i += 1
+            continue
+        if (ch == "R" and nxt == '"'
+                and (i == 0 or not (text[i - 1].isalnum()
+                                    or text[i - 1] == "_"))):
+            j = i + 2
+            while j < n and text[j] not in '()\\"\t\n ':
+                j += 1
+            if j < n and text[j] == "(":
+                delim = text[i + 2:j]
+                close = ")" + delim + '"'
+                out.append('R"' + delim + "(")
+                end = text.find(close, j + 1)
+                stop = n if end < 0 else end
+                for k in range(j + 1, stop):
+                    out.append(blank(text[k]))
+                if end < 0:
+                    i = n
+                else:
+                    out.append(close)
+                    i = end + len(close)
                 continue
-            if ch == quote:
-                quote = None
+            # malformed raw-string intro: fall through, 'R' is an identifier
+        if ch == "'" and i > 0 and text[i - 1].isalnum() and nxt.isalnum():
+            out.append(ch)  # digit separator (1'000'000), not a char literal
             i += 1
             continue
         if ch in "\"'":
-            quote = ch
             out.append(ch)
             i += 1
+            while i < n:
+                c = text[i]
+                if c == "\\" and i + 1 < n:
+                    out.append("  ")
+                    i += 2
+                    continue
+                if c == ch:
+                    out.append(c)
+                    i += 1
+                    break
+                if c == "\n":  # unterminated: state must not cross lines
+                    out.append("\n")
+                    i += 1
+                    break
+                out.append(" ")
+                i += 1
             continue
         out.append(ch)
         i += 1
-    return "".join(out) if quote is None else "".join(out)
+    return "".join(out)
 
 
 class FileLinter:
@@ -129,7 +182,6 @@ class FileLinter:
         self.path = path
         self.rel = repo_rel
         self.text = path.read_text(encoding="utf-8", errors="replace")
-        self.lines = self.text.splitlines()
         self.allowed = set(ALLOW.findall(self.text))
         self.findings = []
 
@@ -140,26 +192,7 @@ class FileLinter:
 
     def code_lines(self):
         """(line_no, code) with comments and string literals blanked."""
-        in_block = False
-        for no, raw in enumerate(self.lines, 1):
-            line = strip_strings(raw)
-            if in_block:
-                end = line.find("*/")
-                if end < 0:
-                    continue
-                line = line[end + 2:]
-                in_block = False
-            while True:
-                start = line.find("/*")
-                if start < 0:
-                    break
-                end = line.find("*/", start + 2)
-                if end < 0:
-                    line = line[:start]
-                    in_block = True
-                    break
-                line = line[:start] + line[end + 2:]
-            line = LINE_COMMENT.sub("", line)
+        for no, line in enumerate(strip_strings(self.text).splitlines(), 1):
             if line.strip():
                 yield no, line
 
@@ -184,25 +217,6 @@ class FileLinter:
                         "stdio-in-src", no,
                         f"{name} in library code; report through the obs "
                         "layer (src/obs) instead")
-
-    def lint_unordered(self):
-        if self.rel.parts[0] != "src":
-            return
-        declared = {}
-        for no, line in self.code_lines():
-            for match in UNORDERED_DECL.finditer(line):
-                declared[match.group(1)] = no
-        if not declared:
-            return
-        for no, line in self.code_lines():
-            match = RANGE_FOR.search(line)
-            if match and match.group(1) in declared:
-                self.report(
-                    "unordered-iteration", no,
-                    f"iterating '{match.group(1)}' (unordered container, "
-                    f"declared line {declared[match.group(1)]}): order is "
-                    "implementation-defined and breaks trace/metric "
-                    "determinism; copy into a sorted vector first")
 
     def lint_event_core(self):
         rel = self.rel.as_posix()
@@ -237,7 +251,6 @@ class FileLinter:
     def run(self):
         self.lint_wallclock()
         self.lint_stdio()
-        self.lint_unordered()
         self.lint_event_core()
         self.lint_header()
         return self.findings

@@ -6,6 +6,12 @@ Reads compile_commands.json (written by CMake; configure with
 already forces), filters to first-party translation units, and runs
 clang-tidy on each in parallel. The check set lives in .clang-tidy.
 
+Headers are not translation units, so `--changed BASE` maps a changed
+header to every first-party TU that directly #includes it (by the
+project's include spellings: repo-root-relative and src-relative) and
+lints those. Transitive includes are not chased; a header-only change
+that matters two hops away still surfaces in the full run.
+
 If no clang-tidy binary is available (the local toolchain only ships
 g++), this exits 0 with a SKIPPED note so pre-commit use never blocks;
 CI installs the tool and runs the real thing.
@@ -17,13 +23,15 @@ Usage:
 import argparse
 import concurrent.futures
 import json
+import re
 import shutil
 import subprocess
 import sys
 from pathlib import Path
 
 REPO = Path(__file__).resolve().parent.parent
-FIRST_PARTY = ("src", "bench", "tests", "examples")
+FIRST_PARTY = ("src", "bench", "tests", "examples", "tools")
+HEADER_SUFFIXES = (".h", ".hpp")
 TOOL_CANDIDATES = ("clang-tidy", "clang-tidy-18", "clang-tidy-17",
                    "clang-tidy-16", "clang-tidy-15", "clang-tidy-14")
 
@@ -43,7 +51,7 @@ def changed_files(base):
     return {str(REPO / f) for f in out.splitlines()}
 
 
-def gather_units(build_dir, only_files):
+def first_party_units(build_dir):
     db_path = build_dir / "compile_commands.json"
     if not db_path.is_file():
         sys.exit(f"error: {db_path} not found; configure the build first "
@@ -51,17 +59,51 @@ def gather_units(build_dir, only_files):
     units = []
     for entry in json.loads(db_path.read_text()):
         source = str((Path(entry["directory"]) / entry["file"]).resolve())
-        rel = Path(source)
         try:
-            rel = rel.relative_to(REPO)
+            rel = Path(source).relative_to(REPO)
         except ValueError:
             continue
-        if rel.parts[0] not in FIRST_PARTY:
-            continue
-        if only_files is not None and source not in only_files:
-            continue
-        units.append(source)
+        if rel.parts[0] in FIRST_PARTY:
+            units.append(source)
     return sorted(set(units))
+
+
+def include_spellings(header):
+    """How the tree may spell an #include of this repo-relative header."""
+    try:
+        rel = Path(header).relative_to(REPO)
+    except ValueError:
+        return set()
+    spellings = {rel.as_posix()}
+    if rel.parts[0] == "src":  # src/ is the include root for library code
+        spellings.add(Path(*rel.parts[1:]).as_posix())
+    return spellings
+
+
+def expand_headers(selected, units):
+    """Replace headers in `selected` with the TUs that include them.
+
+    Headers never appear in the compilation database, so a changed-header
+    run would otherwise lint nothing. Scans each first-party TU for a
+    direct `#include "..."` of the header under its project spellings.
+    """
+    headers = {f for f in selected if f.endswith(HEADER_SUFFIXES)}
+    out = {f for f in selected if f not in headers}
+    if not headers:
+        return out
+    include_re = re.compile(r'^\s*#\s*include\s*"([^"]+)"', re.MULTILINE)
+    wanted = {}
+    for header in headers:
+        for spelling in include_spellings(header):
+            wanted.setdefault(spelling, set()).add(header)
+    for unit in units:
+        try:
+            text = Path(unit).read_text(encoding="utf-8", errors="replace")
+        except OSError:
+            continue
+        if any(inc in wanted for inc in include_re.findall(text)):
+            out.add(unit)
+    return out
 
 
 def run_one(tool, build_dir, source):
@@ -86,14 +128,19 @@ def main():
         print("run_clang_tidy: SKIPPED (no clang-tidy binary on PATH)")
         return 0
 
+    build_dir = (REPO / args.build_dir).resolve()
+    all_units = first_party_units(build_dir)
+
     only = None
     if args.files:
         only = {str(Path(f).resolve()) for f in args.files}
     elif args.changed:
         only = changed_files(args.changed)
-
-    build_dir = (REPO / args.build_dir).resolve()
-    units = gather_units(build_dir, only)
+    if only is not None:
+        only = expand_headers(only, all_units)
+        units = sorted(u for u in all_units if u in only)
+    else:
+        units = all_units
     if not units:
         print("run_clang_tidy: no matching translation units")
         return 0

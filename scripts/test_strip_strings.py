@@ -1,0 +1,122 @@
+#!/usr/bin/env python3
+"""Regression tests for scripts/lint_surfnet.py string/comment stripping.
+
+The original strip_strings() worked line-by-line with a dead
+`if quote is None` fallback: an unterminated quote silently behaved like
+a terminated one, raw strings opened ordinary quote state, and comment
+stripping ran in a second pass that could disagree with string state
+(`// don't` opened a char literal). These tests pin the whole-file
+scanner that replaced it, plus the linter behaviors that depend on it.
+"""
+
+import sys
+import tempfile
+import unittest
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent))
+from lint_surfnet import FileLinter, strip_strings  # noqa: E402
+
+
+class StripStringsTest(unittest.TestCase):
+    def test_blanks_ordinary_string_contents(self):
+        out = strip_strings('call("std::rand()");')
+        self.assertNotIn("std::rand", out)
+        self.assertIn('call("', out)
+
+    def test_preserves_line_structure_and_length(self):
+        text = 'a("x");\nint y = 0;\n/* b\nc */ z();\n'
+        out = strip_strings(text)
+        self.assertEqual(out.count("\n"), text.count("\n"))
+        for got, want in zip(out.splitlines(), text.splitlines()):
+            self.assertEqual(len(got), len(want))
+
+    def test_unterminated_string_does_not_swallow_next_line(self):
+        # The dead-conditional bug: quote state must reset at the newline
+        # for ordinary literals, so line 2 is still scanned as code.
+        out = strip_strings('auto s = "oops;\nstd::rand();\n')
+        self.assertIn("std::rand();", out.splitlines()[1])
+
+    def test_escaped_quote_stays_inside_string(self):
+        out = strip_strings(r'f("a\"b"); srand(0);')
+        self.assertEqual(out.split(";")[0], 'f("    ")')
+        self.assertIn("srand(0);", out)
+
+    def test_raw_string_spans_lines(self):
+        text = 'auto q = R"(\nstd::rand()\n)"; srand(0);\n'
+        out = strip_strings(text)
+        self.assertNotIn("std::rand", out)
+        self.assertIn("srand(0);", out)
+
+    def test_raw_string_delimiter_guards_inner_close(self):
+        # The plain )" inside must not close an R"x( literal.
+        text = 'auto q = R"x( a )" b )x"; srand(0);'
+        out = strip_strings(text)
+        self.assertNotIn(" a ", out)
+        self.assertNotIn(" b ", out)
+        self.assertIn("srand(0);", out)
+
+    def test_unterminated_raw_string_blanks_to_eof(self):
+        out = strip_strings('auto q = R"(\nstd::rand()\n')
+        self.assertNotIn("std::rand", out)
+        self.assertEqual(out.count("\n"), 2)
+
+    def test_raw_prefix_requires_token_boundary(self):
+        # An identifier ending in R followed by a string is not a raw
+        # string: the literal still terminates at its plain closing quote.
+        out = strip_strings('FOOR"(x)"; srand(0);')
+        self.assertIn("srand(0);", out)
+
+    def test_line_comment_removed_even_with_apostrophe(self):
+        # "don't" must not open a char literal that leaks past the comment.
+        out = strip_strings("int a;  // don't do this\nsrand(0);\n")
+        self.assertNotIn("don", out)
+        self.assertIn("srand(0);", out)
+
+    def test_block_comment_spans_lines(self):
+        out = strip_strings("/* one\nstd::rand()\n*/ srand(0);\n")
+        self.assertNotIn("std::rand", out)
+        self.assertIn("srand(0);", out)
+
+    def test_comment_markers_inside_strings_are_inert(self):
+        out = strip_strings('auto u = "//"; srand(0); auto v = "/*";\nf();\n')
+        self.assertIn("srand(0);", out)
+        self.assertIn("f();", out)
+
+    def test_digit_separator_is_not_a_char_literal(self):
+        out = strip_strings("int n = 1'000'000; srand(0);")
+        self.assertIn("srand(0);", out)
+
+
+class FileLinterTest(unittest.TestCase):
+    def lint(self, rel, text):
+        with tempfile.TemporaryDirectory() as tmp:
+            path = Path(tmp) / Path(rel).name
+            path.write_text(text)
+            return FileLinter(path, Path(rel)).run()
+
+    def test_wallclock_in_raw_string_not_flagged(self):
+        text = 'constexpr const char* kDoc = R"(\nstd::rand() here\n)";\n'
+        self.assertEqual(self.lint("src/util/doc.cpp", text), [])
+
+    def test_wallclock_in_code_flagged(self):
+        findings = self.lint("src/util/bad.cpp", "int x = std::rand();\n")
+        self.assertEqual(len(findings), 1)
+        self.assertIn("[wallclock-seeding]", findings[0])
+
+    def test_code_after_unterminated_string_still_linted(self):
+        text = 'const char* s = "oops;\nint x = std::rand();\n'
+        findings = self.lint("src/util/bad.cpp", text)
+        self.assertTrue(any(":2:" in f for f in findings), findings)
+
+    def test_unordered_iteration_rule_retired(self):
+        # Superseded by surfnet-analyze's unordered-state rule.
+        text = ("#include <unordered_map>\n"
+                "std::unordered_map<int, int> m;\n"
+                "void f() { for (auto& kv : m) (void)kv; }\n")
+        self.assertEqual(self.lint("src/util/m.cpp", text), [])
+        self.assertFalse(hasattr(FileLinter, "lint_unordered"))
+
+
+if __name__ == "__main__":
+    unittest.main()

@@ -44,6 +44,8 @@ class Dsu {
   /// Union the sets of a and b; returns the surviving root, or -1 when the
   /// two were already in the same set.
   int unite(int a, int b) {
+    SURFNET_EXPECTS(a >= 0 && static_cast<std::size_t>(a) < parent_.size());
+    SURFNET_EXPECTS(b >= 0 && static_cast<std::size_t>(b) < parent_.size());
     a = find(a);
     b = find(b);
     if (a == b) return -1;
@@ -59,6 +61,7 @@ class Dsu {
   bool same(int a, int b) { return find(a) == find(b); }
 
   std::size_t size_of(int x) {
+    SURFNET_EXPECTS(x >= 0 && static_cast<std::size_t>(x) < parent_.size());
     return size_[static_cast<std::size_t>(find(x))];
   }
 

@@ -1,22 +1,22 @@
-#include "qec/spacetime.h"
+#include "decoder/spacetime.h"
 
 #include <stdexcept>
 
 #include "qec/syndrome.h"
 
-namespace surfnet::qec {
+namespace surfnet::decoder {
 
-SpaceTimeGraph::SpaceTimeGraph(const CodeLattice& lattice, GraphKind kind,
-                               int rounds)
+SpaceTimeGraph::SpaceTimeGraph(const qec::CodeLattice& lattice,
+                               qec::GraphKind kind, int rounds)
     : kind_(kind), rounds_(rounds) {
   if (rounds < 1)
     throw std::invalid_argument("space-time graph needs >= 1 noisy round");
-  const DecodingGraph& base = lattice.graph(kind);
+  const qec::DecodingGraph& base = lattice.graph(kind);
   base_vertices_ = base.num_real_vertices();
   const int num_real = (rounds_ + 1) * base_vertices_;
-  const BoundaryIds boundary{num_real, num_real + 1};
+  const qec::BoundaryIds boundary{num_real, num_real + 1};
 
-  std::vector<GraphEdge> edges;
+  std::vector<qec::GraphEdge> edges;
   edges.reserve(static_cast<std::size_t>(rounds_) *
                 (base.num_edges() + static_cast<std::size_t>(base_vertices_)));
 
@@ -32,7 +32,7 @@ SpaceTimeGraph::SpaceTimeGraph(const CodeLattice& lattice, GraphKind kind,
   for (int t = 0; t < rounds_; ++t) {
     for (std::size_t e = 0; e < base.num_edges(); ++e) {
       const auto& be = base.edge(e);
-      GraphEdge edge;
+      qec::GraphEdge edge;
       edge.u = lift(be.u, t);
       edge.v = lift(be.v, t);
       edge.data_qubit = static_cast<int>(edges.size());
@@ -45,7 +45,7 @@ SpaceTimeGraph::SpaceTimeGraph(const CodeLattice& lattice, GraphKind kind,
   // layers t and t+1.
   for (int t = 0; t < rounds_; ++t) {
     for (int s = 0; s < base_vertices_; ++s) {
-      GraphEdge edge;
+      qec::GraphEdge edge;
       edge.u = t * base_vertices_ + s;
       edge.v = (t + 1) * base_vertices_ + s;
       edge.data_qubit = static_cast<int>(edges.size());
@@ -54,7 +54,7 @@ SpaceTimeGraph::SpaceTimeGraph(const CodeLattice& lattice, GraphKind kind,
       edge_qubit_.push_back(s);
     }
   }
-  graph_ = DecodingGraph(num_real, boundary, std::move(edges));
+  graph_ = qec::DecodingGraph(num_real, boundary, std::move(edges));
 }
 
 std::vector<double> SpaceTimeGraph::edge_priors(
@@ -65,10 +65,11 @@ std::vector<double> SpaceTimeGraph::edge_priors(
   return priors;
 }
 
-SpaceTimeSample sample_spacetime(const CodeLattice& lattice, GraphKind kind,
-                                 int rounds, double data_rate,
-                                 double measurement_rate, util::Rng& rng) {
-  const DecodingGraph& base = lattice.graph(kind);
+SpaceTimeSample sample_spacetime(const qec::CodeLattice& lattice,
+                                 qec::GraphKind kind, int rounds,
+                                 double data_rate, double measurement_rate,
+                                 util::Rng& rng) {
+  const qec::DecodingGraph& base = lattice.graph(kind);
   SpaceTimeSample sample;
   sample.window_flips.assign(
       static_cast<std::size_t>(rounds),
@@ -107,46 +108,47 @@ std::vector<char> spacetime_flips(const SpaceTimeGraph& graph,
 
 std::vector<char> spacetime_detectors(const SpaceTimeGraph& graph,
                                       const SpaceTimeSample& sample) {
-  return syndrome_bitmap(graph.graph(), spacetime_flips(graph, sample));
+  return qec::syndrome_bitmap(graph.graph(), spacetime_flips(graph, sample));
 }
 
-DecodeOutcome decode_spacetime(const CodeLattice& lattice,
-                               const SpaceTimeGraph& graph,
-                               const SpaceTimeSample& sample,
-                               const decoder::Decoder& decoder,
-                               double data_rate, double measurement_rate) {
+qec::DecodeOutcome decode_spacetime(const qec::CodeLattice& lattice,
+                                    const SpaceTimeGraph& graph,
+                                    const SpaceTimeSample& sample,
+                                    const Decoder& decoder,
+                                    double data_rate,
+                                    double measurement_rate) {
   const auto flips = spacetime_flips(graph, sample);
 
-  decoder::DecodeInput input;
+  DecodeInput input;
   input.graph = &graph.graph();
-  input.syndrome = syndrome_bitmap(graph.graph(), flips);
+  input.syndrome = qec::syndrome_bitmap(graph.graph(), flips);
   input.erased.assign(graph.graph().num_edges(), 0);
   input.error_prob = graph.edge_priors(data_rate, measurement_rate);
   const auto correction = decoder.decode(input);
 
-  DecodeOutcome outcome;
-  outcome.valid = correction_valid(graph.graph(), flips, correction);
+  qec::DecodeOutcome outcome;
+  outcome.valid = qec::correction_valid(graph.graph(), flips, correction);
   if (!outcome.valid) return outcome;
 
   // Project the residual onto space: XOR the horizontal components over
   // all windows per base data qubit; vertical edges project out. A valid
   // space-time residual projects to a syndrome-free space chain, so the
   // usual logical-cut parity decides success.
-  const auto residual_st = residual(flips, correction);
+  const auto residual_st = qec::residual(flips, correction);
   std::vector<char> space(lattice.graph(graph.kind()).num_edges(), 0);
   for (std::size_t e = 0; e < residual_st.size(); ++e) {
     if (!residual_st[e] || !graph.is_horizontal(e)) continue;
     space[static_cast<std::size_t>(graph.edge_qubit(e))] ^= 1;
   }
-  outcome.logical = logical_flip(lattice, graph.kind(), space);
+  outcome.logical = qec::logical_flip(lattice, graph.kind(), space);
   return outcome;
 }
 
-bool spacetime_trial(const CodeLattice& lattice,
+bool spacetime_trial(const qec::CodeLattice& lattice,
                      const SpaceTimeGraph& z_graph,
                      const SpaceTimeGraph& x_graph, double data_rate,
-                     double measurement_rate,
-                     const decoder::Decoder& decoder, util::Rng& rng) {
+                     double measurement_rate, const Decoder& decoder,
+                     util::Rng& rng) {
   bool ok = true;
   for (const auto* graph : {&z_graph, &x_graph}) {
     const auto sample =
@@ -159,13 +161,13 @@ bool spacetime_trial(const CodeLattice& lattice,
   return ok;
 }
 
-double spacetime_logical_error_rate(const CodeLattice& lattice, int rounds,
-                                    double data_rate,
+double spacetime_logical_error_rate(const qec::CodeLattice& lattice,
+                                    int rounds, double data_rate,
                                     double measurement_rate,
-                                    const decoder::Decoder& decoder,
-                                    int trials, util::Rng& rng) {
-  const SpaceTimeGraph z_graph(lattice, GraphKind::Z, rounds);
-  const SpaceTimeGraph x_graph(lattice, GraphKind::X, rounds);
+                                    const Decoder& decoder, int trials,
+                                    util::Rng& rng) {
+  const SpaceTimeGraph z_graph(lattice, qec::GraphKind::Z, rounds);
+  const SpaceTimeGraph x_graph(lattice, qec::GraphKind::X, rounds);
   int failures = 0;
   for (int t = 0; t < trials; ++t) {
     if (!spacetime_trial(lattice, z_graph, x_graph, data_rate,
@@ -175,4 +177,4 @@ double spacetime_logical_error_rate(const CodeLattice& lattice, int rounds,
   return trials > 0 ? static_cast<double>(failures) / trials : 0.0;
 }
 
-}  // namespace surfnet::qec
+}  // namespace surfnet::decoder

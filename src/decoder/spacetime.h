@@ -20,9 +20,10 @@
 #include "qec/code_lattice.h"
 #include "qec/logical.h"
 #include "qec/pauli.h"
+#include "util/contracts.h"
 #include "util/rng.h"
 
-namespace surfnet::qec {
+namespace surfnet::decoder {
 
 /// The 3D decoding graph for one stabilizer type over T noisy rounds.
 class SpaceTimeGraph {
@@ -30,10 +31,11 @@ class SpaceTimeGraph {
   /// `rounds` = number of noisy measurement rounds T (>= 1). Layers
   /// 0..T-1 are the detectors after each noisy round; layer T is the
   /// detector between the last noisy round and the perfect final round.
-  SpaceTimeGraph(const CodeLattice& lattice, GraphKind kind, int rounds);
+  SpaceTimeGraph(const qec::CodeLattice& lattice, qec::GraphKind kind,
+                 int rounds);
 
-  const DecodingGraph& graph() const { return graph_; }
-  GraphKind kind() const { return kind_; }
+  const qec::DecodingGraph& graph() const { return graph_; }
+  qec::GraphKind kind() const { return kind_; }
   int rounds() const { return rounds_; }
   int layers() const { return rounds_ + 1; }
   int num_layer_vertices() const { return base_vertices_; }
@@ -41,20 +43,27 @@ class SpaceTimeGraph {
   /// Edge classification. Horizontal edges carry (window, data qubit);
   /// vertical edges carry (round, stabilizer).
   bool is_horizontal(std::size_t edge) const {
+    SURFNET_EXPECTS(edge < edge_window_.size());
     return edge_window_[edge] >= 0;
   }
-  int edge_window(std::size_t edge) const { return edge_window_[edge]; }
-  int edge_qubit(std::size_t edge) const { return edge_qubit_[edge]; }
+  int edge_window(std::size_t edge) const {
+    SURFNET_EXPECTS(edge < edge_window_.size());
+    return edge_window_[edge];
+  }
+  int edge_qubit(std::size_t edge) const {
+    SURFNET_EXPECTS(edge < edge_qubit_.size());
+    return edge_qubit_[edge];
+  }
 
   /// Per-edge prior error probabilities for the decoders.
   std::vector<double> edge_priors(double data_rate,
                                   double measurement_rate) const;
 
  private:
-  GraphKind kind_;
+  qec::GraphKind kind_;
   int rounds_;
   int base_vertices_;
-  DecodingGraph graph_;
+  qec::DecodingGraph graph_;
   std::vector<int> edge_window_;  ///< window index, or -1 for vertical
   std::vector<int> edge_qubit_;   ///< data qubit (horizontal) or stabilizer
 };
@@ -69,9 +78,10 @@ struct SpaceTimeSample {
 
 /// Sample i.i.d. data flips (per component, rate `data_rate`) and
 /// measurement flips (rate `measurement_rate`).
-SpaceTimeSample sample_spacetime(const CodeLattice& lattice, GraphKind kind,
-                                 int rounds, double data_rate,
-                                 double measurement_rate, util::Rng& rng);
+SpaceTimeSample sample_spacetime(const qec::CodeLattice& lattice,
+                                 qec::GraphKind kind, int rounds,
+                                 double data_rate, double measurement_rate,
+                                 util::Rng& rng);
 
 /// Detector bitmap over the space-time graph's real vertices.
 std::vector<char> spacetime_detectors(const SpaceTimeGraph& graph,
@@ -80,27 +90,28 @@ std::vector<char> spacetime_detectors(const SpaceTimeGraph& graph,
 /// Decode one sample and report validity + logical outcome: the residual
 /// (true flips XOR correction), projected onto space by XOR over layers,
 /// must be a stabilizer (no logical-cut crossing).
-DecodeOutcome decode_spacetime(const CodeLattice& lattice,
-                               const SpaceTimeGraph& graph,
-                               const SpaceTimeSample& sample,
-                               const decoder::Decoder& decoder,
-                               double data_rate, double measurement_rate);
+qec::DecodeOutcome decode_spacetime(const qec::CodeLattice& lattice,
+                                    const SpaceTimeGraph& graph,
+                                    const SpaceTimeSample& sample,
+                                    const Decoder& decoder,
+                                    double data_rate,
+                                    double measurement_rate);
 
 /// One sample-and-decode trial over both graph kinds (Z first, then X —
 /// the same draw order as the serial Monte-Carlo loop). Suitable as the
 /// per-trial body of the parallel trial runner; the prebuilt graphs are
 /// shared read-only across threads.
-bool spacetime_trial(const CodeLattice& lattice,
+bool spacetime_trial(const qec::CodeLattice& lattice,
                      const SpaceTimeGraph& z_graph,
                      const SpaceTimeGraph& x_graph, double data_rate,
-                     double measurement_rate,
-                     const decoder::Decoder& decoder, util::Rng& rng);
+                     double measurement_rate, const Decoder& decoder,
+                     util::Rng& rng);
 
 /// Monte-Carlo logical error rate over both graph kinds.
-double spacetime_logical_error_rate(const CodeLattice& lattice, int rounds,
-                                    double data_rate,
+double spacetime_logical_error_rate(const qec::CodeLattice& lattice,
+                                    int rounds, double data_rate,
                                     double measurement_rate,
-                                    const decoder::Decoder& decoder,
-                                    int trials, util::Rng& rng);
+                                    const Decoder& decoder, int trials,
+                                    util::Rng& rng);
 
-}  // namespace surfnet::qec
+}  // namespace surfnet::decoder

@@ -14,6 +14,7 @@
 #include "qec/core_support.h"
 #include "qec/lattice.h"
 #include "qec/pauli.h"
+#include "util/contracts.h"
 #include "util/rng.h"
 
 namespace surfnet::qec {
@@ -49,9 +50,13 @@ class NoiseProfile {
 
   int num_qubits() const { return static_cast<int>(per_qubit_.size()); }
   const QubitNoise& qubit(int q) const {
+    SURFNET_EXPECTS(q >= 0 && static_cast<std::size_t>(q) < per_qubit_.size());
     return per_qubit_[static_cast<std::size_t>(q)];
   }
-  QubitNoise& qubit(int q) { return per_qubit_[static_cast<std::size_t>(q)]; }
+  QubitNoise& qubit(int q) {
+    SURFNET_EXPECTS(q >= 0 && static_cast<std::size_t>(q) < per_qubit_.size());
+    return per_qubit_[static_cast<std::size_t>(q)];
+  }
 
   /// Probability that one tracked error component (X-type or Z-type) is
   /// flipped by the *Pauli* noise alone (erasures excluded), per qubit.

@@ -17,6 +17,8 @@
 #include <stdexcept>
 #include <vector>
 
+#include "util/contracts.h"
+
 namespace surfnet::qec {
 
 /// Identifies one of the two virtual boundary vertices of a planar graph.
@@ -50,11 +52,16 @@ class DecodingGraph {
 
   bool is_boundary(int vertex) const { return vertex >= num_real_; }
 
-  const GraphEdge& edge(std::size_t e) const { return edges_[e]; }
+  const GraphEdge& edge(std::size_t e) const {
+    SURFNET_EXPECTS(e < edges_.size());
+    return edges_[e];
+  }
   const std::vector<GraphEdge>& edges() const { return edges_; }
 
   /// Edge indices incident to `vertex`.
   std::span<const int> incident(int vertex) const {
+    SURFNET_EXPECTS(vertex >= 0 &&
+                    static_cast<std::size_t>(vertex) + 1 < offsets_.size());
     return {incidence_.data() + offsets_[static_cast<std::size_t>(vertex)],
             offsets_[static_cast<std::size_t>(vertex) + 1] -
                 offsets_[static_cast<std::size_t>(vertex)]};
@@ -62,6 +69,7 @@ class DecodingGraph {
 
   /// The endpoint of edge `e` that is not `vertex`.
   int other_end(std::size_t e, int vertex) const {
+    SURFNET_EXPECTS(e < edges_.size());
     const auto& ed = edges_[e];
     if (ed.u == vertex) return ed.v;
     if (ed.v == vertex) return ed.u;

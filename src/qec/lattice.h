@@ -18,6 +18,7 @@
 #include <vector>
 
 #include "qec/code_lattice.h"
+#include "util/contracts.h"
 #include "qec/graph.h"
 
 namespace surfnet::qec {
@@ -36,6 +37,8 @@ class SurfaceCodeLattice final : public CodeLattice {
 
   /// Grid coordinate of a data qubit.
   Coord data_coord(int q) const override {
+    SURFNET_EXPECTS(q >= 0 &&
+                    static_cast<std::size_t>(q) < data_coords_.size());
     return data_coords_[static_cast<std::size_t>(q)];
   }
 

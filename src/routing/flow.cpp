@@ -5,6 +5,8 @@
 #include <limits>
 #include <queue>
 
+#include "util/contracts.h"
+
 namespace surfnet::routing {
 
 namespace {
@@ -18,6 +20,8 @@ constexpr double kFlowEps = 1e-6;
 std::vector<FlowPath> decompose_flow(const RoutingFormulation& formulation,
                                      int num_nodes, std::vector<double> flow,
                                      int src, int dst) {
+  SURFNET_EXPECTS(src >= 0 && src < num_nodes);
+  SURFNET_EXPECTS(dst >= 0 && dst < num_nodes);
   const int de_count = formulation.num_directed_edges();
   std::vector<FlowPath> paths;
   for (int guard = 0; guard < 4 * de_count + 16; ++guard) {

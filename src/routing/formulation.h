@@ -22,6 +22,7 @@
 #include "netsim/topology.h"
 #include "obs/sink.h"
 #include "routing/simplex.h"
+#include "util/contracts.h"
 
 namespace surfnet::routing {
 
@@ -79,6 +80,7 @@ class RoutingFormulation {
   /// sides change, so the problem keeps its shape and a SimplexState from
   /// the previous solve remains valid.
   void set_request_limit(int k, double codes) {
+    SURFNET_EXPECTS(k >= 0 && static_cast<std::size_t>(k) < vars_.size());
     lp_.set_upper_bound(vars_[static_cast<std::size_t>(k)].y, codes);
   }
   void set_storage_capacity(int node, double capacity);
@@ -87,15 +89,20 @@ class RoutingFormulation {
   /// Row of node's Eq. (5) storage constraint, or -1 when the node has
   /// no storage row (no routable in-edges).
   int storage_row(int node) const {
+    SURFNET_EXPECTS(node >= 0 &&
+                    static_cast<std::size_t>(node) < storage_row_.size());
     return storage_row_[static_cast<std::size_t>(node)];
   }
   /// Row of the fiber's entanglement-capacity constraint, or -1.
   int entanglement_row(int fiber) const {
+    SURFNET_EXPECTS(fiber >= 0 && static_cast<std::size_t>(fiber) <
+                                      entanglement_row_.size());
     return entanglement_row_[static_cast<std::size_t>(fiber)];
   }
 
   int num_requests() const { return static_cast<int>(vars_.size()); }
   const VarIndex& vars(int k) const {
+    SURFNET_EXPECTS(k >= 0 && static_cast<std::size_t>(k) < vars_.size());
     return vars_[static_cast<std::size_t>(k)];
   }
 

@@ -18,6 +18,7 @@
 #include "netsim/schedule.h"
 #include "netsim/topology.h"
 #include "routing/formulation.h"
+#include "util/contracts.h"
 #include "util/rng.h"
 
 namespace surfnet::routing {
@@ -29,9 +30,13 @@ class CapacityTracker {
                   const RoutingParams& params);
 
   double node_remaining(int node) const {
+    SURFNET_EXPECTS(node >= 0 &&
+                    static_cast<std::size_t>(node) < node_capacity_.size());
     return node_capacity_[static_cast<std::size_t>(node)];
   }
   double fiber_pairs_remaining(int fiber) const {
+    SURFNET_EXPECTS(fiber >= 0 &&
+                    static_cast<std::size_t>(fiber) < fiber_pairs_.size());
     return fiber_pairs_[static_cast<std::size_t>(fiber)];
   }
 

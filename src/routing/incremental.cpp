@@ -6,6 +6,7 @@
 #include "netsim/channel.h"
 #include "obs/metrics.h"
 #include "routing/flow.h"
+#include "util/contracts.h"
 
 namespace surfnet::routing {
 
@@ -79,6 +80,8 @@ LpSolution IncrementalRouter::solve_commodity(Commodity& commodity,
 
 std::optional<AdmittedRoute> IncrementalRouter::lp_admit(int commodity,
                                                          int codes) {
+  SURFNET_EXPECTS(commodity >= 0 &&
+                  static_cast<std::size_t>(commodity) < commodities_.size());
   Commodity& c = commodities_[static_cast<std::size_t>(commodity)];
   const LpSolution solution =
       solve_commodity(c, static_cast<double>(codes));

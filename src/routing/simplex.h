@@ -27,6 +27,7 @@
 #include <vector>
 
 #include "obs/sink.h"
+#include "util/contracts.h"
 
 namespace surfnet::routing {
 
@@ -72,15 +73,22 @@ class LpProblem {
   int num_nonzeros() const { return static_cast<int>(cols_.size()); }
 
   double objective(int v) const {
+    SURFNET_EXPECTS(v >= 0 && static_cast<std::size_t>(v) < objective_.size());
     return objective_[static_cast<std::size_t>(v)];
   }
   double upper_bound(int v) const {
+    SURFNET_EXPECTS(v >= 0 &&
+                    static_cast<std::size_t>(v) < upper_bound_.size());
     return upper_bound_[static_cast<std::size_t>(v)];
   }
   ConstraintType row_type(int r) const {
+    SURFNET_EXPECTS(r >= 0 && static_cast<std::size_t>(r) < row_type_.size());
     return row_type_[static_cast<std::size_t>(r)];
   }
-  double rhs(int r) const { return rhs_[static_cast<std::size_t>(r)]; }
+  double rhs(int r) const {
+    SURFNET_EXPECTS(r >= 0 && static_cast<std::size_t>(r) < rhs_.size());
+    return rhs_[static_cast<std::size_t>(r)];
+  }
   std::span<const int> row_cols(int r) const {
     return {cols_.data() + row_begin(r), row_end(r) - row_begin(r)};
   }
@@ -92,10 +100,16 @@ class LpProblem {
   /// the problem shape, so a SimplexState from a previous solve stays
   /// compatible.
   void set_upper_bound(int v, double ub) {
+    SURFNET_EXPECTS(v >= 0 &&
+                    static_cast<std::size_t>(v) < upper_bound_.size());
     upper_bound_[static_cast<std::size_t>(v)] = ub;
   }
-  void set_rhs(int r, double rhs) { rhs_[static_cast<std::size_t>(r)] = rhs; }
+  void set_rhs(int r, double rhs) {
+    SURFNET_EXPECTS(r >= 0 && static_cast<std::size_t>(r) < rhs_.size());
+    rhs_[static_cast<std::size_t>(r)] = rhs;
+  }
   void set_objective(int v, double c) {
+    SURFNET_EXPECTS(v >= 0 && static_cast<std::size_t>(v) < objective_.size());
     objective_[static_cast<std::size_t>(v)] = c;
   }
 

@@ -1,4 +1,4 @@
-#include "qec/spacetime.h"
+#include "decoder/spacetime.h"
 
 #include <gtest/gtest.h>
 
@@ -8,8 +8,13 @@
 #include "qec/rotated_lattice.h"
 #include "util/rng.h"
 
-namespace surfnet::qec {
+namespace surfnet::decoder {
 namespace {
+
+using qec::CodeLattice;
+using qec::GraphKind;
+using qec::RotatedSurfaceCodeLattice;
+using qec::SurfaceCodeLattice;
 
 SpaceTimeSample empty_sample(const CodeLattice& lattice, GraphKind kind,
                              int rounds) {
@@ -172,4 +177,4 @@ TEST(SpaceTime, DataErrorRepeatedEveryWindowIsInvisible) {
 }
 
 }  // namespace
-}  // namespace surfnet::qec
+}  // namespace surfnet::decoder

@@ -1,0 +1,72 @@
+#include "baseline.h"
+
+#include <map>
+
+#include "json.h"
+
+namespace surfnet::analyze {
+
+bool load_baseline(const std::string& text, std::vector<BaselineEntry>& out,
+                   std::string& error) {
+  JsonPtr doc = json_parse(text, error);
+  if (!doc) return false;
+  if (doc->type != JsonValue::Type::Object) {
+    error = "baseline: document is not an object";
+    return false;
+  }
+  auto entries = doc->object.find("entries");
+  if (entries == doc->object.end() ||
+      entries->second->type != JsonValue::Type::Array) {
+    error = "baseline: missing \"entries\" array";
+    return false;
+  }
+  for (std::size_t i = 0; i < entries->second->array.size(); ++i) {
+    const JsonPtr& e = entries->second->array[i];
+    if (e->type != JsonValue::Type::Object) {
+      error = "baseline: entry " + std::to_string(i) + " is not an object";
+      return false;
+    }
+    BaselineEntry entry;
+    for (const char* field : {"rule", "file", "key", "why"}) {
+      auto it = e->object.find(field);
+      if (it == e->object.end() ||
+          it->second->type != JsonValue::Type::String ||
+          it->second->string.empty()) {
+        error = "baseline: entry " + std::to_string(i) + " needs a "
+                "non-empty string \"" + field + "\" (every suppression "
+                "must say why)";
+        return false;
+      }
+      if (field[0] == 'r') entry.rule = it->second->string;
+      else if (field[0] == 'f') entry.file = it->second->string;
+      else if (field[0] == 'k') entry.key = it->second->string;
+      else entry.why = it->second->string;
+    }
+    out.push_back(std::move(entry));
+  }
+  return true;
+}
+
+BaselineResult apply_baseline(const std::vector<Finding>& findings,
+                              const std::vector<BaselineEntry>& entries) {
+  BaselineResult result;
+  std::map<std::string, std::size_t> index;  // identity -> entry
+  std::vector<bool> used(entries.size(), false);
+  for (std::size_t i = 0; i < entries.size(); ++i)
+    index[entries[i].rule + "\x1f" + entries[i].file + "\x1f" +
+          entries[i].key] = i;
+  for (const Finding& f : findings) {
+    auto it = index.find(f.rule + "\x1f" + f.file + "\x1f" + f.key);
+    if (it == index.end()) {
+      result.active.push_back(f);
+    } else {
+      used[it->second] = true;
+      result.suppressed.push_back(f);
+    }
+  }
+  for (std::size_t i = 0; i < entries.size(); ++i)
+    if (!used[i]) result.unused.push_back(entries[i]);
+  return result;
+}
+
+}  // namespace surfnet::analyze

@@ -1,0 +1,7 @@
+namespace fx {
+struct Rng { double uniform(); };
+double sample(Rng& rng) {
+  Rng local;
+  return rng.uniform() + local.uniform();
+}
+}  // namespace fx

@@ -1,0 +1,10 @@
+#pragma once
+#include <vector>
+namespace fx {
+class Store {
+ public:
+  double value(int i) const { return values_[static_cast<unsigned>(i)]; }
+ private:
+  std::vector<double> values_;
+};
+}  // namespace fx

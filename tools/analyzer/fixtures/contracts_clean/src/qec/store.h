@@ -1,0 +1,20 @@
+#pragma once
+#include <vector>
+#define SURFNET_EXPECTS(cond) ((void)0)
+namespace fx {
+class Store {
+ public:
+  double value(int i) const {
+    SURFNET_EXPECTS(i >= 0 && static_cast<unsigned>(i) < values_.size());
+    return values_[static_cast<unsigned>(i)];
+  }
+  double sum(const std::vector<int>& idx) const {
+    double s = 0;
+    for (int i : idx) s += values_[static_cast<unsigned>(i)];
+    return s;
+  }
+ private:
+  double raw(int i) const { return values_[static_cast<unsigned>(i)]; }
+  std::vector<double> values_;
+};
+}  // namespace fx

@@ -1,0 +1,3 @@
+#pragma once
+#include "util/rng.h"
+namespace fx { struct Experiment {}; }

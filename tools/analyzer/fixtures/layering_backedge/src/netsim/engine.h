@@ -1,0 +1,4 @@
+#pragma once
+#include "core/experiment.h"
+#include "util/rng.h"
+namespace fx { struct Engine { Experiment e; }; }

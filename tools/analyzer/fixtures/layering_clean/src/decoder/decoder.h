@@ -1,0 +1,4 @@
+#pragma once
+#include "qec/graph.h"
+#include "util/rng.h"
+namespace fx { struct Decoder {}; }

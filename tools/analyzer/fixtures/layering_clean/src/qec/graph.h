@@ -1,0 +1,4 @@
+#pragma once
+#include "util/rng.h"
+#include <vector>
+namespace fx { struct Graph {}; }

@@ -1,0 +1,2 @@
+#pragma once
+namespace fx { struct Rng {}; }

@@ -1,0 +1,3 @@
+#pragma once
+#include "qec/a.h"
+namespace fx { struct B {}; }

@@ -1,0 +1,3 @@
+#pragma once
+#include "decoder/b.h"
+namespace fx { struct A {}; }

@@ -1,0 +1,4 @@
+namespace fx {
+const char* s = R"(never closed
+int x = 1;
+}

@@ -1,0 +1,6 @@
+namespace fx {
+const char* a = R"(quote " and // comment and /* block */)";
+const char* b = R"delim(inner )" not the end)delim";
+const char* c = "plain \" escaped";
+const char  d = '\'';
+}  // namespace fx

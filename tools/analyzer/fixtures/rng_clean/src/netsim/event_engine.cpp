@@ -1,0 +1,21 @@
+namespace fx {
+struct Rng {
+  double uniform();
+  bool bernoulli(double p);
+  unsigned long below(unsigned long n);
+};
+int step(Rng& rng, bool degraded, int base) {
+  const double draw = rng.uniform();       // unconditional
+  int jitter;
+  if (degraded) {
+    jitter = static_cast<int>(rng.below(4));   // both branches draw
+  } else {
+    jitter = static_cast<int>(rng.below(2));
+  }
+  for (int i = 0; i < base; ++i) jitter += rng.bernoulli(0.5) ? 1 : 0;
+  switch (base) {
+    case 0: return jitter;
+    default: return jitter + static_cast<int>(draw);
+  }
+}
+}  // namespace fx

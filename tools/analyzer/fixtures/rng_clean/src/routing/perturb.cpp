@@ -1,0 +1,6 @@
+namespace fx {
+struct Rng { double uniform(); };
+double perturb(Rng& rng, bool jitter) {
+  return jitter ? rng.uniform() : 0.0;  // not an event/workload file: ok
+}
+}  // namespace fx

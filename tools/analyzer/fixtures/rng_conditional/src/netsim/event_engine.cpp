@@ -1,0 +1,13 @@
+namespace fx {
+struct Rng {
+  double uniform();
+  bool bernoulli(double p);
+  unsigned long below(unsigned long n);
+};
+int step(Rng& rng, bool degraded, int base) {
+  int jitter = degraded ? static_cast<int>(rng.below(4)) : 0;  // ternary arm
+  if (degraded) jitter += static_cast<int>(rng.below(2));      // if, no else
+  const bool lucky = degraded && rng.bernoulli(0.5);           // short-circuit
+  return base + jitter + (lucky ? 1 : 0);
+}
+}  // namespace fx

@@ -1,0 +1,9 @@
+#include <random>
+namespace fx {
+struct Rng { double uniform(); };
+double sample(Rng& rng) {
+  Rng local;                    // second stream: flagged
+  std::mt19937 gen(42);         // third stream: flagged
+  return rng.uniform() + gen() + local.uniform();
+}
+}  // namespace fx

@@ -1,0 +1,7 @@
+namespace fx {
+struct Event { static Event ping(int a); static Event pong(int a); };
+void emit() {
+  Event::ping(1);  // known kind: ok
+  Event::pong(2);  // unknown kind: flagged
+}
+}  // namespace fx

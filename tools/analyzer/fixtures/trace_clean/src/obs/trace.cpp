@@ -1,0 +1,20 @@
+#include <string>
+namespace fx {
+enum class EventKind { Ping };
+const char* to_string(EventKind kind) {
+  switch (kind) {
+    case EventKind::Ping: return "ping";
+  }
+  return "?";
+}
+void append_int(std::string& out, const char* key, long v);
+std::string to_jsonl(EventKind kind, long a) {
+  std::string out;
+  switch (kind) {
+    case EventKind::Ping:
+      append_int(out, "a", a);
+      break;
+  }
+  return out;
+}
+}  // namespace fx

@@ -1,0 +1,13 @@
+#include <unordered_map>
+#include <vector>
+namespace fx {
+struct Metrics {
+  std::unordered_map<int, double> by_node_;
+  double total() const {
+    double sum = 0;
+    for (const auto& [node, value] : by_node_) sum += value * node;  // flagged
+    return sum;
+  }
+  auto first() const { return by_node_.begin(); }  // flagged
+};
+}  // namespace fx

@@ -1,0 +1,19 @@
+#include <algorithm>
+#include <unordered_map>
+#include <vector>
+namespace fx {
+struct Metrics {
+  std::unordered_map<int, double> by_node_;
+  double at(int node) const {
+    auto it = by_node_.find(node);
+    return it == by_node_.end() ? 0.0 : it->second;
+  }
+  std::vector<int> sorted_nodes() const {
+    std::vector<int> nodes;
+    nodes.reserve(by_node_.size());
+    for (std::size_t i = 0; i < nodes.capacity(); ++i) nodes.push_back(0);
+    std::sort(nodes.begin(), nodes.end());
+    return nodes;
+  }
+};
+}  // namespace fx

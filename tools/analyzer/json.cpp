@@ -1,0 +1,236 @@
+#include "json.h"
+
+#include <cctype>
+#include <cstdio>
+#include <cstdlib>
+
+namespace surfnet::analyze {
+
+namespace {
+
+class Parser {
+ public:
+  Parser(const std::string& text, std::string& error)
+      : text_(text), error_(error) {}
+
+  JsonPtr run() {
+    JsonPtr value = parse_value();
+    if (!value) return nullptr;
+    skip_ws();
+    if (pos_ != text_.size()) {
+      fail("trailing characters after document");
+      return nullptr;
+    }
+    return value;
+  }
+
+ private:
+  void skip_ws() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_])))
+      ++pos_;
+  }
+
+  void fail(const std::string& what) {
+    if (error_.empty()) {
+      char where[32];
+      std::snprintf(where, sizeof where, " (offset %zu)", pos_);
+      error_ = what + where;
+    }
+  }
+
+  JsonPtr parse_value() {
+    skip_ws();
+    if (pos_ >= text_.size()) {
+      fail("unexpected end of document");
+      return nullptr;
+    }
+    const char c = text_[pos_];
+    if (c == '{') return parse_object();
+    if (c == '[') return parse_array();
+    if (c == '"') return parse_string();
+    if (c == 't' || c == 'f') return parse_bool();
+    if (c == 'n') return parse_null();
+    if (c == '-' || std::isdigit(static_cast<unsigned char>(c)))
+      return parse_number();
+    fail("unexpected character");
+    return nullptr;
+  }
+
+  JsonPtr parse_object() {
+    auto value = std::make_shared<JsonValue>();
+    value->type = JsonValue::Type::Object;
+    ++pos_;  // '{'
+    skip_ws();
+    if (pos_ < text_.size() && text_[pos_] == '}') {
+      ++pos_;
+      return value;
+    }
+    while (true) {
+      skip_ws();
+      JsonPtr key = parse_string();
+      if (!key) return nullptr;
+      skip_ws();
+      if (pos_ >= text_.size() || text_[pos_] != ':') {
+        fail("expected ':' in object");
+        return nullptr;
+      }
+      ++pos_;
+      JsonPtr member = parse_value();
+      if (!member) return nullptr;
+      value->object[key->string] = member;
+      skip_ws();
+      if (pos_ < text_.size() && text_[pos_] == ',') {
+        ++pos_;
+        continue;
+      }
+      if (pos_ < text_.size() && text_[pos_] == '}') {
+        ++pos_;
+        return value;
+      }
+      fail("expected ',' or '}' in object");
+      return nullptr;
+    }
+  }
+
+  JsonPtr parse_array() {
+    auto value = std::make_shared<JsonValue>();
+    value->type = JsonValue::Type::Array;
+    ++pos_;  // '['
+    skip_ws();
+    if (pos_ < text_.size() && text_[pos_] == ']') {
+      ++pos_;
+      return value;
+    }
+    while (true) {
+      JsonPtr element = parse_value();
+      if (!element) return nullptr;
+      value->array.push_back(element);
+      skip_ws();
+      if (pos_ < text_.size() && text_[pos_] == ',') {
+        ++pos_;
+        continue;
+      }
+      if (pos_ < text_.size() && text_[pos_] == ']') {
+        ++pos_;
+        return value;
+      }
+      fail("expected ',' or ']' in array");
+      return nullptr;
+    }
+  }
+
+  JsonPtr parse_string() {
+    if (pos_ >= text_.size() || text_[pos_] != '"') {
+      fail("expected string");
+      return nullptr;
+    }
+    ++pos_;
+    auto value = std::make_shared<JsonValue>();
+    value->type = JsonValue::Type::String;
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_];
+      if (c == '"') {
+        ++pos_;
+        return value;
+      }
+      if (c == '\\') {
+        ++pos_;
+        if (pos_ >= text_.size()) break;
+        const char esc = text_[pos_++];
+        switch (esc) {
+          case 'n': value->string += '\n'; break;
+          case 't': value->string += '\t'; break;
+          case 'r': value->string += '\r'; break;
+          case 'b': value->string += '\b'; break;
+          case 'f': value->string += '\f'; break;
+          case 'u':
+            // Keep the raw sequence; config files are plain ASCII.
+            value->string += "\\u";
+            break;
+          default: value->string += esc; break;
+        }
+        continue;
+      }
+      value->string += c;
+      ++pos_;
+    }
+    fail("unterminated string");
+    return nullptr;
+  }
+
+  JsonPtr parse_bool() {
+    auto value = std::make_shared<JsonValue>();
+    value->type = JsonValue::Type::Bool;
+    if (text_.compare(pos_, 4, "true") == 0) {
+      value->boolean = true;
+      pos_ += 4;
+      return value;
+    }
+    if (text_.compare(pos_, 5, "false") == 0) {
+      value->boolean = false;
+      pos_ += 5;
+      return value;
+    }
+    fail("invalid literal");
+    return nullptr;
+  }
+
+  JsonPtr parse_null() {
+    if (text_.compare(pos_, 4, "null") == 0) {
+      pos_ += 4;
+      return std::make_shared<JsonValue>();
+    }
+    fail("invalid literal");
+    return nullptr;
+  }
+
+  JsonPtr parse_number() {
+    const std::size_t start = pos_;
+    while (pos_ < text_.size() &&
+           (std::isdigit(static_cast<unsigned char>(text_[pos_])) ||
+            text_[pos_] == '-' || text_[pos_] == '+' || text_[pos_] == '.' ||
+            text_[pos_] == 'e' || text_[pos_] == 'E'))
+      ++pos_;
+    auto value = std::make_shared<JsonValue>();
+    value->type = JsonValue::Type::Number;
+    value->number = std::strtod(text_.substr(start, pos_ - start).c_str(),
+                                nullptr);
+    return value;
+  }
+
+  const std::string& text_;
+  std::string& error_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+JsonPtr json_parse(const std::string& text, std::string& error) {
+  return Parser(text, error).run();
+}
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      case '\r': out += "\\r"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+}  // namespace surfnet::analyze

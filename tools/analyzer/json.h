@@ -1,0 +1,47 @@
+#pragma once
+
+// Minimal JSON reader/writer for the analyzer's config inputs
+// (layers.json, bench/trace_schema.json, analyzer-baseline.json) and its
+// --json findings envelope. Objects use std::map so every traversal is
+// deterministic — the analyzer holds itself to the same ordering rules it
+// enforces. No external dependencies.
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace surfnet::analyze {
+
+class JsonValue;
+using JsonPtr = std::shared_ptr<JsonValue>;
+
+class JsonValue {
+ public:
+  enum class Type { Null, Bool, Number, String, Array, Object };
+
+  Type type = Type::Null;
+  bool boolean = false;
+  double number = 0.0;
+  std::string string;
+  std::vector<JsonPtr> array;
+  std::map<std::string, JsonPtr> object;
+
+  bool is_object() const { return type == Type::Object; }
+  bool is_array() const { return type == Type::Array; }
+  bool is_string() const { return type == Type::String; }
+
+  /// Object member or nullptr.
+  const JsonValue* get(const std::string& key) const {
+    auto it = object.find(key);
+    return it == object.end() ? nullptr : it->second.get();
+  }
+};
+
+/// Parse a JSON document. Returns nullptr and fills `error` on failure.
+JsonPtr json_parse(const std::string& text, std::string& error);
+
+/// Escape a string for embedding in a JSON document (no quotes added).
+std::string json_escape(const std::string& s);
+
+}  // namespace surfnet::analyze

@@ -1,0 +1,307 @@
+// surfnet-analyze: semantic lint for the surfnet tree. Builds a declaration
+// model per file and runs cross-file rules (module layering, RNG stream
+// ownership, unordered-container iteration, trace-schema conformance,
+// contract coverage); see rules.h for the rule list and DESIGN.md §9 for
+// the policy. Exit codes: 0 clean, 1 non-baselined findings, 2 usage or
+// configuration error.
+
+#include <algorithm>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <set>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "baseline.h"
+#include "json.h"
+#include "model.h"
+#include "rules.h"
+
+namespace fs = std::filesystem;
+using namespace surfnet::analyze;
+
+namespace {
+
+struct Options {
+  std::string repo_root = ".";
+  std::vector<std::string> paths;  ///< trees/files relative to repo root
+  std::string layers_path = "tools/analyzer/layers.json";
+  std::string schema_path = "bench/trace_schema.json";
+  std::string baseline_path = "tools/analyzer/analyzer-baseline.json";
+  std::string trace_impl = "src/obs/trace.cpp";
+  std::string changed_base;  ///< --changed BASE: report only changed files
+  std::vector<std::string> excludes;  ///< repo-relative prefixes to skip
+  bool use_baseline = true;
+  bool json_output = false;
+};
+
+int usage(const char* argv0) {
+  std::fprintf(
+      stderr,
+      "usage: %s [paths...] [options]\n"
+      "  paths                 trees or files relative to the repo root\n"
+      "                        (default: src bench tests examples)\n"
+      "  --repo-root DIR       repository root (default: .)\n"
+      "  --changed BASE        analyze everything, report only findings in\n"
+      "                        files changed vs git ref BASE\n"
+      "  --exclude PREFIX      skip files under this repo-relative prefix\n"
+      "                        (repeatable; e.g. deliberately-broken test\n"
+      "                        fixtures)\n"
+      "  --json                machine-readable findings envelope\n"
+      "  --layers FILE         layer DAG (default: tools/analyzer/layers.json)\n"
+      "  --trace-schema FILE   pinned trace schema (default:\n"
+      "                        bench/trace_schema.json)\n"
+      "  --trace-impl FILE     trace serializer to check (default:\n"
+      "                        src/obs/trace.cpp)\n"
+      "  --baseline FILE       suppression baseline (default:\n"
+      "                        tools/analyzer/analyzer-baseline.json)\n"
+      "  --no-baseline         ignore the baseline (report everything)\n",
+      argv0);
+  return 2;
+}
+
+bool parse_args(int argc, char** argv, Options& opt) {
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto value = [&](std::string& into) {
+      if (i + 1 >= argc) return false;
+      into = argv[++i];
+      return true;
+    };
+    if (arg == "--repo-root") {
+      if (!value(opt.repo_root)) return false;
+    } else if (arg == "--changed") {
+      if (!value(opt.changed_base)) return false;
+    } else if (arg == "--exclude") {
+      std::string prefix;
+      if (!value(prefix)) return false;
+      opt.excludes.push_back(std::move(prefix));
+    } else if (arg == "--layers") {
+      if (!value(opt.layers_path)) return false;
+    } else if (arg == "--trace-schema") {
+      if (!value(opt.schema_path)) return false;
+    } else if (arg == "--trace-impl") {
+      if (!value(opt.trace_impl)) return false;
+    } else if (arg == "--baseline") {
+      if (!value(opt.baseline_path)) return false;
+    } else if (arg == "--no-baseline") {
+      opt.use_baseline = false;
+    } else if (arg == "--json") {
+      opt.json_output = true;
+    } else if (!arg.empty() && arg[0] == '-') {
+      return false;
+    } else {
+      opt.paths.push_back(arg);
+    }
+  }
+  if (opt.paths.empty()) opt.paths = {"src", "bench", "tests", "examples"};
+  return true;
+}
+
+bool cpp_source(const fs::path& p) {
+  const std::string ext = p.extension().string();
+  return ext == ".h" || ext == ".hpp" || ext == ".cpp" || ext == ".cc" ||
+         ext == ".cxx";
+}
+
+bool read_file(const fs::path& p, std::string& out) {
+  std::ifstream in(p, std::ios::binary);
+  if (!in) return false;
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  out = buf.str();
+  return true;
+}
+
+/// Repo-relative '/'-separated path.
+std::string rel_of(const fs::path& p, const fs::path& root) {
+  return fs::relative(p, root).generic_string();
+}
+
+/// `git diff --name-only` against the base ref, for --changed mode.
+bool changed_files(const Options& opt, std::set<std::string>& out,
+                   std::string& error) {
+  const std::string cmd = "git -C '" + opt.repo_root +
+                          "' diff --name-only --diff-filter=d '" +
+                          opt.changed_base + "' -- 2>/dev/null";
+  FILE* pipe = popen(cmd.c_str(), "r");
+  if (!pipe) {
+    error = "cannot run git diff";
+    return false;
+  }
+  char buf[4096];
+  std::string text;
+  while (std::fgets(buf, sizeof buf, pipe)) text += buf;
+  const int status = pclose(pipe);
+  if (status != 0) {
+    error = "git diff --name-only " + opt.changed_base + " failed";
+    return false;
+  }
+  std::istringstream lines(text);
+  std::string line;
+  while (std::getline(lines, line))
+    if (!line.empty()) out.insert(line);
+  return true;
+}
+
+int config_error(const std::string& what) {
+  std::fprintf(stderr, "surfnet-analyze: %s\n", what.c_str());
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Options opt;
+  if (!parse_args(argc, argv, opt)) return usage(argv[0]);
+  const fs::path root = fs::path(opt.repo_root);
+  if (!fs::is_directory(root))
+    return config_error("repo root '" + opt.repo_root +
+                        "' is not a directory");
+
+  // -- Configuration -------------------------------------------------------
+  AnalyzerContext ctx;
+  ctx.trace_impl = opt.trace_impl;
+
+  std::string text, error;
+  if (read_file(root / opt.layers_path, text)) {
+    JsonPtr doc = json_parse(text, error);
+    if (!doc || doc->type != JsonValue::Type::Object)
+      return config_error(opt.layers_path + ": " +
+                          (error.empty() ? "not an object" : error));
+    auto layer_root = doc->object.find("root");
+    if (layer_root != doc->object.end())
+      ctx.layers.root = layer_root->second->string;
+    auto layers = doc->object.find("layers");
+    if (layers == doc->object.end() ||
+        layers->second->type != JsonValue::Type::Array)
+      return config_error(opt.layers_path + ": missing \"layers\" array");
+    for (const JsonPtr& layer : layers->second->array) {
+      if (layer->type != JsonValue::Type::String)
+        return config_error(opt.layers_path + ": layers must be strings");
+      ctx.layers.rank[layer->string] =
+          static_cast<int>(ctx.layers.layers.size());
+      ctx.layers.layers.push_back(layer->string);
+    }
+  }  // no layers file: the layering rule is off (fixture trees)
+
+  if (read_file(root / opt.schema_path, text)) {
+    JsonPtr doc = json_parse(text, error);
+    if (!doc || doc->type != JsonValue::Type::Object)
+      return config_error(opt.schema_path + ": " +
+                          (error.empty() ? "not an object" : error));
+    auto kinds = doc->object.find("kinds");
+    if (kinds == doc->object.end() ||
+        kinds->second->type != JsonValue::Type::Object)
+      return config_error(opt.schema_path + ": missing \"kinds\" object");
+    for (const auto& [kind, keys] : kinds->second->object) {
+      if (keys->type != JsonValue::Type::Array)
+        return config_error(opt.schema_path + ": kind '" + kind +
+                            "' must map to an array of keys");
+      for (const JsonPtr& key : keys->array)
+        ctx.trace_schema[kind].insert(key->string);
+    }
+  }  // no schema file: the trace rule is off
+
+  std::vector<BaselineEntry> baseline;
+  if (opt.use_baseline && read_file(root / opt.baseline_path, text)) {
+    if (!load_baseline(text, baseline, error))
+      return config_error(opt.baseline_path + ": " + error);
+  }
+
+  // -- File collection (sorted for deterministic findings) -----------------
+  auto excluded = [&](const std::string& rel) {
+    for (const std::string& prefix : opt.excludes)
+      if (rel.size() >= prefix.size() &&
+          rel.compare(0, prefix.size(), prefix) == 0 &&
+          (rel.size() == prefix.size() || rel[prefix.size()] == '/' ||
+           prefix.back() == '/'))
+        return true;
+    return false;
+  };
+  std::set<std::string> rels;
+  for (const std::string& given : opt.paths) {
+    const fs::path p = root / given;
+    if (fs::is_regular_file(p)) {
+      if (const std::string rel = rel_of(p, root); !excluded(rel))
+        rels.insert(rel);
+    } else if (fs::is_directory(p)) {
+      for (const auto& entry : fs::recursive_directory_iterator(p))
+        if (entry.is_regular_file() && cpp_source(entry.path()))
+          if (const std::string rel = rel_of(entry.path(), root);
+              !excluded(rel))
+            rels.insert(rel);
+    } else {
+      return config_error("path '" + given + "' not found under repo root");
+    }
+  }
+
+  for (const std::string& rel : rels) {
+    if (!read_file(root / rel, text))
+      return config_error("cannot read '" + rel + "'");
+    ctx.files.push_back(build_model(rel, text));
+  }
+
+  // -- Rules + baseline ----------------------------------------------------
+  std::vector<Finding> findings = run_rules(ctx);
+
+  if (!opt.changed_base.empty()) {
+    std::set<std::string> changed;
+    if (!changed_files(opt, changed, error)) return config_error(error);
+    findings.erase(std::remove_if(findings.begin(), findings.end(),
+                                  [&](const Finding& f) {
+                                    return !changed.count(f.file);
+                                  }),
+                   findings.end());
+  }
+
+  BaselineResult result = apply_baseline(findings, baseline);
+
+  // -- Report --------------------------------------------------------------
+  if (opt.json_output) {
+    std::string out = "{\"bench\":\"surfnet-analyze\",\"schema_version\":1,";
+    out += "\"suppressed\":" + std::to_string(result.suppressed.size());
+    out += ",\"results\":[";
+    for (std::size_t i = 0; i < result.active.size(); ++i) {
+      const Finding& f = result.active[i];
+      if (i) out += ',';
+      out += "{\"file\":\"" + json_escape(f.file) + "\"";
+      out += ",\"line\":" + std::to_string(f.line);
+      out += ",\"rule\":\"" + json_escape(f.rule) + "\"";
+      out += ",\"key\":\"" + json_escape(f.key) + "\"";
+      out += ",\"message\":\"" + json_escape(f.message) + "\"}";
+    }
+    out += "]}";
+    std::puts(out.c_str());
+  } else {
+    for (const Finding& f : result.active)
+      std::printf("%s:%d: [%s] %s\n", f.file.c_str(), f.line, f.rule.c_str(),
+                  f.message.c_str());
+    if (!result.active.empty())
+      std::printf("surfnet-analyze: %zu finding(s), %zu baselined\n",
+                  result.active.size(), result.suppressed.size());
+  }
+
+  // Stale entries keep the debt ledger honest, but staleness is only
+  // decidable when the entry's file was actually analyzed (--changed runs
+  // and path-restricted runs see a slice of the findings).
+  if (opt.changed_base.empty()) {
+    result.unused.erase(
+        std::remove_if(result.unused.begin(), result.unused.end(),
+                       [&](const BaselineEntry& e) {
+                         return !rels.count(e.file);
+                       }),
+        result.unused.end());
+    for (const BaselineEntry& e : result.unused)
+      std::fprintf(stderr,
+                   "surfnet-analyze: stale baseline entry (%s, %s, %s): "
+                   "finding no longer fires; remove it\n",
+                   e.rule.c_str(), e.file.c_str(), e.key.c_str());
+    if (!result.unused.empty() && result.active.empty()) return 1;
+  }
+
+  return result.active.empty() ? 0 : 1;
+}

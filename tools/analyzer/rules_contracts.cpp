@@ -1,0 +1,127 @@
+#include <algorithm>
+#include <sstream>
+
+#include "rules.h"
+
+namespace surfnet::analyze {
+
+namespace {
+
+bool is_punct(const Token& t, const char* s) {
+  return t.kind == TokKind::Punct && t.text == s;
+}
+
+/// Modules whose public entry points sit on the decode/route hot path and
+/// take raw indexes; Debug/SURFNET_CHECKS builds must catch a bad index at
+/// the boundary, not three frames deep in a std::vector.
+bool hot_path_module(const std::string& mod) {
+  return mod == "qec" || mod == "decoder" || mod == "routing";
+}
+
+std::string module_of(const std::string& rel) {
+  if (rel.rfind("src/", 0) != 0) return "";
+  const std::size_t slash = rel.find('/', 4);
+  if (slash == std::string::npos) return "";
+  return rel.substr(4, slash - 4);
+}
+
+/// An index-like parameter: a bare (possibly cv-qualified) integral value.
+/// Containers, references, pointers, and templates never qualify.
+bool integral_param(const Param& p) {
+  static const std::set<std::string> integral = {
+      "int",      "size_t",   "ptrdiff_t", "int8_t",  "int16_t",
+      "int32_t",  "int64_t",  "uint8_t",   "uint16_t", "uint32_t",
+      "uint64_t", "long",     "short",     "unsigned"};
+  static const std::set<std::string> qualifier = {"const", "signed",
+                                                  "unsigned", "long",
+                                                  "short", "std", "::"};
+  bool has_integral = false;
+  std::istringstream words(p.type);
+  std::string w;
+  while (words >> w) {
+    if (integral.count(w)) {
+      has_integral = true;
+      continue;
+    }
+    if (!qualifier.count(w)) return false;  // vector<...>, &, *, Foo, ...
+  }
+  return has_integral;
+}
+
+/// First token index inside any `[...]` in [begin, end) where `name`
+/// appears, or npos.
+std::size_t first_subscript_use(const std::vector<Token>& toks,
+                                std::size_t begin, std::size_t end,
+                                const std::string& name) {
+  int bracket_depth = 0;
+  for (std::size_t i = begin; i < end; ++i) {
+    if (is_punct(toks[i], "[")) ++bracket_depth;
+    else if (is_punct(toks[i], "]")) bracket_depth = std::max(0, bracket_depth - 1);
+    else if (bracket_depth > 0 && toks[i].kind == TokKind::Ident &&
+             toks[i].text == name)
+      return i;
+  }
+  return static_cast<std::size_t>(-1);
+}
+
+/// Does a SURFNET_EXPECTS / SURFNET_ASSERT before `limit` mention `name`?
+bool contracted_before(const std::vector<Token>& toks, std::size_t begin,
+                       std::size_t limit, const std::string& name) {
+  for (std::size_t i = begin; i < limit; ++i) {
+    if (toks[i].kind != TokKind::Ident ||
+        (toks[i].text != "SURFNET_EXPECTS" &&
+         toks[i].text != "SURFNET_ASSERT"))
+      continue;
+    if (i + 1 >= toks.size() || !is_punct(toks[i + 1], "(")) continue;
+    const std::size_t close = match_forward(toks, i + 1);
+    for (std::size_t j = i + 2; j + 1 < close; ++j)
+      if (toks[j].kind == TokKind::Ident && toks[j].text == name) return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+void rule_contracts(const AnalyzerContext& ctx, std::vector<Finding>& out) {
+  // Public surface per module = names declared at class/namespace scope in
+  // the module's headers; a cpp definition of such a name is as much an
+  // entry point as a header-inline one.
+  std::map<std::string, std::set<std::string>> public_names;
+  for (const FileModel& f : ctx.files) {
+    const std::string mod = module_of(f.rel_path);
+    if (!f.is_header || !hot_path_module(mod)) continue;
+    public_names[mod].insert(f.header_decl_names.begin(),
+                             f.header_decl_names.end());
+  }
+
+  for (const FileModel& f : ctx.files) {
+    const std::string mod = module_of(f.rel_path);
+    if (!hot_path_module(mod)) continue;
+    for (const Function& fn : f.functions) {
+      if (fn.in_class && !fn.is_public) continue;
+      if (!f.is_header &&
+          (!public_names.count(mod) ||
+           !public_names[mod].count(fn.name)))
+        continue;  // cpp-internal helper, not an entry point
+      const std::size_t begin = fn.body_begin;
+      const std::size_t end = std::min(fn.body_end, f.tokens.size());
+      for (const Param& p : fn.params) {
+        if (p.name.empty() || !integral_param(p)) continue;
+        const std::size_t use =
+            first_subscript_use(f.tokens, begin, end, p.name);
+        if (use == static_cast<std::size_t>(-1)) continue;
+        if (contracted_before(f.tokens, begin, use, p.name)) continue;
+        out.push_back(
+            {f.rel_path, fn.line, "contract-coverage",
+             fn.qualified + ":" + p.name,
+             "public hot-path function '" + fn.qualified + "' subscripts "
+             "with parameter '" + p.name + "' (line " +
+                 std::to_string(f.tokens[use].line) + ") without a prior "
+                 "SURFNET_EXPECTS/SURFNET_ASSERT naming it "
+                 "(src/util/contracts.h, DESIGN.md §9)"});
+      }
+    }
+  }
+}
+
+}  // namespace surfnet::analyze

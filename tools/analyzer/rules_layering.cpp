@@ -1,0 +1,133 @@
+#include <algorithm>
+
+#include "rules.h"
+
+namespace surfnet::analyze {
+
+namespace {
+
+/// "src/qec/graph.h" -> "qec" (under the configured root), "" otherwise.
+std::string module_of(const std::string& rel, const std::string& root) {
+  const std::string prefix = root + "/";
+  if (rel.rfind(prefix, 0) != 0) return "";
+  const std::size_t start = prefix.size();
+  const std::size_t slash = rel.find('/', start);
+  if (slash == std::string::npos) return "";
+  return rel.substr(start, slash - start);
+}
+
+/// Quoted include targets are rooted at the layer root ("qec/graph.h").
+std::string target_module(const std::string& target) {
+  const std::size_t slash = target.find('/');
+  if (slash == std::string::npos) return "";
+  return target.substr(0, slash);
+}
+
+}  // namespace
+
+void rule_layering(const AnalyzerContext& ctx, std::vector<Finding>& out) {
+  const LayerConfig& cfg = ctx.layers;
+  if (cfg.layers.empty()) return;
+
+  // File-level include graph of the layer root, for cycle detection.
+  std::map<std::string, const FileModel*> by_rel;
+  for (const FileModel& f : ctx.files)
+    if (!module_of(f.rel_path, cfg.root).empty()) by_rel[f.rel_path] = &f;
+
+  for (const auto& [rel, file] : by_rel) {
+    const std::string mod = module_of(rel, cfg.root);
+    const auto mod_rank = cfg.rank.find(mod);
+    for (const Include& inc : file->includes) {
+      if (!inc.quoted) continue;
+      const std::string dep = target_module(inc.target);
+      if (dep.empty()) continue;  // same-directory include, no module cross
+      // Only first-party targets participate (the include must resolve
+      // inside the layer root).
+      if (!by_rel.count(cfg.root + "/" + inc.target)) continue;
+      const auto dep_rank = cfg.rank.find(dep);
+      if (mod_rank == cfg.rank.end()) {
+        out.push_back({rel, inc.line, "module-layering", mod,
+                       "module '" + mod + "' is not in the declared layer "
+                       "DAG (tools/analyzer/layers.json); add it at the "
+                       "right rank before including other modules"});
+        continue;
+      }
+      if (dep_rank == cfg.rank.end()) {
+        out.push_back({rel, inc.line, "module-layering", mod + "->" + dep,
+                       "include of unknown module '" + dep + "'; the layer "
+                       "DAG (tools/analyzer/layers.json) does not declare "
+                       "it"});
+        continue;
+      }
+      if (mod != dep && mod_rank->second < dep_rank->second) {
+        out.push_back(
+            {rel, inc.line, "module-layering", mod + "->" + dep,
+             "back-edge: '" + mod + "' (layer " +
+                 std::to_string(mod_rank->second) + ") includes '" +
+                 inc.target + "' from higher layer '" + dep + "' (layer " +
+                 std::to_string(dep_rank->second) +
+                 "); dependencies must point strictly down the DAG " +
+                 "(see DESIGN.md §9)"});
+      }
+    }
+  }
+
+  // Cycle detection over the file-level graph (iterative coloring DFS).
+  // A cycle is reported once, keyed by its lexicographically smallest
+  // member, so the finding is stable under traversal-order changes.
+  std::map<std::string, int> color;  // 0 white, 1 grey, 2 black
+  std::set<std::string> reported;
+  for (const auto& [start, file_unused] : by_rel) {
+    (void)file_unused;
+    if (color[start]) continue;
+    std::vector<std::pair<std::string, std::size_t>> stack;
+    std::vector<std::string> path;
+    stack.push_back({start, 0});
+    while (!stack.empty()) {
+      const std::string rel = stack.back().first;
+      if (stack.back().second == 0) {
+        color[rel] = 1;
+        path.push_back(rel);
+      }
+      const FileModel* file = by_rel[rel];
+      bool descended = false;
+      while (stack.back().second < file->includes.size()) {
+        const Include& inc = file->includes[stack.back().second++];
+        if (!inc.quoted) continue;
+        const std::string dep_rel = cfg.root + "/" + inc.target;
+        auto it = by_rel.find(dep_rel);
+        if (it == by_rel.end()) continue;
+        if (color[dep_rel] == 1) {
+          // Grey target: found a cycle along the current path.
+          auto cycle_start = std::find(path.begin(), path.end(), dep_rel);
+          std::vector<std::string> cycle(cycle_start, path.end());
+          const std::string anchor =
+              *std::min_element(cycle.begin(), cycle.end());
+          if (!reported.count(anchor)) {
+            reported.insert(anchor);
+            std::string chain;
+            for (const std::string& member : cycle)
+              chain += member + " -> ";
+            chain += dep_rel;
+            out.push_back({rel, inc.line, "module-layering",
+                           "cycle:" + anchor,
+                           "include cycle: " + chain});
+          }
+          continue;
+        }
+        if (color[dep_rel] == 0) {
+          stack.push_back({dep_rel, 0});
+          descended = true;
+          break;
+        }
+      }
+      if (!descended && stack.back().second >= file->includes.size()) {
+        color[rel] = 2;
+        path.pop_back();
+        stack.pop_back();
+      }
+    }
+  }
+}
+
+}  // namespace surfnet::analyze

@@ -1,0 +1,176 @@
+#include <algorithm>
+
+#include "rules.h"
+
+namespace surfnet::analyze {
+
+namespace {
+
+bool is_punct(const Token& t, const char* s) {
+  return t.kind == TokKind::Punct && t.text == s;
+}
+bool is_ident(const Token& t, const char* s) {
+  return t.kind == TokKind::Ident && t.text == s;
+}
+
+/// Factory names on obs::Event are exactly the JSONL kind strings, so an
+/// emission site looks like `Event::delivered(...)`.
+bool lowercase_name(const std::string& s) {
+  return !s.empty() && s[0] >= 'a' && s[0] <= 'z';
+}
+
+struct CaseBlock {
+  std::string enumerator;        ///< "Delivered"
+  int line = 0;                  ///< line of the `case`
+  std::size_t begin = 0, end = 0;  ///< token range of the case body
+};
+
+/// All `case EventKind::X:` blocks in [begin, end); each body runs to the
+/// next case/default label or the end of the range.
+std::vector<CaseBlock> case_blocks(const std::vector<Token>& toks,
+                                   std::size_t begin, std::size_t end) {
+  std::vector<CaseBlock> blocks;
+  for (std::size_t i = begin; i + 4 < end; ++i) {
+    if (!is_ident(toks[i], "case") || !is_ident(toks[i + 1], "EventKind") ||
+        !is_punct(toks[i + 2], "::") || toks[i + 3].kind != TokKind::Ident ||
+        !is_punct(toks[i + 4], ":"))
+      continue;
+    if (!blocks.empty() && !blocks.back().end) blocks.back().end = i;
+    blocks.push_back({toks[i + 3].text, toks[i].line, i + 5, 0});
+  }
+  if (!blocks.empty() && !blocks.back().end) blocks.back().end = end;
+  for (CaseBlock& b : blocks)
+    for (std::size_t i = b.begin; i < b.end; ++i)
+      if (is_ident(toks[i], "default")) {
+        b.end = i;
+        break;
+      }
+  return blocks;
+}
+
+/// Body range of the named free function, or (0, 0).
+std::pair<std::size_t, std::size_t> body_of(const FileModel& f,
+                                            const char* name) {
+  for (const Function& fn : f.functions)
+    if (fn.name == name)
+      return {fn.body_begin, std::min(fn.body_end, f.tokens.size())};
+  return {0, 0};
+}
+
+}  // namespace
+
+void rule_trace_schema(const AnalyzerContext& ctx,
+                       std::vector<Finding>& out) {
+  if (ctx.trace_schema.empty()) return;
+
+  const FileModel* impl = nullptr;
+  for (const FileModel& f : ctx.files)
+    if (f.rel_path == ctx.trace_impl) impl = &f;
+
+  // kind string -> set of JSONL keys the serializer writes for it.
+  std::map<std::string, std::set<std::string>> emitted;
+  std::map<std::string, int> emitted_line;
+
+  if (impl) {
+    const std::vector<Token>& toks = impl->tokens;
+
+    // EventKind enumerator -> kind string, from the to_string switch.
+    std::map<std::string, std::string> kind_of;
+    const auto [ts_begin, ts_end] = body_of(*impl, "to_string");
+    for (const CaseBlock& b : case_blocks(toks, ts_begin, ts_end)) {
+      for (std::size_t i = b.begin; i + 1 < b.end; ++i)
+        if (is_ident(toks[i], "return") &&
+            toks[i + 1].kind == TokKind::String) {
+          kind_of[b.enumerator] = toks[i + 1].text;
+          break;
+        }
+    }
+
+    // Keys per kind, from the to_jsonl switch: append_*(out, "key", ...).
+    const auto [tj_begin, tj_end] = body_of(*impl, "to_jsonl");
+    for (const CaseBlock& b : case_blocks(toks, tj_begin, tj_end)) {
+      auto named = kind_of.find(b.enumerator);
+      if (named == kind_of.end()) {
+        out.push_back({impl->rel_path, b.line, "trace-schema",
+                       "unnamed:" + b.enumerator,
+                       "to_jsonl serializes EventKind::" + b.enumerator +
+                       " but to_string gives it no kind name"});
+        continue;
+      }
+      const std::string& kind = named->second;
+      emitted_line[kind] = b.line;
+      std::set<std::string>& keys = emitted[kind];
+      for (std::size_t i = b.begin; i + 4 < b.end; ++i) {
+        if (toks[i].kind != TokKind::Ident ||
+            toks[i].text.rfind("append_", 0) != 0 ||
+            !is_punct(toks[i + 1], "(") || !is_punct(toks[i + 3], ","))
+          continue;
+        if (toks[i + 4].kind == TokKind::String)
+          keys.insert(toks[i + 4].text);
+      }
+    }
+
+    // Serializer vs pinned schema. "slot" (like "ev"/"trial") lives in the
+    // generic envelope emitted before the per-kind switch, so it is not
+    // expected among the case's keys.
+    for (const auto& [kind, keys] : emitted) {
+      auto pinned = ctx.trace_schema.find(kind);
+      if (pinned == ctx.trace_schema.end()) {
+        out.push_back({impl->rel_path, emitted_line[kind], "trace-schema",
+                       "unknown-kind:" + kind,
+                       "to_jsonl emits kind '" + kind + "' which is not in "
+                       "the pinned schema (bench/trace_schema.json); add it "
+                       "there so downstream consumers can rely on it"});
+        continue;
+      }
+      std::set<std::string> want = pinned->second;
+      want.erase("slot");
+      for (const std::string& key : want)
+        if (!keys.count(key))
+          out.push_back({impl->rel_path, emitted_line[kind], "trace-schema",
+                         kind + ":missing:" + key,
+                         "kind '" + kind + "' omits required key '" + key +
+                         "' (bench/trace_schema.json)"});
+      for (const std::string& key : keys)
+        if (!want.count(key))
+          out.push_back({impl->rel_path, emitted_line[kind], "trace-schema",
+                         kind + ":extra:" + key,
+                         "kind '" + kind + "' emits key '" + key + "' not "
+                         "in the pinned schema (bench/trace_schema.json); "
+                         "extend the schema, don't fork it"});
+    }
+
+    // Stale schema entries: pinned kinds nothing serializes anymore.
+    for (const auto& [kind, keys_unused] : ctx.trace_schema) {
+      (void)keys_unused;
+      if (!emitted.count(kind))
+        out.push_back({impl->rel_path, 1, "trace-schema", "stale:" + kind,
+                       "pinned schema kind '" + kind + "' has no to_jsonl "
+                       "case; remove it from bench/trace_schema.json or "
+                       "restore the serializer"});
+    }
+  }
+
+  // Emission sites anywhere in src/: Event::<factory>(...) must name a
+  // pinned kind (the factories are named after the kind strings).
+  for (const FileModel& f : ctx.files) {
+    if (f.rel_path.rfind("src/", 0) != 0) continue;
+    const std::vector<Token>& toks = f.tokens;
+    for (std::size_t i = 0; i + 3 < toks.size(); ++i) {
+      if (!is_ident(toks[i], "Event") || !is_punct(toks[i + 1], "::") ||
+          toks[i + 2].kind != TokKind::Ident ||
+          !is_punct(toks[i + 3], "(") || !lowercase_name(toks[i + 2].text))
+        continue;
+      // netsim::PendingEvent etc. never matches: the bare name `Event`
+      // with a lowercase member call is the obs factory idiom.
+      const std::string& kind = toks[i + 2].text;
+      if (!ctx.trace_schema.count(kind))
+        out.push_back({f.rel_path, toks[i].line, "trace-schema",
+                       "emit:" + kind,
+                       "emission site names unknown trace kind '" + kind +
+                       "'; factories must match bench/trace_schema.json"});
+    }
+  }
+}
+
+}  // namespace surfnet::analyze
