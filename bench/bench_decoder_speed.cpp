@@ -13,6 +13,13 @@
 //    "trials_per_sec", "ns_per_decode"}
 // so saved outputs can be diffed/ratioed to track the perf trajectory
 // (scripts/bench_compare.py).
+//
+// A second tier measures the pure-erasure decoders — peeling ("Erasure")
+// and the linear-time exact-ML "ErasureML" — on erasure-only syndromes
+// (25% erasure, no Pauli noise), where both are defined at any distance.
+// Expected shape: ErasureML tracks peeling within a small constant factor
+// (same forest construction plus the cut-parity labelling and the
+// degeneracy scan), both near-linear in qubit count.
 
 #include <cstdint>
 #include <iostream>
@@ -22,11 +29,14 @@
 
 #include "bench_common.h"
 #include "decoder/code_trial.h"
+#include "decoder/erasure_decoder.h"
+#include "decoder/erasure_ml.h"
 #include "decoder/mwpm.h"
 #include "decoder/surfnet_decoder.h"
 #include "decoder/trial_runner.h"
 #include "decoder/union_find.h"
 #include "qec/core_support.h"
+#include "qec/error_model.h"
 #include "qec/lattice.h"
 #include "util/table.h"
 
@@ -44,6 +54,27 @@ std::vector<decoder::DecodeInput> make_inputs(
     const qec::SurfaceCodeLattice& lattice, int count, std::uint64_t seed) {
   const auto partition = qec::make_core_support(lattice);
   const auto profile = qec::NoiseProfile::core_support(partition, 0.06, 0.15);
+  const auto prior =
+      profile.component_error_prob(qec::PauliChannel::IndependentXZ);
+  util::Rng rng(seed);
+  std::vector<decoder::DecodeInput> inputs;
+  inputs.reserve(static_cast<std::size_t>(count));
+  for (int i = 0; i < count; ++i) {
+    const auto sample =
+        qec::sample_errors(profile, qec::PauliChannel::IndependentXZ, rng);
+    inputs.push_back(decoder::make_decode_input(lattice, qec::GraphKind::Z,
+                                                sample, prior));
+  }
+  return inputs;
+}
+
+/// Input pool for the pure-erasure tier. Both erasure decoders require the
+/// syndrome to be explainable by the erased region alone (they throw on
+/// residual Pauli defects), so this pool carries zero Pauli noise.
+std::vector<decoder::DecodeInput> make_erasure_inputs(
+    const qec::SurfaceCodeLattice& lattice, int count, std::uint64_t seed) {
+  const auto profile =
+      qec::NoiseProfile::uniform(lattice.num_data_qubits(), 0.0, 0.25);
   const auto prior =
       profile.component_error_prob(qec::PauliChannel::IndependentXZ);
   util::Rng rng(seed);
@@ -94,34 +125,52 @@ int main(int argc, char** argv) {
   };
 
   std::vector<SpeedRow> rows;
+  const auto measure = [&](const decoder::Decoder& dec, int d,
+                           const qec::SurfaceCodeLattice& lattice,
+                           const std::vector<decoder::DecodeInput>& inputs) {
+    decoder::TrialRunnerOptions opts;
+    opts.threads = args.threads();
+    opts.sink = args.sink();
+    opts.seed = args.seed();
+    const auto report = decoder::run_trials(
+        trials, opts, [&]() -> decoder::TrialFn {
+          auto ws = std::make_shared<decoder::DecodeWorkspace>();
+          return [&, ws](std::int64_t t, util::Rng&) {
+            const auto& correction = dec.decode(
+                inputs[static_cast<std::size_t>(t) % inputs.size()], *ws);
+            escape(correction.data());
+            return decoder::TrialOutcome{};
+          };
+        });
+    SpeedRow row;
+    row.decoder = std::string(dec.name());
+    row.distance = d;
+    row.qubits = lattice.num_data_qubits();
+    row.trials = report.trials;
+    row.threads = report.threads;
+    row.trials_per_sec = report.trials_per_sec();
+    row.ns_per_decode = report.ns_per_trial();
+    rows.push_back(row);
+  };
+
   for (const auto& c : cases) {
     for (const int d : c.distances) {
       const qec::SurfaceCodeLattice lattice(d);
       const auto inputs = make_inputs(lattice, 64, args.seed());
-      decoder::TrialRunnerOptions opts;
-      opts.threads = args.threads();
-      opts.sink = args.sink();
-      opts.seed = args.seed();
-      const auto report = decoder::run_trials(
-          trials, opts, [&]() -> decoder::TrialFn {
-            auto ws = std::make_shared<decoder::DecodeWorkspace>();
-            return [&, ws](std::int64_t t, util::Rng&) {
-              const auto& correction = c.decoder->decode(
-                  inputs[static_cast<std::size_t>(t) % inputs.size()], *ws);
-              escape(correction.data());
-              return decoder::TrialOutcome{};
-            };
-          });
-      SpeedRow row;
-      row.decoder = std::string(c.decoder->name());
-      row.distance = d;
-      row.qubits = lattice.num_data_qubits();
-      row.trials = report.trials;
-      row.threads = report.threads;
-      row.trials_per_sec = report.trials_per_sec();
-      row.ns_per_decode = report.ns_per_trial();
-      rows.push_back(row);
+      measure(*c.decoder, d, lattice, inputs);
     }
+  }
+
+  // Pure-erasure tier. ErasureML is constructed per distance (it borrows
+  // the lattice for graph resolution and logical cuts); peeling shares the
+  // same erasure-only input pool so the two rows are directly comparable.
+  const decoder::ErasureDecoder peeling;
+  for (const int d : {5, 9, 13, 17, 21, 25}) {
+    const qec::SurfaceCodeLattice lattice(d);
+    const decoder::ErasureMlDecoder erasure_ml(lattice);
+    const auto inputs = make_erasure_inputs(lattice, 64, args.seed());
+    measure(peeling, d, lattice, inputs);
+    measure(erasure_ml, d, lattice, inputs);
   }
 
   args.finish_observability();
@@ -152,6 +201,7 @@ int main(int argc, char** argv) {
   table.print(std::cout);
   std::printf("\nExpected shape: near-linear ns/decode growth in qubit "
               "count for the cluster decoders, polynomially steeper for "
-              "MWPM.\n");
+              "MWPM; ErasureML within a small constant factor of Erasure "
+              "(peeling) on the erasure-only tier.\n");
   return 0;
 }

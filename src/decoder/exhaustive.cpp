@@ -4,21 +4,33 @@
 #include <cstdint>
 #include <stdexcept>
 
+#include "util/contracts.h"
+
 namespace surfnet::decoder {
 
 namespace {
 
 constexpr std::size_t kMaxEdges = 20;
 
+// Unconditional FATAL (not a catchable domain exception, and not compiled
+// out in Release like the SURFNET_EXPECTS macro): past these caps the
+// enumeration masks overflow and would return confidently wrong answers,
+// so the only safe response is the contract trampoline — abort with a
+// clear report, or ContractViolation under a test handler.
 void require_enumerable(const qec::DecodingGraph& graph) {
   if (graph.num_edges() > kMaxEdges)
-    throw std::invalid_argument(
-        "ExhaustiveMLDecoder: graph has " +
-        std::to_string(graph.num_edges()) + " edges, enumeration capped at " +
-        std::to_string(kMaxEdges) + " (use d <= 3)");
+    util::contract_fail(
+        "precondition", "graph.num_edges() <= kMaxEdges", __FILE__, __LINE__,
+        "exhaustive ML enumerates 2^E configurations: %zu edges exceed the "
+        "cap of %zu (use d <= 3, or decoder/erasure_ml for exact ML on "
+        "erasures at any distance)",
+        graph.num_edges(), kMaxEdges);
   if (graph.num_real_vertices() > 63)
-    throw std::invalid_argument(
-        "ExhaustiveMLDecoder: more than 63 measurement vertices");
+    util::contract_fail(
+        "precondition", "graph.num_real_vertices() <= 63", __FILE__, __LINE__,
+        "exhaustive ML packs syndromes into 64-bit masks: %d measurement "
+        "vertices overflow them",
+        graph.num_real_vertices());
 }
 
 }  // namespace

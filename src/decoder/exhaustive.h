@@ -15,8 +15,13 @@
 // SurfNet/Union-Find/MWPM; on pure erasure noise the peeling decoder must
 // *match* it exactly (Delfosse-Zemor: peeling is ML on erasures).
 //
-// The enumeration is exponential in the edge count, so construction
-// rejects graphs beyond 20 edges (d <= 3 in practice).
+// The enumeration is exponential in the edge count, so graphs beyond 20
+// edges (d <= 3 in practice) or 63 measurement vertices are rejected with
+// an unconditional contract FATAL (util::contract_fail): the masks would
+// overflow and silently return wrong answers, so even Release builds —
+// where SURFNET_EXPECTS compiles out — abort with a clear report instead.
+// Tests catch it as util::ContractViolation via ScopedContractHandler.
+// For exact ML above d = 3 on the erasure channel use decoder/erasure_ml.
 
 #include "decoder/decoder.h"
 #include "qec/code_lattice.h"
@@ -35,8 +40,9 @@ struct MlDecision {
 };
 
 /// Exact ML decode of one graph of `lattice`. `input.graph` must be
-/// lattice.graph(kind). Throws std::invalid_argument when the graph is too
-/// large to enumerate (> 20 edges) and std::logic_error when no
+/// lattice.graph(kind) (std::invalid_argument otherwise). A graph too
+/// large to enumerate (> 20 edges or > 63 measurement vertices) is a
+/// contract FATAL in every build type; std::logic_error when no
 /// configuration reproduces the syndrome (impossible for valid syndromes).
 MlDecision decode_ml(const qec::CodeLattice& lattice, qec::GraphKind kind,
                      const DecodeInput& input);
@@ -46,8 +52,8 @@ MlDecision decode_ml(const qec::CodeLattice& lattice, qec::GraphKind kind,
 /// so the adapter slots into decode_sample/run_code_trial unchanged.
 class ExhaustiveMLDecoder final : public Decoder {
  public:
-  /// The lattice is borrowed and must outlive the decoder. Throws
-  /// std::invalid_argument when either decoding graph exceeds 20 edges.
+  /// The lattice is borrowed and must outlive the decoder. Contract FATAL
+  /// when either decoding graph exceeds the enumeration caps.
   explicit ExhaustiveMLDecoder(const qec::CodeLattice& lattice);
 
   std::vector<char> decode(const DecodeInput& input) const override;

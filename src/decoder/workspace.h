@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "decoder/cluster_growth.h"
+#include "decoder/erasure_ml.h"
 #include "decoder/peeling.h"
 
 namespace surfnet::decoder {
@@ -33,6 +34,7 @@ struct MwpmWorkspace {
 struct DecodeWorkspace {
   GrowthWorkspace growth;
   PeelWorkspace peel;
+  ErasureMlWorkspace erasure_ml;
   GrowthConfig config;            ///< reused speed / pregrown buffers
   MwpmWorkspace mwpm;
   std::vector<double> prob;       ///< effective per-edge error probability

@@ -229,7 +229,8 @@ TrafficResult run_traffic(const Topology& topology, RouteProvider& provider,
     if (sink.trace)
       sink.trace->record(obs::Event::admit(
           slot, static_cast<int>(request), slot_entry.route.codes, hops,
-          service, static_cast<int>(slot_entry.route.source)));
+          service, static_cast<int>(slot_entry.route.source),
+          slot_entry.route.distance));
     if (sink.metrics) sink.metrics->count("traffic.admitted");
     maybe_reoptimize();
   };
@@ -257,8 +258,32 @@ TrafficResult run_traffic(const Topology& topology, RouteProvider& provider,
     maybe_reoptimize();
   };
 
+  // Degradation-window plumbing: the scale is a pure function of the
+  // event slot, and events are processed in nondecreasing slot order on
+  // both engines, so the provider sees the same boundary crossings in the
+  // same places on every replay.
+  const bool window_active =
+      params.degrade_until_slot > params.degrade_from_slot &&
+      params.degrade_noise_scale != 1.0;
+  double current_scale = 1.0;
+  const auto sync_noise_scale = [&](int slot) {
+    if (!window_active) return;
+    const double scale = slot >= params.degrade_from_slot &&
+                                 slot < params.degrade_until_slot
+                             ? params.degrade_noise_scale
+                             : 1.0;
+    if (scale == current_scale) return;
+    current_scale = scale;
+    provider.set_noise_scale(scale);
+    if (sink.metrics) {
+      sink.metrics->count("traffic.noise_scale_changes");
+      sink.metrics->gauge("traffic.noise_scale", scale);
+    }
+  };
+
   const auto process = [&](const PendingEvent& event) {
     result.last_slot = event.slot;
+    sync_noise_scale(event.slot);
     if (event.cls == EventClass::Arrival) {
       process_arrival(event.slot);
       // The next arrival is seeded from the one being processed, so the

@@ -60,6 +60,10 @@ struct AdmittedRoute {
   std::vector<int> ec_servers;  ///< EC servers, in path order
   double noise = 0.0;           ///< accumulated path noise (mu)
   int codes = 1;                ///< codes the request holds on the path
+  /// Code distance the provider selected for this route from its measured
+  /// noise profile (0 = the configuration default). release() must return
+  /// the capacity of codes of exactly this distance.
+  int distance = 0;
   AdmitSource source = AdmitSource::Greedy;
 };
 
@@ -77,6 +81,14 @@ class RouteProvider {
   /// periodically by the engine (WorkloadParams::reoptimize_every); the
   /// result feeds priority shedding.
   virtual double reoptimize() = 0;
+  /// The engine reports a change of the network-wide noise scale (a
+  /// fidelity-degradation window opening or closing): every fiber's
+  /// fidelity gamma measures as gamma^scale until the next change.
+  /// Providers that route on measured noise react (the adaptive-distance
+  /// router re-vets feasibility and escalates code distances); the
+  /// default ignores it. Routes admitted before the change keep the
+  /// capacity they committed.
+  virtual void set_noise_scale(double scale) { (void)scale; }
 };
 
 enum class ArrivalProcess : std::uint8_t {
@@ -130,6 +142,17 @@ struct WorkloadParams {
   int service_base = 4;
   int service_per_hop = 2;
   int service_jitter = 8;
+  /// Deterministic fidelity-degradation window: while a processed event's
+  /// slot lies in [degrade_from_slot, degrade_until_slot) the provider
+  /// sees every fiber fidelity scaled to gamma^degrade_noise_scale.
+  /// Boundary crossings are reported through
+  /// RouteProvider::set_noise_scale at event-processing points — a pure
+  /// function of the event slot, so replays stay bitwise identical across
+  /// engines and thread counts. degrade_until_slot <= degrade_from_slot
+  /// (the default) disables the window.
+  int degrade_from_slot = 0;
+  int degrade_until_slot = 0;
+  double degrade_noise_scale = 1.0;
   /// Observability handle (trace: arrival/admit/blocked/depart events;
   /// metrics: "traffic.*" counters). Null = no instrumentation.
   obs::Sink sink{};

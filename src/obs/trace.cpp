@@ -149,6 +149,7 @@ std::string to_jsonl(const Event& event) {
       const int source = static_cast<int>(event.value);
       append_str(out, "source",
                  source == 0 ? "greedy" : (source == 1 ? "warm" : "cold"));
+      append_int(out, "distance", event.e);
       break;
     }
     case EventKind::Blocked: {

@@ -55,10 +55,12 @@
 //                (request ids are dense per run, class indexes the
 //                workload's demand-class table)
 //   admit        {"ev","trial","slot","request","codes","hops",
-//                 "est_slots","source"}
+//                 "est_slots","source","distance"}
 //                admission control accepted the request; source is
 //                "greedy" (fast path), "warm" (warm-started LP assist)
-//                or "cold" (shape-changing cold LP solve)
+//                or "cold" (shape-changing cold LP solve); distance is
+//                the code distance the provider selected (0 = the
+//                configuration default, adaptive selection disabled)
 //   blocked      {"ev","trial","slot","request","reason"}
 //                admission control rejected the request; reason is
 //                "load" (admission cap / headroom shed), "capacity"
@@ -115,6 +117,11 @@ struct Event {
   double value = 0.0;
   bool flag = false;
   bool flag2 = false;
+  /// Fifth int field, declared after the flags so the positional
+  /// aggregate initializers of the earlier factories stay valid
+  /// (trailing members value-initialize). Currently: admit's code
+  /// distance.
+  std::int32_t e = 0;
 
   static Event pool(int slot, int pairs_total, int pairs_min) {
     return {EventKind::PoolLevel, -1, slot, pairs_total, pairs_min,
@@ -179,12 +186,14 @@ struct Event {
     return {EventKind::Arrival, -1,  slot, request, src,
             dst,                demand_class, 0.0, false, false};
   }
-  /// `source` is the AdmitSource enum value (see the header comment).
+  /// `source` is the AdmitSource enum value (see the header comment);
+  /// `distance` is the code distance the provider selected (0 = the
+  /// configuration default).
   static Event admit(int slot, int request, int codes, int hops,
-                     int est_slots, int source) {
+                     int est_slots, int source, int distance) {
     return {EventKind::Admit, -1,        slot, request, codes,
             hops,             est_slots, static_cast<double>(source),
-            false,            false};
+            false,            false,     distance};
   }
   /// `reason` is the BlockReason enum value (see the header comment).
   static Event blocked(int slot, int request, int reason) {

@@ -36,9 +36,11 @@ int IncrementalRouter::commodity_index(int src, int dst) {
   commodity.dst = dst;
   // One-time noise-feasibility check on the pristine full-capacity
   // network: a pair the planner cannot route with every resource free
-  // fails on noise thresholds alone, and no release can change that.
+  // fails on noise thresholds alone, and no release can change that
+  // while the noise profile holds (set_noise_scale re-runs the check).
   commodity.infeasible =
-      !plan_code(*topology_, pristine_, params_, src, dst).has_value();
+      !plan_code(routing_topology(), pristine_, params_, src, dst)
+           .has_value();
   commodities_.push_back(std::move(commodity));
   return static_cast<int>(commodities_.size()) - 1;
 }
@@ -57,7 +59,9 @@ LpSolution IncrementalRouter::solve_commodity(Commodity& commodity,
   if (!commodity.formulation.has_value()) {
     const std::vector<netsim::Request> requests{
         netsim::Request{commodity.src, commodity.dst, 1}};
-    commodity.formulation.emplace(*topology_, requests, params_);
+    // Built from the measured topology so the Eq. (6) noise coefficients
+    // reflect the live profile; set_noise_scale drops stale formulations.
+    commodity.formulation.emplace(routing_topology(), requests, params_);
     commodity.state.clear();
   }
   // Limits and right-hand sides change between solves, the shape never
@@ -112,20 +116,21 @@ std::optional<AdmittedRoute> IncrementalRouter::lp_admit(int commodity,
                      return a.weight > b.weight;
                    });
 
-  const double node_demand = params_.total_qubits() * codes;
-  const double pair_demand =
-      static_cast<double>(params_.core_qubits) * codes;
   for (const auto& candidate : paths) {
-    const auto plan = check_path(*topology_, params_, candidate.nodes);
+    const auto plan = check_path(routing_topology(), params_,
+                                 candidate.nodes);
     if (!plan) continue;
+    const double node_demand = node_demand_for(plan->distance) * codes;
+    const double pair_demand = pair_demand_for(plan->distance) * codes;
     if (!tracker_.path_feasible(candidate.nodes, node_demand, pair_demand))
       continue;
     tracker_.commit(candidate.nodes, node_demand, pair_demand);
     AdmittedRoute route;
     route.path = plan->path;
     route.ec_servers = plan->ec_servers;
-    route.noise = netsim::path_noise(*topology_, plan->path);
+    route.noise = netsim::path_noise(routing_topology(), plan->path);
     route.codes = codes;
+    route.distance = plan->distance;
     route.source =
         solution.warm_started ? AdmitSource::Warm : AdmitSource::Cold;
     return route;
@@ -139,10 +144,9 @@ std::optional<AdmittedRoute> IncrementalRouter::admit(int src, int dst,
 
   // Greedy fast path: Dijkstra + thresholds over the live tracker, no LP.
   if (const auto plan =
-          plan_code(*topology_, tracker_, params_, src, dst)) {
-    const double node_demand = params_.total_qubits() * codes;
-    const double pair_demand =
-        static_cast<double>(params_.core_qubits) * codes;
+          plan_code(routing_topology(), tracker_, params_, src, dst)) {
+    const double node_demand = node_demand_for(plan->distance) * codes;
+    const double pair_demand = pair_demand_for(plan->distance) * codes;
     if (tracker_.path_feasible(plan->path, node_demand, pair_demand)) {
       tracker_.commit(plan->path, node_demand, pair_demand);
       ++stats_.greedy_admits;
@@ -150,8 +154,9 @@ std::optional<AdmittedRoute> IncrementalRouter::admit(int src, int dst,
       AdmittedRoute route;
       route.path = plan->path;
       route.ec_servers = plan->ec_servers;
-      route.noise = netsim::path_noise(*topology_, plan->path);
+      route.noise = netsim::path_noise(routing_topology(), plan->path);
       route.codes = codes;
+      route.distance = plan->distance;
       route.source = AdmitSource::Greedy;
       return route;
     }
@@ -190,10 +195,43 @@ std::optional<AdmittedRoute> IncrementalRouter::admit(int src, int dst,
 }
 
 void IncrementalRouter::release(const AdmittedRoute& route) {
-  tracker_.release(route.path, params_.total_qubits() * route.codes,
-                   static_cast<double>(params_.core_qubits) * route.codes);
+  // Demands keyed by the distance recorded at admit time: the exact
+  // inverse of the matching commit even when the adaptive planner chose a
+  // non-default code size or the noise profile changed since.
+  tracker_.release(route.path, node_demand_for(route.distance) * route.codes,
+                   pair_demand_for(route.distance) * route.codes);
   // Returned capacity may unblock any saturated commodity.
   for (auto& c : commodities_) c.saturated = false;
+}
+
+void IncrementalRouter::set_noise_scale(double scale) {
+  SURFNET_EXPECTS(scale > 0.0, "noise scale %f must be positive", scale);
+  if (scale == noise_scale_) return;
+  noise_scale_ = scale;
+  ++stats_.profile_changes;
+  if (scale != 1.0) {
+    // Measured view: fidelity gamma degrades to gamma^scale, i.e. fiber
+    // noise mu = ln(1/gamma) scales linearly. Structure and capacities
+    // are untouched, so the trackers keep working on the real topology.
+    scaled_ = *topology_;
+    for (int e = 0; e < scaled_.num_fibers(); ++e)
+      scaled_.fiber(e).fidelity =
+          std::pow(topology_->fiber(e).fidelity, scale);
+  }
+  // Every standing formulation baked the previous profile's noise
+  // coefficients into its Eq. (6) rows: drop them (the next assist
+  // cold-solves once, then warm-starts again), clear the saturation
+  // caches, and re-run the noise-feasibility check under the new profile.
+  for (auto& c : commodities_) {
+    c.formulation.reset();
+    c.state.clear();
+    c.saturated = false;
+    c.infeasible =
+        !plan_code(routing_topology(), pristine_, params_, c.src, c.dst)
+             .has_value();
+  }
+  if (params_.sink.metrics)
+    params_.sink.metrics->count("route.incremental.profile_change");
 }
 
 double IncrementalRouter::reoptimize() {

@@ -27,13 +27,32 @@
 // Commodities whose endpoints admit no noise-feasible route at all (the
 // paper's Eq. (6) thresholds fail on every candidate path even on an
 // empty network) are marked infeasible once and rejected in O(1)
-// thereafter: their failures are load-independent, so no amount of
-// released capacity can revive them. A feasible commodity that fails the
-// full ladder is marked saturated; further greedy-failing admits for it
-// are rejected without an LP solve until a release or reoptimize()
-// restores capacity. Admit sources are counted as
+// thereafter: their failures are load-independent *within one noise
+// profile*, so no amount of released capacity can revive them. A feasible
+// commodity that fails the full ladder is marked saturated; further
+// greedy-failing admits for it are rejected without an LP solve until a
+// release or reoptimize() restores capacity. Admit sources are counted as
 // "route.incremental.{greedy,warm,cold}" and every LP solve flows through
 // the usual solve_lp observability ("lp.*" counters, lp_solve events).
+//
+// Adaptive code selection. With RoutingParams::adaptive_code_distance the
+// planner picks a distance (3/4/5) per route from its measured residual
+// noise; the router then commits capacity for codes of exactly that
+// distance — total_qubits_for(d) storage per transit node and
+// core_qubits_for(d) pairs per fiber — and records the distance on the
+// AdmittedRoute so release() returns exactly what admit() took even if
+// the noise profile changed in between.
+//
+// Noise profile changes. set_noise_scale (the RouteProvider seam driven
+// by the traffic engine's fidelity-degradation windows) re-measures every
+// fiber as fidelity^scale. All routing decisions (greedy planning, LP
+// noise coefficients, candidate vetting, reported route noise) read the
+// scaled view; capacity bookkeeping is unaffected. A scale change
+// invalidates every standing formulation (their Eq. (6) noise
+// coefficients are stale), clears the saturated flags, and re-runs the
+// per-commodity noise-feasibility check — so "infeasible, never cleared"
+// is scoped to a fixed profile, and the cold-solve-once guarantee becomes
+// once per (commodity, profile).
 
 #include <optional>
 #include <vector>
@@ -56,8 +75,10 @@ class IncrementalRouter final : public netsim::RouteProvider {
                                              int codes) override;
   void release(const netsim::AdmittedRoute& route) override;
   double reoptimize() override;
+  void set_noise_scale(double scale) override;
 
   const CapacityTracker& tracker() const { return tracker_; }
+  double noise_scale() const { return noise_scale_; }
 
   /// Cumulative solve statistics for benchmarks and tests.
   struct Stats {
@@ -67,6 +88,7 @@ class IncrementalRouter final : public netsim::RouteProvider {
     long long lp_rejects = 0;    ///< LP consulted, no feasible route
     long long saturation_skips = 0;  ///< rejected without consulting the LP
     long long infeasible_skips = 0;  ///< no noise-feasible route exists
+    int profile_changes = 0;     ///< set_noise_scale transitions seen
     int cold_solves = 0;
     int warm_solves = 0;
     long cold_iterations = 0;
@@ -96,6 +118,20 @@ class IncrementalRouter final : public netsim::RouteProvider {
   LpSolution solve_commodity(Commodity& commodity, double limit);
   /// LP-assisted admit for one commodity; greedy has already failed.
   std::optional<netsim::AdmittedRoute> lp_admit(int commodity, int codes);
+  /// The topology as currently measured: the scaled copy while a
+  /// degradation window is open, the real one otherwise.
+  const netsim::Topology& routing_topology() const {
+    return noise_scale_ == 1.0 ? *topology_ : scaled_;
+  }
+  /// Per-code demands of a planned distance (0 = configuration default).
+  double node_demand_for(int distance) const {
+    return distance > 0 ? RoutingParams::total_qubits_for(distance)
+                        : params_.total_qubits();
+  }
+  double pair_demand_for(int distance) const {
+    return distance > 0 ? RoutingParams::core_qubits_for(distance)
+                        : params_.core_qubits;
+  }
 
   const netsim::Topology* topology_;
   RoutingParams params_;
@@ -103,6 +139,11 @@ class IncrementalRouter final : public netsim::RouteProvider {
   /// Untouched full-capacity tracker for the one-time per-commodity
   /// noise-feasibility check.
   CapacityTracker pristine_;
+  /// Measured view under the current noise scale (valid when
+  /// noise_scale_ != 1). Same structure and capacities as *topology_,
+  /// only fiber fidelities differ — trackers stay valid across changes.
+  netsim::Topology scaled_;
+  double noise_scale_ = 1.0;
   std::vector<Commodity> commodities_;
   Stats stats_;
 };

@@ -21,6 +21,7 @@
 #include "qec/error_model.h"
 #include "qec/logical.h"
 #include "qec/syndrome.h"
+#include "util/contracts.h"
 #include "util/rng.h"
 
 namespace surfnet::decoder {
@@ -30,8 +31,23 @@ using qec::GraphKind;
 using qec::SurfaceCodeLattice;
 
 TEST(ExhaustiveMl, ConstructionRejectsUnenumerableCodes) {
+  // Oversized codes are a contract FATAL, not a catchable domain error:
+  // silently mis-decoding (or quietly truncating the enumeration) would
+  // corrupt every study built on top. The test handler turns the
+  // violation into an exception carrying the diagnostic.
+  util::ScopedContractHandler handler(util::throw_contract_violation);
   const SurfaceCodeLattice d4(4);  // 25 edges per graph: 2^25 is too much
-  EXPECT_THROW(ExhaustiveMLDecoder{d4}, std::invalid_argument);
+  EXPECT_THROW(ExhaustiveMLDecoder{d4}, util::ContractViolation);
+  try {
+    const ExhaustiveMLDecoder ml(d4);
+    FAIL() << "d=4 construction must trip the enumeration cap";
+  } catch (const util::ContractViolation& violation) {
+    // The diagnostic must steer callers to the linear-time exact
+    // alternative instead of leaving them at a bare assertion.
+    EXPECT_NE(std::string(violation.what()).find("erasure_ml"),
+              std::string::npos)
+        << violation.what();
+  }
   const SurfaceCodeLattice d3(3);  // 13 edges: enumerable
   EXPECT_NO_THROW(ExhaustiveMLDecoder{d3});
 }

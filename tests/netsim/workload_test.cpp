@@ -400,5 +400,150 @@ TEST(Workload, GoldenTrafficTrace) {
       << "traffic stream diverged from the committed golden trace";
 }
 
+// ---------------------------------------------------------------------------
+// Adaptive code selection under a fidelity-degradation window.
+
+/// Stream with a deterministic degradation window in the middle: fibers
+/// measure as fidelity^2 while slots lie in [80, 160).
+WorkloadParams adaptive_window_params() {
+  WorkloadParams params;
+  params.arrival_rate = 0.5;
+  params.horizon_slots = 300;
+  params.warmup_slots = 20;
+  params.degrade_from_slot = 80;
+  params.degrade_until_slot = 160;
+  params.degrade_noise_scale = 2.0;
+  return params;
+}
+
+/// Adaptive-distance stream over a clean ring: outside the window routes
+/// carry compact distance-3 codes, inside it the doubled noise pushes the
+/// planner into the distance-4 band.
+TrafficRun run_adaptive_once(std::uint64_t seed, SimEngine engine) {
+  const auto topology = ring_topology(0.97);
+  obs::TraceBuffer trace;
+  obs::MetricsRegistry metrics;
+  WorkloadParams params = adaptive_window_params();
+  params.sink = obs::Sink{&metrics, &trace};
+
+  routing::RoutingParams routing = ring_routing();
+  routing.adaptive_code_distance = true;
+  routing.sink = params.sink;
+  routing::IncrementalRouter provider(topology, routing);
+
+  util::Rng rng(seed);
+  TrafficRun run;
+  run.result = run_traffic(topology, provider, params, rng, engine);
+  run.trace = jsonl_of(trace);
+  run.metrics = without_timers(metrics);
+  run.next_draw = rng();
+  return run;
+}
+
+/// Integer field value of one JSONL line ("key": must be present).
+int jsonl_int_field(const std::string& line, const std::string& key) {
+  const auto pos = line.find("\"" + key + "\":");
+  EXPECT_NE(pos, std::string::npos) << line;
+  return std::atoi(line.c_str() + pos + key.size() + 3);
+}
+
+struct AdmitRecord {
+  int slot = 0;
+  int distance = 0;
+};
+
+std::vector<AdmitRecord> admit_records(const std::string& trace) {
+  std::vector<AdmitRecord> out;
+  std::istringstream lines(trace);
+  std::string line;
+  while (std::getline(lines, line)) {
+    if (line.find("\"ev\":\"admit\"") == std::string::npos) continue;
+    out.push_back({jsonl_int_field(line, "slot"),
+                   jsonl_int_field(line, "distance")});
+  }
+  return out;
+}
+
+TEST(Workload, AdaptiveDistanceFollowsTheDegradationWindow) {
+  const auto event = run_adaptive_once(20240607, SimEngine::Event);
+  const auto records = admit_records(event.trace);
+  ASSERT_FALSE(records.empty());
+
+  int inside = 0;
+  int compact_outside = 0;
+  for (const auto& record : records) {
+    const bool in_window = record.slot >= 80 && record.slot < 160;
+    if (in_window) {
+      ++inside;
+      // Doubled noise leaves no distance-3 route: every admitted request
+      // escalates to the distance-4 code.
+      EXPECT_EQ(record.distance, 4) << "slot " << record.slot;
+    } else if (record.distance == 3) {
+      ++compact_outside;
+    }
+  }
+  // The stream must actually demonstrate the escalation: admits inside
+  // the window, and compact distance-3 codes outside it.
+  EXPECT_GT(inside, 0);
+  EXPECT_GT(compact_outside, 0);
+  // The window opened and closed exactly once.
+  EXPECT_NE(event.metrics.find("traffic.noise_scale_changes"),
+            std::string::npos);
+
+  // The adaptive stream replays bitwise on the slot engine.
+  const auto slot = run_adaptive_once(20240607, SimEngine::Slot);
+  EXPECT_EQ(event.trace, slot.trace);
+  EXPECT_EQ(event.metrics, slot.metrics);
+  EXPECT_EQ(event.next_draw, slot.next_draw);
+}
+
+TEST(Workload, GoldenAdaptiveTrafficTrace) {
+  const auto run = run_adaptive_once(20240607, SimEngine::Event);
+
+  const auto path = golden_path("traffic_adaptive.jsonl");
+  if (std::getenv("SURFNET_REGEN_GOLDEN") != nullptr) {
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    ASSERT_TRUE(out.good()) << "cannot write " << path;
+    out << run.trace;
+    return;
+  }
+  std::ifstream in(path, std::ios::binary);
+  ASSERT_TRUE(in.good()) << "missing golden trace " << path
+                         << " — regenerate with SURFNET_REGEN_GOLDEN=1";
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  EXPECT_EQ(run.trace, buffer.str())
+      << "adaptive traffic stream diverged from the committed golden trace";
+}
+
+TEST(Workload, AdaptiveTrafficIsThreadCountInvariant) {
+  // The degradation window is a pure function of the event slot, so the
+  // adaptive stream stays bitwise identical across worker counts through
+  // core::run_trials' trial-ordered merge.
+  const auto run_adaptive_batch = [](int threads) {
+    obs::TraceBuffer trace;
+    obs::MetricsRegistry metrics;
+    core::RunOptions options;
+    options.threads = threads;
+    options.engine = SimEngine::Event;
+    options.sink = obs::Sink{&metrics, &trace};
+    auto scenario = small_scenario();
+    scenario.routing.adaptive_code_distance = true;
+    scenario.workload.degrade_from_slot = 100;
+    scenario.workload.degrade_until_slot = 200;
+    scenario.workload.degrade_noise_scale = 1.5;
+    core::run_trials(scenario, 6, options);
+    BatchRun run;
+    run.trace = jsonl_of(trace);
+    run.metrics = without_timers(metrics);
+    return run;
+  };
+  const auto one = run_adaptive_batch(1);
+  const auto eight = run_adaptive_batch(8);
+  EXPECT_EQ(one.trace, eight.trace);
+  EXPECT_EQ(one.metrics, eight.metrics);
+  EXPECT_FALSE(one.trace.empty());
+}
+
 }  // namespace
 }  // namespace surfnet::netsim

@@ -263,15 +263,21 @@ TEST(Trace, GoldenJsonlArrival) {
 }
 
 TEST(Trace, GoldenJsonlAdmit) {
-  EXPECT_EQ(to_jsonl(Event::admit(12, 7, 2, 4, 12, /*source=*/1)),
+  EXPECT_EQ(to_jsonl(Event::admit(12, 7, 2, 4, 12, /*source=*/1,
+                                  /*distance=*/0)),
             "{\"ev\":\"admit\",\"slot\":12,\"request\":7,\"codes\":2,"
-            "\"hops\":4,\"est_slots\":12,\"source\":\"warm\"}");
-  EXPECT_EQ(to_jsonl(Event::admit(0, 0, 1, 2, 8, /*source=*/0)),
+            "\"hops\":4,\"est_slots\":12,\"source\":\"warm\","
+            "\"distance\":0}");
+  EXPECT_EQ(to_jsonl(Event::admit(0, 0, 1, 2, 8, /*source=*/0,
+                                  /*distance=*/3)),
             "{\"ev\":\"admit\",\"slot\":0,\"request\":0,\"codes\":1,"
-            "\"hops\":2,\"est_slots\":8,\"source\":\"greedy\"}");
-  EXPECT_EQ(to_jsonl(Event::admit(3, 1, 1, 2, 8, /*source=*/2)),
+            "\"hops\":2,\"est_slots\":8,\"source\":\"greedy\","
+            "\"distance\":3}");
+  EXPECT_EQ(to_jsonl(Event::admit(3, 1, 1, 2, 8, /*source=*/2,
+                                  /*distance=*/5)),
             "{\"ev\":\"admit\",\"slot\":3,\"request\":1,\"codes\":1,"
-            "\"hops\":2,\"est_slots\":8,\"source\":\"cold\"}");
+            "\"hops\":2,\"est_slots\":8,\"source\":\"cold\","
+            "\"distance\":5}");
 }
 
 TEST(Trace, GoldenJsonlBlocked) {

@@ -180,6 +180,100 @@ TEST(IncrementalRouter, ReoptimizeReportsUnboundedHeadroomWithNoHistory) {
 }
 
 // ---------------------------------------------------------------------------
+// Adaptive code selection and the noise-profile seam.
+
+TEST(IncrementalRouter, AdaptiveAdmitCommitsDistanceScaledCapacity) {
+  const auto topology = ring_topology(0.97);  // clean: residual under 0.10
+  RoutingParams params;
+  IncrementalRouter fixed(topology, params);
+  params.adaptive_code_distance = true;
+  IncrementalRouter adaptive(topology, params);
+  const auto before = snapshot(topology, adaptive.tracker());
+
+  const auto route = adaptive.admit(0, 4, 1);
+  ASSERT_TRUE(route.has_value());
+  EXPECT_EQ(route->distance, 3);
+  const auto fixed_route = fixed.admit(0, 4, 1);
+  ASSERT_TRUE(fixed_route.has_value());
+  EXPECT_EQ(fixed_route->distance, 0);
+
+  // The compact distance-3 code holds strictly less storage than the
+  // configuration-default code the fixed router commits.
+  double adaptive_held = 0.0;
+  double fixed_held = 0.0;
+  for (int v = 0; v < topology.num_nodes(); ++v) {
+    adaptive_held += before.nodes[static_cast<std::size_t>(v)] -
+                     adaptive.tracker().node_remaining(v);
+    fixed_held += before.nodes[static_cast<std::size_t>(v)] -
+                  fixed.tracker().node_remaining(v);
+  }
+  EXPECT_GT(adaptive_held, 0.0);
+  EXPECT_LT(adaptive_held, fixed_held);
+
+  // Release keyed by the recorded distance restores the tracker exactly.
+  adaptive.release(*route);
+  const auto after = snapshot(topology, adaptive.tracker());
+  EXPECT_EQ(before.nodes, after.nodes);
+  EXPECT_EQ(before.fibers, after.fibers);
+}
+
+TEST(IncrementalRouter, NoiseScaleEscalatesDistanceAndReleaseStaysExact) {
+  const auto topology = ring_topology(0.97);
+  RoutingParams params;
+  params.adaptive_code_distance = true;
+  IncrementalRouter router(topology, params);
+  const auto before = snapshot(topology, router.tracker());
+
+  const auto clean = router.admit(0, 4, 1);
+  ASSERT_TRUE(clean.has_value());
+  EXPECT_EQ(clean->distance, 3);
+
+  // A degradation window opens: every fiber measures as fidelity^2, the
+  // residual noise crosses the distance-4 band, and the route reports the
+  // scaled noise.
+  router.set_noise_scale(2.0);
+  EXPECT_EQ(router.noise_scale(), 2.0);
+  EXPECT_EQ(router.stats().profile_changes, 1);
+  const auto degraded = router.admit(0, 4, 1);
+  ASSERT_TRUE(degraded.has_value());
+  EXPECT_EQ(degraded->distance, 4);
+  EXPECT_GT(degraded->noise, clean->noise);
+
+  // The window closes; releases still return exactly what each admit
+  // committed, keyed by the distance recorded on the route — not by the
+  // profile in force at release time.
+  router.set_noise_scale(1.0);
+  EXPECT_EQ(router.stats().profile_changes, 2);
+  router.release(*degraded);
+  router.release(*clean);
+  const auto after = snapshot(topology, router.tracker());
+  EXPECT_EQ(before.nodes, after.nodes);
+  EXPECT_EQ(before.fibers, after.fibers);
+}
+
+TEST(IncrementalRouter, NoiseScaleRevalidatesInfeasibleCommodities) {
+  const auto topology = ring_topology(0.97);
+  RoutingParams params;
+  params.adaptive_code_distance = true;
+  IncrementalRouter router(topology, params);
+
+  // Under a 4x noise profile no candidate path passes the Eq. (6)
+  // thresholds at any distance: the commodity is marked infeasible and
+  // further admits are O(1) skips.
+  router.set_noise_scale(4.0);
+  EXPECT_FALSE(router.admit(0, 4, 1).has_value());
+  EXPECT_FALSE(router.admit(0, 4, 1).has_value());
+  EXPECT_EQ(router.stats().infeasible_skips, 2);
+
+  // "Infeasible, never cleared" is scoped to one profile: restoring the
+  // clean measurement re-runs the check and the pair routes again.
+  router.set_noise_scale(1.0);
+  const auto route = router.admit(0, 4, 1);
+  ASSERT_TRUE(route.has_value());
+  EXPECT_EQ(route->distance, 3);
+}
+
+// ---------------------------------------------------------------------------
 // route() facade.
 
 void expect_schedules_equal(const netsim::Schedule& a,
